@@ -1,0 +1,169 @@
+//! # scout-bdd
+//!
+//! A small, dependency-free reduced ordered binary decision diagram (ROBDD)
+//! engine. The SCOUT paper's "in-house equivalence checker" compares the
+//! logical policy (L-type rules) against deployed TCAM rules (T-type rules) by
+//! building one ROBDD per rule set and checking the diagrams for equality;
+//! this crate provides the diagram machinery for that check (see
+//! `scout-equiv`).
+//!
+//! The engine supports hash-consed node storage (making semantic equivalence a
+//! handle comparison), the binary `apply` operations (AND/OR/XOR/DIFF),
+//! negation, if-then-else, satisfiability queries, model extraction,
+//! satisfying-assignment counting, and integer field/range encoders for
+//! packet-classification header spaces.
+//!
+//! # Example
+//!
+//! ```
+//! use scout_bdd::{BddManager, FieldLayout};
+//!
+//! // Two 8-bit header fields.
+//! let layout = FieldLayout::new(&[8, 8]);
+//! let mut m = layout.manager();
+//! // Rule A: field0 == 5 and field1 in 80..=90.
+//! let f0 = layout.field(0).exact(&mut m, 5);
+//! let f1 = layout.field(1).range(&mut m, 80, 90);
+//! let rule_a = m.and(f0, f1);
+//! // The rule admits exactly 11 packets.
+//! assert_eq!(m.sat_count(rule_a), 11.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod manager;
+
+pub use encode::{FieldEncoder, FieldLayout};
+pub use manager::{Bdd, BddManager, BddOp, Var};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tiny boolean expression AST used to cross-check BDD semantics against
+    /// direct evaluation.
+    #[derive(Debug, Clone)]
+    enum Expr {
+        Var(u32),
+        Not(Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+    }
+
+    impl Expr {
+        fn eval(&self, assignment: &[bool]) -> bool {
+            match self {
+                Expr::Var(i) => assignment[*i as usize],
+                Expr::Not(e) => !e.eval(assignment),
+                Expr::And(a, b) => a.eval(assignment) && b.eval(assignment),
+                Expr::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+                Expr::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
+            }
+        }
+
+        fn to_bdd(&self, m: &mut BddManager) -> Bdd {
+            match self {
+                Expr::Var(i) => m.var(*i),
+                Expr::Not(e) => {
+                    let inner = e.to_bdd(m);
+                    m.not(inner)
+                }
+                Expr::And(a, b) => {
+                    let (x, y) = (a.to_bdd(m), b.to_bdd(m));
+                    m.and(x, y)
+                }
+                Expr::Or(a, b) => {
+                    let (x, y) = (a.to_bdd(m), b.to_bdd(m));
+                    m.or(x, y)
+                }
+                Expr::Xor(a, b) => {
+                    let (x, y) = (a.to_bdd(m), b.to_bdd(m));
+                    m.xor(x, y)
+                }
+            }
+        }
+    }
+
+    const NUM_VARS: u32 = 5;
+
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = (0..NUM_VARS).prop_map(Expr::Var);
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn all_assignments(n: u32) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1u32 << n)).map(move |bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn bdd_matches_truth_table(expr in expr_strategy()) {
+            let mut m = BddManager::new(NUM_VARS);
+            let bdd = expr.to_bdd(&mut m);
+            for assignment in all_assignments(NUM_VARS) {
+                prop_assert_eq!(m.eval(bdd, &assignment), expr.eval(&assignment));
+            }
+        }
+
+        #[test]
+        fn sat_count_matches_truth_table(expr in expr_strategy()) {
+            let mut m = BddManager::new(NUM_VARS);
+            let bdd = expr.to_bdd(&mut m);
+            let expected = all_assignments(NUM_VARS)
+                .filter(|a| expr.eval(a))
+                .count() as f64;
+            prop_assert!((m.sat_count(bdd) - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn equivalent_expressions_get_equal_handles(expr in expr_strategy()) {
+            let mut m = BddManager::new(NUM_VARS);
+            let bdd = expr.to_bdd(&mut m);
+            // Double negation and OR with self are semantic no-ops.
+            let neg = m.not(bdd);
+            let double_neg = m.not(neg);
+            prop_assert!(m.equivalent(bdd, double_neg));
+            let or_self = m.or(bdd, bdd);
+            prop_assert!(m.equivalent(bdd, or_self));
+        }
+
+        #[test]
+        fn any_sat_model_satisfies(expr in expr_strategy()) {
+            let mut m = BddManager::new(NUM_VARS);
+            let bdd = expr.to_bdd(&mut m);
+            match m.any_sat(bdd) {
+                Some(model) => prop_assert!(m.eval(bdd, &model)),
+                None => prop_assert!(bdd.is_false()),
+            }
+        }
+
+        #[test]
+        fn range_encoding_matches_interval(width in 1u32..10, lo in 0u64..512, hi in 0u64..512) {
+            let max = (1u64 << width) - 1;
+            let lo = lo.min(max);
+            let hi = hi.min(max);
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let enc = FieldEncoder::new(0, width);
+            let mut m = BddManager::new(width);
+            let range = enc.range(&mut m, lo, hi);
+            for v in 0..=max {
+                let exact = enc.exact(&mut m, v);
+                let in_range = m.and(exact, range);
+                prop_assert_eq!(m.is_satisfiable(in_range), (lo..=hi).contains(&v));
+            }
+        }
+    }
+}

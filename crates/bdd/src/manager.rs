@@ -1,0 +1,608 @@
+//! The ROBDD manager: hash-consed node storage and the core apply algorithms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a BDD node owned by a [`BddManager`].
+///
+/// Handles are only meaningful together with the manager that created them;
+/// mixing handles across managers yields unspecified (but memory-safe) results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant `false` BDD.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant `true` BDD.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is the constant `false`.
+    pub fn is_false(self) -> bool {
+        self == Self::FALSE
+    }
+
+    /// Returns `true` if this handle is the constant `true`.
+    pub fn is_true(self) -> bool {
+        self == Self::TRUE
+    }
+
+    /// Returns `true` if this handle is a terminal (constant) node.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => f.write_str("⊥"),
+            Bdd::TRUE => f.write_str("⊤"),
+            Bdd(n) => write!(f, "bdd#{n}"),
+        }
+    }
+}
+
+/// A decision variable index. Variables are ordered by index: smaller indices
+/// are tested closer to the root.
+pub type Var = u32;
+
+const TERMINAL_VAR: Var = Var::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: Var,
+    low: Bdd,
+    high: Bdd,
+}
+
+/// Binary boolean operations supported by [`BddManager::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BddOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Set difference: `a ∧ ¬b`.
+    Diff,
+}
+
+impl BddOp {
+    fn terminal(self, a: bool, b: bool) -> bool {
+        match self {
+            BddOp::And => a && b,
+            BddOp::Or => a || b,
+            BddOp::Xor => a ^ b,
+            BddOp::Diff => a && !b,
+        }
+    }
+
+    /// Short-circuit result when one operand is a terminal, if any.
+    fn shortcut(self, a: Bdd, b: Bdd) -> Option<Bdd> {
+        match self {
+            BddOp::And => {
+                if a.is_false() || b.is_false() {
+                    Some(Bdd::FALSE)
+                } else if a.is_true() {
+                    Some(b)
+                } else if b.is_true() {
+                    Some(a)
+                } else if a == b {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BddOp::Or => {
+                if a.is_true() || b.is_true() {
+                    Some(Bdd::TRUE)
+                } else if a.is_false() {
+                    Some(b)
+                } else if b.is_false() {
+                    Some(a)
+                } else if a == b {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BddOp::Xor => {
+                if a == b {
+                    Some(Bdd::FALSE)
+                } else if a.is_false() {
+                    Some(b)
+                } else if b.is_false() {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BddOp::Diff => {
+                if a.is_false() || b.is_true() || a == b {
+                    Some(Bdd::FALSE)
+                } else if b.is_false() {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A reduced ordered binary decision diagram manager with hash-consing and an
+/// operation cache.
+///
+/// The manager owns all nodes; [`Bdd`] handles are indices into its node table.
+/// All operations keep the diagram *reduced* (no node with identical low/high
+/// children, no duplicate nodes) and *ordered* (variable indices strictly
+/// increase along every path from the root).
+///
+/// # Example
+///
+/// ```
+/// use scout_bdd::BddManager;
+///
+/// let mut m = BddManager::new(4);
+/// let x0 = m.var(0);
+/// let x1 = m.var(1);
+/// let both = m.and(x0, x1);
+/// assert_eq!(m.sat_count(both), 4.0); // x2, x3 free
+/// ```
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    op_cache: HashMap<(BddOp, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+    num_vars: u32,
+}
+
+impl BddManager {
+    /// Creates a manager for `num_vars` decision variables (indices
+    /// `0..num_vars`).
+    pub fn new(num_vars: u32) -> Self {
+        let nodes = vec![
+            // FALSE terminal
+            Node {
+                var: TERMINAL_VAR,
+                low: Bdd::FALSE,
+                high: Bdd::FALSE,
+            },
+            // TRUE terminal
+            Node {
+                var: TERMINAL_VAR,
+                low: Bdd::TRUE,
+                high: Bdd::TRUE,
+            },
+        ];
+        Self {
+            nodes,
+            unique: HashMap::new(),
+            op_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of decision variables this manager was created with.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Total number of allocated nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from `root` (excluding terminals), a measure
+    /// of the size of one particular BDD.
+    pub fn size(&self, root: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(b) = stack.pop() {
+            if b.is_terminal() || !seen.insert(b) {
+                continue;
+            }
+            let node = self.nodes[b.index()];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        seen.len()
+    }
+
+    fn mk(&mut self, var: Var, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&existing) = self.unique.get(&node) {
+            return existing;
+        }
+        let handle = Bdd(u32::try_from(self.nodes.len()).expect("bdd node table overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, handle);
+        handle
+    }
+
+    /// The BDD for a single positive literal `x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: Var) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The BDD for a single negative literal `¬x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn nvar(&mut self, var: Var) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk(var, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Applies a binary boolean operation, memoized.
+    pub fn apply(&mut self, op: BddOp, a: Bdd, b: Bdd) -> Bdd {
+        if a.is_terminal() && b.is_terminal() {
+            return if op.terminal(a.is_true(), b.is_true()) {
+                Bdd::TRUE
+            } else {
+                Bdd::FALSE
+            };
+        }
+        if let Some(result) = op.shortcut(a, b) {
+            return result;
+        }
+        if let Some(&cached) = self.op_cache.get(&(op, a, b)) {
+            return cached;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a_low, a_high) = self.cofactors(a, top);
+        let (b_low, b_high) = self.cofactors(b, top);
+        let low = self.apply(op, a_low, b_low);
+        let high = self.apply(op, a_high, b_high);
+        let result = self.mk(top, low, high);
+        self.op_cache.insert((op, a, b), result);
+        result
+    }
+
+    fn var_of(&self, b: Bdd) -> Var {
+        self.nodes[b.index()].var
+    }
+
+    fn cofactors(&self, b: Bdd, var: Var) -> (Bdd, Bdd) {
+        let node = self.nodes[b.index()];
+        if node.var == var {
+            (node.low, node.high)
+        } else {
+            (b, b)
+        }
+    }
+
+    /// Conjunction of two BDDs.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(BddOp::And, a, b)
+    }
+
+    /// Disjunction of two BDDs.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(BddOp::Or, a, b)
+    }
+
+    /// Exclusive-or of two BDDs.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(BddOp::Xor, a, b)
+    }
+
+    /// Set difference `a ∧ ¬b`.
+    pub fn diff(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(BddOp::Diff, a, b)
+    }
+
+    /// Negation of a BDD.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        if a.is_true() {
+            return Bdd::FALSE;
+        }
+        if a.is_false() {
+            return Bdd::TRUE;
+        }
+        if let Some(&cached) = self.not_cache.get(&a) {
+            return cached;
+        }
+        let node = self.nodes[a.index()];
+        let low = self.not(node.low);
+        let high = self.not(node.high);
+        let result = self.mk(node.var, low, high);
+        self.not_cache.insert(a, result);
+        result
+    }
+
+    /// If-then-else: `cond ? then : otherwise`.
+    pub fn ite(&mut self, cond: Bdd, then: Bdd, otherwise: Bdd) -> Bdd {
+        let a = self.and(cond, then);
+        let not_cond = self.not(cond);
+        let b = self.and(not_cond, otherwise);
+        self.or(a, b)
+    }
+
+    /// Conjunction of an iterator of BDDs (`true` for an empty iterator).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for item in items {
+            acc = self.and(acc, item);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of BDDs (`false` for an empty iterator).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for item in items {
+            acc = self.or(acc, item);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` if the two BDDs denote the same boolean function.
+    ///
+    /// Thanks to hash-consing this is a constant-time handle comparison.
+    pub fn equivalent(&self, a: Bdd, b: Bdd) -> bool {
+        a == b
+    }
+
+    /// Evaluates the BDD under a full variable assignment.
+    ///
+    /// `assignment[i]` is the value of variable `i`; missing trailing variables
+    /// default to `false`.
+    pub fn eval(&self, mut b: Bdd, assignment: &[bool]) -> bool {
+        while !b.is_terminal() {
+            let node = self.nodes[b.index()];
+            let value = assignment.get(node.var as usize).copied().unwrap_or(false);
+            b = if value { node.high } else { node.low };
+        }
+        b.is_true()
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables.
+    ///
+    /// Returns `f64` because the count can exceed `u64` for wide encodings.
+    pub fn sat_count(&self, b: Bdd) -> f64 {
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        let total_vars = f64::from(self.num_vars);
+        let fraction = self.sat_fraction(b, &mut memo);
+        fraction * total_vars.exp2()
+    }
+
+    /// Fraction of the full assignment space that satisfies `b` (in `[0, 1]`).
+    fn sat_fraction(&self, b: Bdd, memo: &mut HashMap<Bdd, f64>) -> f64 {
+        if b.is_false() {
+            return 0.0;
+        }
+        if b.is_true() {
+            return 1.0;
+        }
+        if let Some(&f) = memo.get(&b) {
+            return f;
+        }
+        let node = self.nodes[b.index()];
+        let low = self.sat_fraction(node.low, memo);
+        let high = self.sat_fraction(node.high, memo);
+        let f = 0.5 * (low + high);
+        memo.insert(b, f);
+        f
+    }
+
+    /// Returns one satisfying assignment, or `None` if `b` is unsatisfiable.
+    ///
+    /// Variables not constrained along the chosen path are reported as `false`.
+    pub fn any_sat(&self, b: Bdd) -> Option<Vec<bool>> {
+        if b.is_false() {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut current = b;
+        while !current.is_terminal() {
+            let node = self.nodes[current.index()];
+            if node.high.is_false() {
+                assignment[node.var as usize] = false;
+                current = node.low;
+            } else {
+                assignment[node.var as usize] = true;
+                current = node.high;
+            }
+        }
+        debug_assert!(current.is_true());
+        Some(assignment)
+    }
+
+    /// Returns `true` if `b` has at least one satisfying assignment.
+    pub fn is_satisfiable(&self, b: Bdd) -> bool {
+        !b.is_false()
+    }
+
+    /// Returns `true` if `a` implies `b` (i.e. `a ∧ ¬b` is unsatisfiable).
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> bool {
+        self.diff(a, b).is_false()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_behave() {
+        let m = BddManager::new(2);
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::FALSE.is_false());
+        assert!(m.eval(Bdd::TRUE, &[]));
+        assert!(!m.eval(Bdd::FALSE, &[]));
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn var_and_nvar_are_complements() {
+        let mut m = BddManager::new(1);
+        let x = m.var(0);
+        let nx = m.nvar(0);
+        let not_x = m.not(x);
+        assert_eq!(nx, not_x);
+        assert!(m.eval(x, &[true]));
+        assert!(!m.eval(x, &[false]));
+        assert!(m.eval(nx, &[false]));
+    }
+
+    #[test]
+    fn and_or_truth_table() {
+        let mut m = BddManager::new(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let and = m.and(x, y);
+        let or = m.or(x, y);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(m.eval(and, &[a, b]), a && b);
+            assert_eq!(m.eval(or, &[a, b]), a || b);
+        }
+    }
+
+    #[test]
+    fn xor_and_diff_truth_table() {
+        let mut m = BddManager::new(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let xor = m.xor(x, y);
+        let diff = m.diff(x, y);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(m.eval(xor, &[a, b]), a ^ b);
+            assert_eq!(m.eval(diff, &[a, b]), a && !b);
+        }
+    }
+
+    #[test]
+    fn hash_consing_makes_equivalence_a_pointer_check() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let a = m.and(x, y);
+        let b = m.and(y, x);
+        assert!(m.equivalent(a, b));
+        // De Morgan: ¬(x ∧ y) == ¬x ∨ ¬y
+        let lhs = m.not(a);
+        let nx = m.not(x);
+        let ny = m.not(y);
+        let rhs = m.or(nx, ny);
+        assert!(m.equivalent(lhs, rhs));
+    }
+
+    #[test]
+    fn sat_count_over_free_variables() {
+        let mut m = BddManager::new(4);
+        let x = m.var(0);
+        assert_eq!(m.sat_count(x), 8.0); // 2^3 free assignments
+        let y = m.var(1);
+        let both = m.and(x, y);
+        assert_eq!(m.sat_count(both), 4.0);
+        assert_eq!(m.sat_count(Bdd::TRUE), 16.0);
+        assert_eq!(m.sat_count(Bdd::FALSE), 0.0);
+    }
+
+    #[test]
+    fn any_sat_returns_a_model() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let nz = m.nvar(2);
+        let f = m.and(x, nz);
+        let model = m.any_sat(f).expect("satisfiable");
+        assert!(m.eval(f, &model));
+        assert!(m.any_sat(Bdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut m = BddManager::new(3);
+        let c = m.var(0);
+        let t = m.var(1);
+        let e = m.var(2);
+        let ite = m.ite(c, t, e);
+        for bits in 0..8u8 {
+            let assignment = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expected = if assignment[0] {
+                assignment[1]
+            } else {
+                assignment[2]
+            };
+            assert_eq!(m.eval(ite, &assignment), expected);
+        }
+    }
+
+    #[test]
+    fn implies_detects_subset() {
+        let mut m = BddManager::new(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let both = m.and(x, y);
+        assert!(m.implies(both, x));
+        assert!(!m.implies(x, both));
+        assert!(m.implies(Bdd::FALSE, x));
+        assert!(m.implies(x, Bdd::TRUE));
+    }
+
+    #[test]
+    fn and_all_or_all_fold() {
+        let mut m = BddManager::new(3);
+        let vars: Vec<Bdd> = (0..3).map(|i| m.var(i)).collect();
+        let all = m.and_all(vars.clone());
+        assert_eq!(m.sat_count(all), 1.0);
+        let any = m.or_all(vars);
+        assert_eq!(m.sat_count(any), 7.0);
+        assert!(m.and_all(std::iter::empty()).is_true());
+        assert!(m.or_all(std::iter::empty()).is_false());
+    }
+
+    #[test]
+    fn reduction_eliminates_redundant_nodes() {
+        let mut m = BddManager::new(2);
+        let x = m.var(0);
+        let nx = m.not(x);
+        let tautology = m.or(x, nx);
+        assert!(tautology.is_true());
+        let contradiction = m.and(x, nx);
+        assert!(contradiction.is_false());
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let f = m.and(x, y);
+        let f = m.and(f, z);
+        assert_eq!(m.size(f), 3);
+        assert_eq!(m.size(Bdd::TRUE), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut m = BddManager::new(2);
+        let _ = m.var(5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduces Figure 3: the CDF of the number of EPG pairs per policy object
+//! (switches, VRFs, EPGs, filters, contracts) on the production-cluster-like
+//! policy.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p scout-bench --bin fig3_object_sharing [-- --scale small --seed 1]
+//! ```
+
+use scout_bench::{arg_value, object_sharing, sharing_table};
+use scout_workload::ClusterSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = arg_value(&args, "--seed", 1);
+    let scale: String = arg_value(&args, "--scale", "paper".to_string());
+    let spec = if scale == "small" {
+        ClusterSpec::small()
+    } else {
+        ClusterSpec::paper()
+    };
+
+    eprintln!(
+        "generating {scale} cluster policy (vrfs={}, epgs={}, contracts={}, filters={}, switches={}) with seed {seed} ...",
+        spec.vrfs, spec.epgs, spec.contracts, spec.filters, spec.switches
+    );
+    let universe = spec.generate(seed);
+    let stats = universe.stats();
+    eprintln!(
+        "generated: {} EPG pairs, {} endpoints, {} bindings",
+        stats.epg_pairs, stats.endpoints, stats.bindings
+    );
+
+    let cdfs = object_sharing(&universe);
+    println!("{}", sharing_table(&cdfs));
+
+    println!("# Full CDF points (value = #EPG pairs per object, fraction of objects <= value)");
+    for (class, cdf) in &cdfs.per_class {
+        let points = cdf.points();
+        let sampled: Vec<String> = points
+            .iter()
+            .step_by((points.len() / 12).max(1))
+            .map(|(v, f)| format!("({v:.0}, {f:.2})"))
+            .collect();
+        println!("{class}: {}", sampled.join(" "));
+    }
+}

@@ -1,0 +1,67 @@
+//! Reproduces Figure 7: the suspect-set reduction ratio γ (hypothesis size
+//! over the number of objects the failed EPG pairs depend on), binned by the
+//! suspect-set size.
+//!
+//! * `--setting simulation` (default) — Figure 7(b): single object faults
+//!   injected at the risk-model level over the cluster policy (paper: 1,500
+//!   faults; default here 300, use `--faults 1500` for the full count).
+//! * `--setting testbed` — Figure 7(a): faults injected into the deployed
+//!   testbed fabric and detected through the full pipeline (paper: 200 faults).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p scout-bench --bin fig7_suspect_reduction -- --setting simulation --faults 300
+//! ```
+
+use scout_bench::experiments::gamma_table;
+use scout_bench::{arg_value, suspect_reduction, testbed_suspect_reduction};
+use scout_workload::{ClusterSpec, TestbedSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = arg_value(&args, "--seed", 1);
+    let setting: String = arg_value(&args, "--setting", "simulation".to_string());
+    let scale: String = arg_value(&args, "--scale", "paper".to_string());
+
+    if setting == "testbed" {
+        let faults: usize = arg_value(&args, "--faults", 200);
+        eprintln!("figure 7(a): {faults} single faults on the testbed policy, seed {seed}");
+        let bins = testbed_suspect_reduction(
+            TestbedSpec::paper(),
+            faults,
+            &[(1.0, 10.0), (10.0, 20.0), (20.0, 40.0), (40.0, 60.0)],
+            seed,
+        );
+        println!(
+            "{}",
+            gamma_table("Figure 7(a) — suspect set reduction (testbed)", &bins)
+        );
+    } else {
+        let faults: usize = arg_value(&args, "--faults", 300);
+        let spec = if scale == "small" {
+            ClusterSpec::small()
+        } else {
+            ClusterSpec::paper()
+        };
+        eprintln!(
+            "figure 7(b): {faults} single faults on the {scale} cluster policy, seed {seed}"
+        );
+        let universe = spec.generate(seed);
+        let bins = suspect_reduction(
+            &universe,
+            faults,
+            &[
+                (1.0, 10.0),
+                (10.0, 50.0),
+                (50.0, 100.0),
+                (100.0, 500.0),
+                (500.0, 1000.0),
+            ],
+            seed,
+        );
+        println!(
+            "{}",
+            gamma_table("Figure 7(b) — suspect set reduction (simulation)", &bins)
+        );
+    }
+}

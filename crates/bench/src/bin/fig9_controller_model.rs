@@ -1,0 +1,46 @@
+//! Reproduces Figure 9: precision and recall of fault localization on the
+//! **controller risk model**, with 1..10 simultaneous faulty policy objects
+//! spread across switches, comparing SCOUT against SCORE-0.6 and SCORE-1.0
+//! (averaged over 30 runs in the paper).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p scout-bench --bin fig9_controller_model -- --runs 30 --scale paper
+//! ```
+
+use scout_bench::experiments::accuracy_table;
+use scout_bench::{accuracy_sweep, arg_value, ModelKind};
+use scout_workload::ClusterSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = arg_value(&args, "--seed", 1);
+    let runs: usize = arg_value(&args, "--runs", 30);
+    let scale: String = arg_value(&args, "--scale", "paper".to_string());
+    let spec = if scale == "small" {
+        ClusterSpec::small()
+    } else {
+        ClusterSpec::paper()
+    };
+
+    eprintln!(
+        "figure 9: controller risk model, {runs} runs per point, {scale} cluster, seed {seed}"
+    );
+    let universe = spec.generate(seed);
+    let fault_counts: Vec<usize> = (1..=10).collect();
+    let rows = accuracy_sweep(
+        &universe,
+        ModelKind::Controller,
+        &fault_counts,
+        runs,
+        seed,
+        &[0.6, 1.0],
+    );
+    println!(
+        "{}",
+        accuracy_table(
+            "Figure 9 — fault localization on the controller risk model",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,68 @@
+//! # scout-bench
+//!
+//! The benchmark harness of the SCOUT reproduction: one binary per table and
+//! figure of the paper's evaluation (§VI), plus Criterion micro-benchmarks for
+//! the core data structures.
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `fig3_object_sharing` | Figure 3 — CDF of EPG pairs per object |
+//! | `fig7_suspect_reduction` | Figure 7(a)/(b) — suspect-set reduction γ |
+//! | `fig8_switch_model` | Figure 8 — precision/recall on the switch risk model |
+//! | `fig9_controller_model` | Figure 9 — precision/recall on the controller risk model |
+//! | `fig10_testbed` | Figure 10 — end-to-end accuracy on the testbed |
+//! | `scalability` | §VI-B scalability — localization time vs. switch count |
+//! | `ablation_changelog` | §IV-C — contribution of SCOUT's change-log stage |
+//!
+//! The reusable experiment logic lives in [`experiments`] so that the binaries,
+//! the integration tests and the Criterion benches all exercise the same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    accuracy_sweep, accuracy_table, gamma_table, object_sharing, scalability, scalability_table,
+    sharing_table, suspect_reduction, testbed_accuracy, testbed_suspect_reduction, AccuracyRow,
+    AlgoResult, ModelKind, ScalabilityPoint, SharingCdfs,
+};
+
+/// Parses a `--flag value` pair from CLI arguments, returning the default when
+/// the flag is absent or malformed.
+pub fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Returns `true` if the flag is present among the CLI arguments.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_value_parses_present_flag() {
+        let args: Vec<String> = ["--runs", "5", "--setting", "testbed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--runs", 30usize), 5);
+        assert_eq!(arg_value::<String>(&args, "--setting", "sim".into()), "testbed");
+        assert_eq!(arg_value(&args, "--seed", 42u64), 42);
+        assert!(has_flag(&args, "--runs"));
+        assert!(!has_flag(&args, "--full"));
+    }
+
+    #[test]
+    fn arg_value_falls_back_on_malformed_input() {
+        let args: Vec<String> = ["--runs", "not-a-number"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--runs", 30usize), 30);
+    }
+}

@@ -1,0 +1,151 @@
+//! # scout-core
+//!
+//! The primary contribution of *Fault Localization in Large-Scale Network
+//! Policy Deployment* (Tammana et al., ICDCS 2018): risk models for network
+//! policies, the SCOUT fault-localization algorithm, the SCORE baseline it is
+//! evaluated against, the event-correlation engine that maps faulty policy
+//! objects to physical-level root causes, and the end-to-end [`ScoutSystem`]
+//! pipeline.
+//!
+//! ## Pipeline
+//!
+//! 1. **Detect** — the L–T equivalence checker (`scout-equiv`) compares the
+//!    logical rules compiled from the policy with the TCAM rules collected
+//!    from switches and emits the set of missing rules.
+//! 2. **Model** — the missing rules annotate a bipartite [`RiskModel`]
+//!    (switch-level or controller-level) between EPG pairs and the policy
+//!    objects they rely on (§III of the paper).
+//! 3. **Localize** — [`scout_localize`] greedily picks the fully-failed risks
+//!    with maximal coverage and falls back to the controller change log for
+//!    partially-failed objects (Algorithms 1 and 2). [`score_localize`]
+//!    implements the SCORE baseline.
+//! 4. **Diagnose** — the [`CorrelationEngine`] matches the hypothesis against
+//!    device fault logs through a signature library and reports the most
+//!    likely physical root causes (TCAM overflow, unreachable switch, …).
+//!
+//! # Example
+//!
+//! ```
+//! use scout_core::ScoutSystem;
+//! use scout_fabric::Fabric;
+//! use scout_policy::{sample, ObjectId};
+//!
+//! // Deploy the 3-tier example policy, then silently lose the port-700 rules.
+//! let mut fabric = Fabric::new(sample::three_tier());
+//! fabric.deploy();
+//! for switch in [sample::S2, sample::S3] {
+//!     fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+//! }
+//!
+//! let report = ScoutSystem::new().analyze_fabric(&fabric);
+//! assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod localization;
+pub mod risk;
+pub mod system;
+
+pub use correlation::{
+    CorrelationEngine, CorrelationReport, ObjectDiagnosis, RootCause, SignatureLibrary,
+};
+pub use localization::{score_localize, scout_localize, Evidence, Hypothesis, ScoutConfig};
+pub use risk::{
+    augment_controller_model, augment_switch_model, controller_risk_model, switch_risk_model,
+    EdgeStatus, RiskModel,
+};
+pub use system::{ScoutReport, ScoutSystem, SystemConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use scout_fabric::ChangeLog;
+    use scout_policy::{EpgId, EpgPair, FilterId, ObjectId};
+    use std::collections::BTreeSet;
+
+    /// A random bipartite model description: element index -> (risk index,
+    /// failed?) edges.
+    fn model_strategy() -> impl Strategy<Value = Vec<Vec<(u32, bool)>>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..8, any::<bool>()), 1..6),
+            1..12,
+        )
+    }
+
+    fn build_model(desc: &[Vec<(u32, bool)>]) -> RiskModel<EpgPair> {
+        let mut model = RiskModel::new();
+        for (i, edges) in desc.iter().enumerate() {
+            let element = EpgPair::new(EpgId::new(i as u32 * 2), EpgId::new(i as u32 * 2 + 1));
+            model.add_element(element);
+            for &(risk, failed) in edges {
+                let risk = ObjectId::Filter(FilterId::new(risk));
+                if failed {
+                    model.mark_failed(element, risk);
+                } else {
+                    model.add_edge(element, risk);
+                }
+            }
+        }
+        model
+    }
+
+    proptest! {
+        /// SCOUT's cover stage plus change-log stage never report more
+        /// observations than exist, and the hypothesis only contains risks of
+        /// the model.
+        #[test]
+        fn scout_hypothesis_is_well_formed(desc in model_strategy()) {
+            let model = build_model(&desc);
+            let log = ChangeLog::new();
+            let h = scout_localize(&model, &log, ScoutConfig::default());
+            let signature = model.failure_signature();
+            prop_assert_eq!(h.observations, signature.len());
+            prop_assert_eq!(
+                h.explained_by_cover + h.explained_by_changelog + h.unexplained,
+                signature.len()
+            );
+            let all_risks: BTreeSet<ObjectId> = model.risks().copied().collect();
+            for obj in h.objects() {
+                prop_assert!(all_risks.contains(&obj));
+            }
+        }
+
+        /// Every observation explained by the cover stage really is covered by
+        /// some hypothesis object whose dependents all failed.
+        #[test]
+        fn scout_cover_objects_fully_failed(desc in model_strategy()) {
+            let model = build_model(&desc);
+            let log = ChangeLog::new();
+            let h = scout_localize(&model, &log, ScoutConfig::default());
+            for (obj, evidence) in h.iter() {
+                if matches!(evidence, Evidence::FullCover) {
+                    // In the original (un-pruned) model the object's failed
+                    // dependents are non-empty.
+                    prop_assert!(!model.failed_dependents_of(*obj).is_empty());
+                }
+            }
+        }
+
+        /// SCORE with threshold 0 explains every observation (it degenerates to
+        /// unconstrained greedy set cover over failed edges).
+        #[test]
+        fn score_threshold_zero_explains_everything(desc in model_strategy()) {
+            let model = build_model(&desc);
+            let h = score_localize(&model, 0.0);
+            prop_assert_eq!(h.unexplained, 0);
+        }
+
+        /// SCORE's hypothesis size never exceeds the number of observations
+        /// (each greedy pick explains at least one new observation).
+        #[test]
+        fn score_hypothesis_bounded_by_observations(desc in model_strategy()) {
+            let model = build_model(&desc);
+            let h = score_localize(&model, 1.0);
+            prop_assert!(h.len() <= h.observations);
+        }
+    }
+}

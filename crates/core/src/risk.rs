@@ -1,0 +1,461 @@
+//! Risk models: bipartite graphs between shared risks (policy objects) and the
+//! elements they can impact (EPG pairs).
+//!
+//! Two concrete models are built (§III-B of the paper):
+//!
+//! * the **switch risk model** — per switch, elements are the [`EpgPair`]s
+//!   deployed on that switch and risks are the policy objects each pair relies
+//!   on;
+//! * the **controller risk model** — elements are `(switch, EPG pair)` triplets
+//!   ([`SwitchEpgPair`]) across the whole network and risks additionally
+//!   include the physical switches.
+//!
+//! After the L–T equivalence check, the models are *augmented*: for every
+//! missing rule, the edges between the affected element and the objects in the
+//! rule's provenance are marked as failed (§III-C).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scout_policy::{EpgPair, LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchId};
+
+/// The status of an edge between an element and a shared risk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeStatus {
+    /// No failure evidence involves this edge.
+    Success,
+    /// A missing rule implicates this edge.
+    Fail,
+}
+
+/// A bipartite risk model between elements of type `E` and shared risks
+/// ([`ObjectId`]s).
+///
+/// `E` is [`EpgPair`] for the switch risk model and [`SwitchEpgPair`] for the
+/// controller risk model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiskModel<E> {
+    /// element -> (risk -> edge status)
+    edges: BTreeMap<E, BTreeMap<ObjectId, EdgeStatus>>,
+    /// risk -> elements depending on it (reverse index)
+    dependents: BTreeMap<ObjectId, BTreeSet<E>>,
+}
+
+impl<E: Ord + Copy> Default for RiskModel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Ord + Copy> RiskModel<E> {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self {
+            edges: BTreeMap::new(),
+            dependents: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an element with no edges (it will never be an observation unless
+    /// edges are added and marked failed).
+    pub fn add_element(&mut self, element: E) {
+        self.edges.entry(element).or_default();
+    }
+
+    /// Adds a success edge between `element` and `risk` (keeps an existing
+    /// failed edge failed).
+    pub fn add_edge(&mut self, element: E, risk: ObjectId) {
+        self.edges
+            .entry(element)
+            .or_default()
+            .entry(risk)
+            .or_insert(EdgeStatus::Success);
+        self.dependents.entry(risk).or_default().insert(element);
+    }
+
+    /// Marks the edge between `element` and `risk` as failed, creating it if it
+    /// does not exist yet.
+    pub fn mark_failed(&mut self, element: E, risk: ObjectId) {
+        self.edges
+            .entry(element)
+            .or_default()
+            .insert(risk, EdgeStatus::Fail);
+        self.dependents.entry(risk).or_default().insert(element);
+    }
+
+    /// Number of elements in the model.
+    pub fn element_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of shared risks in the model.
+    pub fn risk_count(&self) -> usize {
+        self.dependents.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    /// Iterates over all elements.
+    pub fn elements(&self) -> impl Iterator<Item = &E> {
+        self.edges.keys()
+    }
+
+    /// Iterates over all shared risks.
+    pub fn risks(&self) -> impl Iterator<Item = &ObjectId> {
+        self.dependents.keys()
+    }
+
+    /// The risks `element` depends on.
+    pub fn risks_of(&self, element: &E) -> BTreeSet<ObjectId> {
+        self.edges
+            .get(element)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The elements depending on `risk` (the set `G_i` of the paper).
+    pub fn dependents_of(&self, risk: ObjectId) -> BTreeSet<E> {
+        self.dependents.get(&risk).cloned().unwrap_or_default()
+    }
+
+    /// Number of elements depending on `risk` (`|G_i|`), without cloning.
+    pub fn dependent_count(&self, risk: ObjectId) -> usize {
+        self.dependents.get(&risk).map_or(0, BTreeSet::len)
+    }
+
+    /// Number of elements of `risk` whose edge to it failed (`|O_i|`), without
+    /// materializing the set.
+    pub fn failed_dependent_count(&self, risk: ObjectId) -> usize {
+        self.dependents.get(&risk).map_or(0, |elements| {
+            elements
+                .iter()
+                .filter(|e| {
+                    self.edges
+                        .get(e)
+                        .and_then(|m| m.get(&risk))
+                        .map(|&s| s == EdgeStatus::Fail)
+                        .unwrap_or(false)
+                })
+                .count()
+        })
+    }
+
+    /// The risks of `element` whose edge is marked failed.
+    pub fn failed_risks_of(&self, element: &E) -> BTreeSet<ObjectId> {
+        self.edges
+            .get(element)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, &s)| s == EdgeStatus::Fail)
+                    .map(|(&r, _)| r)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The elements of `risk` whose edge to it is marked failed (the set `O_i`
+    /// of the paper).
+    pub fn failed_dependents_of(&self, risk: ObjectId) -> BTreeSet<E> {
+        self.dependents
+            .get(&risk)
+            .map(|elements| {
+                elements
+                    .iter()
+                    .filter(|e| {
+                        self.edges
+                            .get(e)
+                            .and_then(|m| m.get(&risk))
+                            .map(|&s| s == EdgeStatus::Fail)
+                            .unwrap_or(false)
+                    })
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if `element` has at least one failed edge (i.e. it is an
+    /// *observation*).
+    pub fn is_failed(&self, element: &E) -> bool {
+        self.edges
+            .get(element)
+            .map(|m| m.values().any(|&s| s == EdgeStatus::Fail))
+            .unwrap_or(false)
+    }
+
+    /// The failure signature: every element with at least one failed edge.
+    pub fn failure_signature(&self) -> BTreeSet<E> {
+        self.edges
+            .keys()
+            .filter(|e| self.is_failed(e))
+            .copied()
+            .collect()
+    }
+
+    /// The hit ratio of `risk`: the fraction of its dependents whose edge to it
+    /// failed (`|O_i| / |G_i|`, §IV-B). Returns 0 for unknown risks.
+    pub fn hit_ratio(&self, risk: ObjectId) -> f64 {
+        let total = self.dependent_count(risk);
+        if total == 0 {
+            return 0.0;
+        }
+        self.failed_dependent_count(risk) as f64 / total as f64
+    }
+
+    /// The coverage ratio of `risk` with respect to a failure signature of size
+    /// `signature_size` (`|O_i| / |F|`, §IV-B).
+    pub fn coverage_ratio(&self, risk: ObjectId, signature_size: usize) -> f64 {
+        if signature_size == 0 {
+            return 0.0;
+        }
+        self.failed_dependent_count(risk) as f64 / signature_size as f64
+    }
+
+    /// Removes a set of elements from the model (used by the pruning step of
+    /// the SCOUT algorithm). Risks left without dependents are removed too.
+    pub fn prune_elements(&mut self, elements: &BTreeSet<E>) {
+        for element in elements {
+            if let Some(risks) = self.edges.remove(element) {
+                for risk in risks.keys() {
+                    if let Some(deps) = self.dependents.get_mut(risk) {
+                        deps.remove(element);
+                        if deps.is_empty() {
+                            self.dependents.remove(risk);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The union of the risks of a set of elements — the *suspect set* a
+    /// network admin would have to examine without localization.
+    pub fn suspect_set(&self, elements: &BTreeSet<E>) -> BTreeSet<ObjectId> {
+        elements
+            .iter()
+            .flat_map(|e| self.risks_of(e))
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Model builders
+// ----------------------------------------------------------------------
+
+/// Builds the (un-augmented) switch risk model for `switch`.
+///
+/// Elements are the EPG pairs deployed on the switch; each pair has success
+/// edges to every policy object it relies on (Figure 4(a) of the paper).
+pub fn switch_risk_model(universe: &PolicyUniverse, switch: SwitchId) -> RiskModel<EpgPair> {
+    let mut model = RiskModel::new();
+    for pair in universe.pairs_on_switch(switch) {
+        model.add_element(pair);
+        for risk in universe.objects_for_pair(pair) {
+            model.add_edge(pair, risk);
+        }
+    }
+    model
+}
+
+/// Builds the (un-augmented) controller risk model for the whole network.
+///
+/// Elements are `(switch, EPG pair)` triplets; each triplet has success edges
+/// to the pair's policy objects plus the switch itself (Figure 4(b)).
+pub fn controller_risk_model(universe: &PolicyUniverse) -> RiskModel<SwitchEpgPair> {
+    let mut model = RiskModel::new();
+    for pair in universe.epg_pairs() {
+        for switch in universe.switches_for_pair(pair) {
+            let element = SwitchEpgPair::new(switch, pair);
+            model.add_element(element);
+            for risk in universe.objects_for_pair_on_switch(pair, switch) {
+                model.add_edge(element, risk);
+            }
+        }
+    }
+    model
+}
+
+// ----------------------------------------------------------------------
+// Augmentation from missing rules
+// ----------------------------------------------------------------------
+
+/// Augments the switch risk model of `switch` with the missing rules reported
+/// by the equivalence checker: for every missing rule of this switch, the edges
+/// between its EPG pair and the objects in its provenance are marked failed.
+pub fn augment_switch_model(
+    model: &mut RiskModel<EpgPair>,
+    switch: SwitchId,
+    missing_rules: &[LogicalRule],
+) {
+    for rule in missing_rules.iter().filter(|r| r.switch == switch) {
+        let pair = rule.pair();
+        for risk in rule.provenance.policy_objects() {
+            model.mark_failed(pair, risk);
+        }
+    }
+}
+
+/// Augments the controller risk model with missing rules from any switch: for
+/// every missing rule, the edges between its `(switch, pair)` triplet and the
+/// objects in its provenance (including the switch) are marked failed.
+pub fn augment_controller_model(
+    model: &mut RiskModel<SwitchEpgPair>,
+    missing_rules: &[LogicalRule],
+) {
+    for rule in missing_rules {
+        let element = SwitchEpgPair::new(rule.switch, rule.pair());
+        for risk in rule.provenance.objects_with_switch(rule.switch) {
+            model.mark_failed(element, risk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::sample;
+
+    #[test]
+    fn switch_model_for_s2_matches_figure_4a() {
+        let u = sample::three_tier();
+        let model = switch_risk_model(&u, sample::S2);
+        // Two EPG pairs (Web-App, App-DB) and 8 shared risks (VRF, 3 EPGs,
+        // 2 contracts, 2 filters).
+        assert_eq!(model.element_count(), 2);
+        assert_eq!(model.risk_count(), 8);
+        let web_app = EpgPair::new(sample::WEB, sample::APP);
+        let risks = model.risks_of(&web_app);
+        assert_eq!(risks.len(), 5);
+        assert!(risks.contains(&ObjectId::Vrf(sample::VRF)));
+        assert!(risks.contains(&ObjectId::Contract(sample::C_WEB_APP)));
+        // No switch objects in the per-switch model.
+        assert!(model.risks().all(|r| !r.is_switch()));
+        // Nothing failed yet.
+        assert!(model.failure_signature().is_empty());
+    }
+
+    #[test]
+    fn controller_model_has_one_triplet_per_switch_pair() {
+        let u = sample::three_tier();
+        let model = controller_risk_model(&u);
+        // Web-App deploys on S1 and S2; App-DB on S2 and S3 -> 4 triplets.
+        assert_eq!(model.element_count(), 4);
+        // Risks: 8 policy objects + 3 switches.
+        assert_eq!(model.risk_count(), 11);
+        let t = SwitchEpgPair::new(sample::S2, EpgPair::new(sample::WEB, sample::APP));
+        assert!(model.risks_of(&t).contains(&ObjectId::Switch(sample::S2)));
+    }
+
+    #[test]
+    fn hit_and_coverage_ratios_follow_definitions() {
+        let u = sample::three_tier();
+        let mut model = switch_risk_model(&u, sample::S2);
+        let web_app = EpgPair::new(sample::WEB, sample::APP);
+        // Fail the Web-App edges (as if the first rule of Figure 2 is missing).
+        for risk in u.objects_for_pair(web_app) {
+            model.mark_failed(web_app, risk);
+        }
+        let signature = model.failure_signature();
+        assert_eq!(signature.len(), 1);
+        // EPG:Web and Contract:Web-App are used only by Web-App -> hit 1.
+        assert_eq!(model.hit_ratio(ObjectId::Epg(sample::WEB)), 1.0);
+        assert_eq!(model.hit_ratio(ObjectId::Contract(sample::C_WEB_APP)), 1.0);
+        // VRF and EPG:App are shared with the healthy App-DB pair -> hit 0.5.
+        assert_eq!(model.hit_ratio(ObjectId::Vrf(sample::VRF)), 0.5);
+        assert_eq!(model.hit_ratio(ObjectId::Epg(sample::APP)), 0.5);
+        // Coverage of EPG:Web is 1/|F| = 1.
+        assert_eq!(
+            model.coverage_ratio(ObjectId::Epg(sample::WEB), signature.len()),
+            1.0
+        );
+        // Unknown risk.
+        assert_eq!(model.hit_ratio(ObjectId::Switch(SwitchId::new(99))), 0.0);
+        assert_eq!(model.coverage_ratio(ObjectId::Epg(sample::WEB), 0), 0.0);
+    }
+
+    #[test]
+    fn augmentation_from_missing_rules_marks_the_right_edges() {
+        let u = sample::three_tier();
+        let all_rules = scout_fabric::compile(&u);
+        // Pretend the two port-700 rules on S2 are missing.
+        let missing: Vec<LogicalRule> = all_rules
+            .iter()
+            .filter(|r| r.switch == sample::S2 && r.rule.matcher.ports.start == 700)
+            .copied()
+            .collect();
+        assert_eq!(missing.len(), 2);
+
+        let mut s2_model = switch_risk_model(&u, sample::S2);
+        augment_switch_model(&mut s2_model, sample::S2, &missing);
+        let app_db = EpgPair::new(sample::APP, sample::DB);
+        assert!(s2_model.is_failed(&app_db));
+        assert!(!s2_model.is_failed(&EpgPair::new(sample::WEB, sample::APP)));
+        let failed = s2_model.failed_risks_of(&app_db);
+        assert!(failed.contains(&ObjectId::Filter(sample::F_700)));
+        assert!(failed.contains(&ObjectId::Vrf(sample::VRF)));
+        // The port-80 filter was not part of the violation.
+        assert!(!failed.contains(&ObjectId::Filter(sample::F_HTTP)));
+
+        let mut c_model = controller_risk_model(&u);
+        augment_controller_model(&mut c_model, &missing);
+        let s2_app_db = SwitchEpgPair::new(sample::S2, app_db);
+        let s3_app_db = SwitchEpgPair::new(sample::S3, app_db);
+        assert!(c_model.is_failed(&s2_app_db));
+        assert!(!c_model.is_failed(&s3_app_db));
+        assert!(c_model
+            .failed_risks_of(&s2_app_db)
+            .contains(&ObjectId::Switch(sample::S2)));
+    }
+
+    #[test]
+    fn pruning_removes_elements_and_orphan_risks() {
+        let u = sample::three_tier();
+        let mut model = switch_risk_model(&u, sample::S2);
+        let web_app = EpgPair::new(sample::WEB, sample::APP);
+        model.prune_elements(&BTreeSet::from([web_app]));
+        assert_eq!(model.element_count(), 1);
+        // Risks used only by Web-App are gone.
+        assert!(!model
+            .risks()
+            .any(|&r| r == ObjectId::Contract(sample::C_WEB_APP)));
+        // Shared risks remain.
+        assert!(model.risks().any(|&r| r == ObjectId::Vrf(sample::VRF)));
+        assert_eq!(
+            model.dependents_of(ObjectId::Vrf(sample::VRF)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn suspect_set_is_union_of_risks() {
+        let u = sample::three_tier();
+        let model = switch_risk_model(&u, sample::S2);
+        let both: BTreeSet<EpgPair> = model.elements().copied().collect();
+        assert_eq!(model.suspect_set(&both).len(), 8);
+        let one = BTreeSet::from([EpgPair::new(sample::WEB, sample::APP)]);
+        assert_eq!(model.suspect_set(&one).len(), 5);
+    }
+
+    #[test]
+    fn mark_failed_on_fresh_edge_creates_it() {
+        let mut model: RiskModel<EpgPair> = RiskModel::new();
+        let pair = EpgPair::new(sample::WEB, sample::APP);
+        model.mark_failed(pair, ObjectId::Vrf(sample::VRF));
+        assert_eq!(model.element_count(), 1);
+        assert_eq!(model.risk_count(), 1);
+        assert!(model.is_failed(&pair));
+        assert_eq!(model.hit_ratio(ObjectId::Vrf(sample::VRF)), 1.0);
+        assert_eq!(model.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_edge_does_not_downgrade_failed_edge() {
+        let mut model: RiskModel<EpgPair> = RiskModel::new();
+        let pair = EpgPair::new(sample::WEB, sample::APP);
+        model.mark_failed(pair, ObjectId::Vrf(sample::VRF));
+        model.add_edge(pair, ObjectId::Vrf(sample::VRF));
+        assert!(model.is_failed(&pair));
+    }
+}

@@ -1,0 +1,274 @@
+//! The end-to-end SCOUT system (Figure 6 of the paper).
+//!
+//! [`ScoutSystem`] chains the four components together:
+//!
+//! 1. the L–T equivalence checker produces the missing rules,
+//! 2. the controller risk model is built from the policy and augmented with
+//!    the missing rules,
+//! 3. the SCOUT localization algorithm produces the hypothesis (faulty policy
+//!    objects), and
+//! 4. the event correlation engine maps the hypothesis to physical-level root
+//!    causes using the change and fault logs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scout_equiv::{EquivalenceChecker, NetworkCheckResult, SwitchCheckResult};
+use scout_fabric::{ChangeLog, Fabric, FaultLog};
+use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchId, TcamRule};
+
+use crate::correlation::{CorrelationEngine, CorrelationReport};
+use crate::localization::{scout_localize, Hypothesis, ScoutConfig};
+use crate::risk::{
+    augment_controller_model, augment_switch_model, controller_risk_model, switch_risk_model,
+    RiskModel,
+};
+
+/// Configuration of the end-to-end system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Configuration forwarded to the SCOUT localization algorithm.
+    pub scout: ScoutConfig,
+}
+
+/// The complete output of one end-to-end analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoutReport {
+    /// The per-switch equivalence check results.
+    pub check: NetworkCheckResult,
+    /// The observations: `(switch, EPG pair)` triplets with missing rules.
+    pub observations: BTreeSet<SwitchEpgPair>,
+    /// Every object the failed elements depend on — what an admin would have
+    /// to examine without fault localization.
+    pub suspect_objects: BTreeSet<ObjectId>,
+    /// The localization output: the suspected faulty objects.
+    pub hypothesis: Hypothesis,
+    /// Physical-level root causes per hypothesis object.
+    pub diagnosis: CorrelationReport,
+}
+
+impl ScoutReport {
+    /// `true` if the deployed state matches the policy everywhere.
+    pub fn is_consistent(&self) -> bool {
+        self.check.is_consistent()
+    }
+
+    /// Total number of missing rules across the network.
+    pub fn missing_rule_count(&self) -> usize {
+        self.check.missing_count()
+    }
+
+    /// The suspect-set reduction ratio γ = |hypothesis| / |suspect objects|
+    /// (§VI of the paper). Returns 0 when there is nothing to suspect.
+    pub fn gamma(&self) -> f64 {
+        if self.suspect_objects.is_empty() {
+            0.0
+        } else {
+            self.hypothesis.len() as f64 / self.suspect_objects.len() as f64
+        }
+    }
+}
+
+/// The end-to-end SCOUT system.
+///
+/// # Example
+///
+/// ```
+/// use scout_core::ScoutSystem;
+/// use scout_fabric::Fabric;
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// // Drop the port-700 rules from S2 behind the controller's back.
+/// fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+///
+/// let system = ScoutSystem::new();
+/// let report = system.analyze_fabric(&fabric);
+/// assert!(!report.is_consistent());
+/// assert!(report.hypothesis.len() <= report.suspect_objects.len());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScoutSystem {
+    checker: EquivalenceChecker,
+    correlation: CorrelationEngine,
+    config: SystemConfig,
+}
+
+impl ScoutSystem {
+    /// Creates a system with the default configuration and the standard fault
+    /// signature library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a system with an explicit configuration.
+    pub fn with_config(config: SystemConfig) -> Self {
+        Self {
+            checker: EquivalenceChecker::new(),
+            correlation: CorrelationEngine::new(),
+            config,
+        }
+    }
+
+    /// Creates a system with a custom correlation engine (e.g. an extended
+    /// signature library).
+    pub fn with_correlation(config: SystemConfig, correlation: CorrelationEngine) -> Self {
+        Self {
+            checker: EquivalenceChecker::new(),
+            correlation,
+            config,
+        }
+    }
+
+    /// Convenience entry point: analyzes a simulated [`Fabric`] directly.
+    pub fn analyze_fabric(&self, fabric: &Fabric) -> ScoutReport {
+        self.analyze(
+            fabric.universe(),
+            fabric.logical_rules(),
+            &fabric.collect_tcam(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        )
+    }
+
+    /// Runs the full pipeline from the four raw artifacts: the policy
+    /// (universe), the logical rules, the collected TCAM rules, and the two
+    /// logs.
+    pub fn analyze(
+        &self,
+        universe: &PolicyUniverse,
+        logical_rules: &[LogicalRule],
+        tcam: &BTreeMap<SwitchId, Vec<TcamRule>>,
+        change_log: &ChangeLog,
+        fault_log: &FaultLog,
+    ) -> ScoutReport {
+        let check = self.checker.check_network(logical_rules, tcam);
+        let missing = check.missing_rules();
+
+        let mut model = controller_risk_model(universe);
+        augment_controller_model(&mut model, &missing);
+        let observations = model.failure_signature();
+        let suspect_objects = model.suspect_set(&observations);
+
+        let hypothesis = scout_localize(&model, change_log, self.config.scout);
+        let diagnosis =
+            self.correlation
+                .correlate(&hypothesis, universe, change_log, fault_log);
+
+        ScoutReport {
+            check,
+            observations,
+            suspect_objects,
+            hypothesis,
+            diagnosis,
+        }
+    }
+
+    /// Runs the equivalence check and localization against the *switch risk
+    /// model* of a single switch, as an admin debugging one device would.
+    pub fn analyze_switch(
+        &self,
+        universe: &PolicyUniverse,
+        switch: SwitchId,
+        logical_rules: &[LogicalRule],
+        tcam: &[TcamRule],
+        change_log: &ChangeLog,
+    ) -> (SwitchCheckResult, RiskModel<scout_policy::EpgPair>, Hypothesis) {
+        let check = self.checker.check_switch(switch, logical_rules, tcam);
+        let mut model = switch_risk_model(universe, switch);
+        augment_switch_model(&mut model, switch, &check.missing_rules);
+        let hypothesis = scout_localize(&model, change_log, self.config.scout);
+        (check, model, hypothesis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_fabric::FaultKind;
+    use scout_policy::{sample, EpgPair};
+
+    #[test]
+    fn consistent_network_produces_empty_report() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        let system = ScoutSystem::new();
+        let report = system.analyze_fabric(&fabric);
+        assert!(report.is_consistent());
+        assert_eq!(report.missing_rule_count(), 0);
+        assert!(report.observations.is_empty());
+        assert!(report.hypothesis.is_empty());
+        assert_eq!(report.gamma(), 0.0);
+        assert!(report.diagnosis.diagnoses().is_empty());
+    }
+
+    #[test]
+    fn filter_fault_is_localized_and_gamma_is_small() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        // Drop every rule derived from the port-700 filter, on every switch.
+        for switch in [sample::S2, sample::S3] {
+            fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+        }
+        let system = ScoutSystem::new();
+        let report = system.analyze_fabric(&fabric);
+        assert!(!report.is_consistent());
+        assert_eq!(report.missing_rule_count(), 4);
+        // The App-DB pair on S2 and S3 is observed as failed.
+        assert_eq!(report.observations.len(), 2);
+        assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
+        // Hypothesis is much smaller than the suspect set.
+        assert!(report.hypothesis.len() < report.suspect_objects.len());
+        assert!(report.gamma() > 0.0 && report.gamma() < 1.0);
+    }
+
+    #[test]
+    fn unresponsive_switch_story_matches_paper_use_case() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.disconnect_switch(sample::S2);
+        fabric.deploy();
+        let system = ScoutSystem::new();
+        let report = system.analyze_fabric(&fabric);
+        assert!(!report.is_consistent());
+        // The switch itself is the most economical explanation.
+        assert!(report.hypothesis.contains(ObjectId::Switch(sample::S2)));
+        // And the correlation engine ties it to the unreachable-switch fault.
+        let by_kind = report.diagnosis.causes_by_kind();
+        assert!(by_kind.contains_key(&FaultKind::SwitchUnreachable));
+    }
+
+    #[test]
+    fn analyze_switch_uses_the_switch_risk_model() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric.remove_tcam_rules_where(sample::S2, |r| {
+            r.pair() == EpgPair::new(sample::WEB, sample::APP)
+        });
+        let system = ScoutSystem::new();
+        let (check, model, hypothesis) = system.analyze_switch(
+            fabric.universe(),
+            sample::S2,
+            fabric.logical_rules(),
+            &fabric.tcam_rules(sample::S2),
+            fabric.change_log(),
+        );
+        assert!(!check.equivalent);
+        assert_eq!(model.element_count(), 2);
+        // Per Figure 4(a): EPG:Web and Contract:Web-App explain the failure.
+        assert!(hypothesis.contains(ObjectId::Epg(sample::WEB)));
+        assert!(hypothesis.contains(ObjectId::Contract(sample::C_WEB_APP)));
+        assert!(!hypothesis.contains(ObjectId::Vrf(sample::VRF)));
+        assert!(!hypothesis.contains(ObjectId::Epg(sample::APP)));
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let mut fabric = Fabric::new(sample::three_tier_with_capacity(3));
+        fabric.deploy();
+        let system = ScoutSystem::with_config(SystemConfig::default());
+        let report = system.analyze_fabric(&fabric);
+        assert_eq!(report.missing_rule_count(), report.check.missing_count());
+        assert_eq!(report.diagnosis.diagnoses().len(), report.hypothesis.len());
+        assert!(report.gamma() <= 1.0);
+    }
+}

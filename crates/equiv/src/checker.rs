@@ -1,0 +1,301 @@
+//! The L–T equivalence checker.
+//!
+//! Implements the paper's "in-house equivalence checker" (§III-C): for each
+//! switch it compares the ROBDD of the logical rules (L-type, what the
+//! controller expects) with the ROBDD of the collected TCAM rules (T-type, what
+//! the hardware actually holds). When the diagrams differ it reports the set of
+//! *missing rules* — logical rules whose traffic is not (fully) allowed by the
+//! deployed TCAM — which is the failure evidence the risk models are augmented
+//! with.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use scout_policy::{EpgPair, LogicalRule, SwitchId, TcamRule};
+
+use crate::header::HeaderSpace;
+
+/// The outcome of checking one switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCheckResult {
+    /// The switch that was checked.
+    pub switch: SwitchId,
+    /// `true` if the allowed spaces of L-type and T-type rules are identical.
+    pub equivalent: bool,
+    /// Logical rules whose traffic is not fully allowed by the deployed TCAM.
+    pub missing_rules: Vec<LogicalRule>,
+    /// Deployed rules that allow traffic the logical policy does not allow
+    /// (e.g. corrupted entries now matching the wrong VRF or EPG).
+    pub unexpected_rules: Vec<TcamRule>,
+}
+
+impl SwitchCheckResult {
+    /// The EPG pairs affected by the missing rules on this switch.
+    pub fn affected_pairs(&self) -> BTreeSet<EpgPair> {
+        self.missing_rules.iter().map(|r| r.pair()).collect()
+    }
+}
+
+/// The outcome of checking the whole network.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkCheckResult {
+    /// Per-switch results, keyed by switch id.
+    pub per_switch: BTreeMap<SwitchId, SwitchCheckResult>,
+}
+
+impl NetworkCheckResult {
+    /// `true` if every switch is consistent with the policy.
+    pub fn is_consistent(&self) -> bool {
+        self.per_switch.values().all(|r| r.equivalent)
+    }
+
+    /// All missing rules across switches.
+    pub fn missing_rules(&self) -> Vec<LogicalRule> {
+        self.per_switch
+            .values()
+            .flat_map(|r| r.missing_rules.iter().copied())
+            .collect()
+    }
+
+    /// Total number of missing rules.
+    pub fn missing_count(&self) -> usize {
+        self.per_switch.values().map(|r| r.missing_rules.len()).sum()
+    }
+
+    /// Switches that are not consistent with the policy.
+    pub fn inconsistent_switches(&self) -> Vec<SwitchId> {
+        self.per_switch
+            .iter()
+            .filter(|(_, r)| !r.equivalent)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+}
+
+/// The BDD-based L–T equivalence checker.
+///
+/// # Example
+///
+/// ```
+/// use scout_equiv::EquivalenceChecker;
+/// use scout_fabric::Fabric;
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// let checker = EquivalenceChecker::new();
+/// let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+/// assert!(result.is_consistent());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EquivalenceChecker {
+    header_space: HeaderSpace,
+}
+
+impl EquivalenceChecker {
+    /// Creates a checker over the standard header space.
+    pub fn new() -> Self {
+        Self {
+            header_space: HeaderSpace::new(),
+        }
+    }
+
+    /// Checks one switch: compares the logical rules destined for `switch`
+    /// against the TCAM rules collected from it.
+    pub fn check_switch(
+        &self,
+        switch: SwitchId,
+        logical: &[LogicalRule],
+        tcam: &[TcamRule],
+    ) -> SwitchCheckResult {
+        let mut manager = self.header_space.manager();
+
+        let logical_rules: Vec<TcamRule> = logical
+            .iter()
+            .filter(|l| l.switch == switch)
+            .map(|l| l.rule)
+            .collect();
+        let l_allowed = self.header_space.allowed_space(&mut manager, &logical_rules);
+        let t_allowed = self.header_space.allowed_space(&mut manager, tcam);
+
+        let equivalent = manager.equivalent(l_allowed, t_allowed);
+        let mut missing_rules = Vec::new();
+        let mut unexpected_rules = Vec::new();
+
+        if !equivalent {
+            // A logical rule is missing if part of its traffic is not allowed
+            // by the deployed TCAM.
+            for l in logical.iter().filter(|l| l.switch == switch) {
+                let space = self.header_space.rule_match(&mut manager, &l.rule);
+                if !manager.implies(space, t_allowed) {
+                    missing_rules.push(*l);
+                }
+            }
+            // A deployed rule is unexpected if it allows traffic the policy
+            // does not allow.
+            for t in tcam {
+                if t.action != scout_policy::Action::Allow {
+                    continue;
+                }
+                let space = self.header_space.rule_match(&mut manager, t);
+                let effectively_allowed = manager.and(space, t_allowed);
+                if !manager.implies(effectively_allowed, l_allowed) {
+                    unexpected_rules.push(*t);
+                }
+            }
+        }
+
+        SwitchCheckResult {
+            switch,
+            equivalent,
+            missing_rules,
+            unexpected_rules,
+        }
+    }
+
+    /// Checks every switch appearing either in the logical rules or in the
+    /// collected TCAM snapshot.
+    pub fn check_network(
+        &self,
+        logical: &[LogicalRule],
+        tcam: &BTreeMap<SwitchId, Vec<TcamRule>>,
+    ) -> NetworkCheckResult {
+        let mut switches: BTreeSet<SwitchId> = tcam.keys().copied().collect();
+        switches.extend(logical.iter().map(|l| l.switch));
+
+        let empty: Vec<TcamRule> = Vec::new();
+        let mut per_switch = BTreeMap::new();
+        for switch in switches {
+            let tcam_rules = tcam.get(&switch).unwrap_or(&empty);
+            per_switch.insert(switch, self.check_switch(switch, logical, tcam_rules));
+        }
+        NetworkCheckResult { per_switch }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_fabric::{CorruptionKind, Fabric};
+    use scout_policy::{sample, Action};
+
+    fn deployed() -> Fabric {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric
+    }
+
+    #[test]
+    fn healthy_deployment_is_consistent() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        assert!(result.is_consistent());
+        assert_eq!(result.missing_count(), 0);
+        assert!(result.inconsistent_switches().is_empty());
+    }
+
+    #[test]
+    fn missing_rule_is_detected_on_the_right_switch() {
+        let mut fabric = deployed();
+        // Silently drop the port-700 rules from S2 (Figure 2 rules 5 and 6).
+        let removed = fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        assert_eq!(removed.len(), 2);
+        let checker = EquivalenceChecker::new();
+        let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        assert!(!result.is_consistent());
+        assert_eq!(result.inconsistent_switches(), vec![sample::S2]);
+        let s2 = &result.per_switch[&sample::S2];
+        assert_eq!(s2.missing_rules.len(), 2);
+        assert!(s2
+            .missing_rules
+            .iter()
+            .all(|r| r.provenance.filter == sample::F_700));
+        assert_eq!(
+            s2.affected_pairs(),
+            BTreeSet::from([scout_policy::EpgPair::new(sample::APP, sample::DB)])
+        );
+        // Other switches are untouched.
+        assert!(result.per_switch[&sample::S1].equivalent);
+        assert!(result.per_switch[&sample::S3].equivalent);
+    }
+
+    #[test]
+    fn empty_tcam_reports_every_logical_rule_missing() {
+        let mut fabric = deployed();
+        let total = fabric.tcam_rules(sample::S2).len();
+        fabric.remove_tcam_rules_where(sample::S2, |_| true);
+        let checker = EquivalenceChecker::new();
+        let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        assert_eq!(result.per_switch[&sample::S2].missing_rules.len(), total);
+    }
+
+    #[test]
+    fn corruption_produces_missing_and_unexpected_rules() {
+        let mut fabric = deployed();
+        // Corrupt the VRF field of one S2 entry: the original traffic is no
+        // longer allowed (missing) and a foreign VRF is now allowed
+        // (unexpected).
+        fabric
+            .corrupt_tcam(sample::S2, 0, CorruptionKind::VrfBit)
+            .unwrap();
+        let checker = EquivalenceChecker::new();
+        let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        let s2 = &result.per_switch[&sample::S2];
+        assert!(!s2.equivalent);
+        assert_eq!(s2.missing_rules.len(), 1);
+        assert_eq!(s2.unexpected_rules.len(), 1);
+        assert_ne!(s2.unexpected_rules[0].matcher.vrf, sample::VRF);
+    }
+
+    #[test]
+    fn action_flip_makes_rule_missing_but_not_unexpected() {
+        let mut fabric = deployed();
+        fabric
+            .corrupt_tcam(sample::S1, 0, CorruptionKind::ActionFlip)
+            .unwrap();
+        let checker = EquivalenceChecker::new();
+        let tcam = fabric.collect_tcam();
+        assert!(tcam[&sample::S1].iter().any(|r| r.action == Action::Deny));
+        let result = checker.check_network(fabric.logical_rules(), &tcam);
+        let s1 = &result.per_switch[&sample::S1];
+        assert!(!s1.equivalent);
+        assert_eq!(s1.missing_rules.len(), 1);
+        assert!(s1.unexpected_rules.is_empty());
+    }
+
+    #[test]
+    fn extra_tcam_rule_is_unexpected_but_nothing_missing() {
+        let fabric = deployed();
+        // Hand-install a rule on S1 that the policy does not call for.
+        let logical = fabric.logical_rules_for(sample::S3)[0];
+        let foreign = logical.rule;
+        {
+            // Direct TCAM manipulation through the fault hook: remove nothing,
+            // then reuse remove_tcam_rules_where's access path via agent is not
+            // exposed; emulate by corrupting after install through a dedicated
+            // fabric with modified policy instead.
+            let mut tcam = fabric.collect_tcam();
+            tcam.get_mut(&sample::S1).unwrap().push(foreign);
+            let checker = EquivalenceChecker::new();
+            let result = checker.check_network(fabric.logical_rules(), &tcam);
+            let s1 = &result.per_switch[&sample::S1];
+            assert!(!s1.equivalent);
+            assert!(s1.missing_rules.is_empty());
+            assert_eq!(s1.unexpected_rules, vec![foreign]);
+        }
+    }
+
+    #[test]
+    fn switch_known_only_from_tcam_is_checked() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let mut tcam = fabric.collect_tcam();
+        // A stray switch with a leftover rule and no logical rules.
+        let stray = scout_policy::SwitchId::new(99);
+        tcam.insert(stray, vec![fabric.logical_rules()[0].rule]);
+        let result = checker.check_network(fabric.logical_rules(), &tcam);
+        assert!(result.per_switch.contains_key(&stray));
+        assert!(!result.per_switch[&stray].equivalent);
+    }
+}

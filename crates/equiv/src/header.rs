@@ -1,0 +1,201 @@
+//! Header-space encoding of TCAM rules as BDDs.
+//!
+//! The equivalence checker of the paper compares two ROBDDs, one built from the
+//! logical (L-type) rules and one from the deployed TCAM (T-type) rules. The
+//! encoding here maps the five match fields of a [`TcamRule`] onto a fixed
+//! layout of BDD variables: VRF id, source EPG, destination EPG, protocol and
+//! destination port.
+
+use scout_bdd::{Bdd, BddManager, FieldLayout};
+use scout_policy::{Action, Protocol, TcamRule};
+
+/// Bit width of the VRF id field.
+pub const VRF_BITS: u32 = 16;
+/// Bit width of each EPG class-id field.
+pub const EPG_BITS: u32 = 16;
+/// Bit width of the protocol field.
+pub const PROTO_BITS: u32 = 8;
+/// Bit width of the destination-port field.
+pub const PORT_BITS: u32 = 16;
+
+/// Field indexes within the layout.
+const F_VRF: usize = 0;
+const F_SRC: usize = 1;
+const F_DST: usize = 2;
+const F_PROTO: usize = 3;
+const F_PORT: usize = 4;
+
+/// The header space used for L–T equivalence checking.
+#[derive(Debug, Clone)]
+pub struct HeaderSpace {
+    layout: FieldLayout,
+}
+
+impl Default for HeaderSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeaderSpace {
+    /// Creates the standard 72-bit header space (VRF, src EPG, dst EPG,
+    /// protocol, port).
+    pub fn new() -> Self {
+        Self {
+            layout: FieldLayout::new(&[VRF_BITS, EPG_BITS, EPG_BITS, PROTO_BITS, PORT_BITS]),
+        }
+    }
+
+    /// Creates a BDD manager sized for this header space.
+    pub fn manager(&self) -> BddManager {
+        self.layout.manager()
+    }
+
+    /// Total number of BDD variables of the encoding.
+    pub fn total_vars(&self) -> u32 {
+        self.layout.total_vars()
+    }
+
+    /// Encodes the match portion of one rule as the set of packets it covers.
+    pub fn rule_match(&self, manager: &mut BddManager, rule: &TcamRule) -> Bdd {
+        let vrf = self
+            .layout
+            .field(F_VRF)
+            .exact(manager, u64::from(rule.matcher.vrf.raw() & 0xffff));
+        let src = self
+            .layout
+            .field(F_SRC)
+            .exact(manager, u64::from(rule.matcher.src_epg.raw() & 0xffff));
+        let dst = self
+            .layout
+            .field(F_DST)
+            .exact(manager, u64::from(rule.matcher.dst_epg.raw() & 0xffff));
+        let proto = match rule.matcher.protocol {
+            Protocol::Any => Bdd::TRUE,
+            p => self.layout.field(F_PROTO).exact(manager, u64::from(p.code())),
+        };
+        let port = self.layout.field(F_PORT).range(
+            manager,
+            u64::from(rule.matcher.ports.start),
+            u64::from(rule.matcher.ports.end),
+        );
+        let mut acc = manager.and(vrf, src);
+        acc = manager.and(acc, dst);
+        acc = manager.and(acc, proto);
+        manager.and(acc, port)
+    }
+
+    /// Encodes the *allowed space* of an ordered rule set under first-match,
+    /// deny-by-default semantics.
+    ///
+    /// Rules are evaluated from the highest priority down (ties broken by list
+    /// order, matching [`scout_policy::evaluate`]): a packet belongs to the
+    /// allowed space if the first rule covering it has [`Action::Allow`].
+    pub fn allowed_space(&self, manager: &mut BddManager, rules: &[TcamRule]) -> Bdd {
+        // Stable sort by descending priority preserves list order inside a
+        // priority class.
+        let mut ordered: Vec<&TcamRule> = rules.iter().collect();
+        ordered.sort_by(|a, b| b.priority.cmp(&a.priority));
+
+        let mut covered = Bdd::FALSE;
+        let mut allowed = Bdd::FALSE;
+        for rule in ordered {
+            let matched = self.rule_match(manager, rule);
+            let effective = manager.diff(matched, covered);
+            if rule.action == Action::Allow {
+                allowed = manager.or(allowed, effective);
+            }
+            covered = manager.or(covered, matched);
+        }
+        allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::{EpgId, PortRange, RuleMatch, VrfId};
+
+    fn matcher(port_start: u16, port_end: u16) -> RuleMatch {
+        RuleMatch::new(
+            VrfId::new(101),
+            EpgId::new(1),
+            EpgId::new(2),
+            Protocol::Tcp,
+            PortRange::new(port_start, port_end),
+        )
+    }
+
+    #[test]
+    fn rule_match_counts_ports() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        let rule = TcamRule::allow(matcher(80, 90));
+        let bdd = hs.rule_match(&mut m, &rule);
+        assert_eq!(m.sat_count(bdd), 11.0);
+    }
+
+    #[test]
+    fn allowed_space_of_empty_ruleset_is_empty() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        assert!(hs.allowed_space(&mut m, &[]).is_false());
+    }
+
+    #[test]
+    fn allow_rules_union() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        let r1 = TcamRule::allow(matcher(80, 80));
+        let r2 = TcamRule::allow(matcher(443, 443));
+        let allowed = hs.allowed_space(&mut m, &[r1, r2]);
+        assert_eq!(m.sat_count(allowed), 2.0);
+    }
+
+    #[test]
+    fn higher_priority_deny_shadows_allow() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        let allow = TcamRule::allow(matcher(80, 90));
+        let mut deny = TcamRule::deny(matcher(85, 85));
+        deny.priority = allow.priority + 10;
+        let allowed = hs.allowed_space(&mut m, &[allow, deny]);
+        assert_eq!(m.sat_count(allowed), 10.0);
+    }
+
+    #[test]
+    fn lower_priority_deny_is_shadowed() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        let allow = TcamRule::allow(matcher(80, 90));
+        let mut deny = TcamRule::deny(matcher(85, 85));
+        deny.priority = allow.priority - 10;
+        let allowed = hs.allowed_space(&mut m, &[allow, deny]);
+        assert_eq!(m.sat_count(allowed), 11.0);
+    }
+
+    #[test]
+    fn any_protocol_covers_all_codes() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        let rule = TcamRule::allow(RuleMatch::new(
+            VrfId::new(1),
+            EpgId::new(1),
+            EpgId::new(2),
+            Protocol::Any,
+            PortRange::single(80),
+        ));
+        let bdd = hs.rule_match(&mut m, &rule);
+        // Free over the 8 protocol bits: 256 satisfying headers.
+        assert_eq!(m.sat_count(bdd), 256.0);
+    }
+
+    #[test]
+    fn overlapping_identical_rules_do_not_double_count() {
+        let hs = HeaderSpace::new();
+        let mut m = hs.manager();
+        let r = TcamRule::allow(matcher(80, 80));
+        let allowed = hs.allowed_space(&mut m, &[r, r]);
+        assert_eq!(m.sat_count(allowed), 1.0);
+    }
+}

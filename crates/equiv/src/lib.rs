@@ -1,0 +1,154 @@
+//! # scout-equiv
+//!
+//! The L–T equivalence checker of the SCOUT system (ICDCS 2018).
+//!
+//! SCOUT detects policy-deployment failures by comparing the *desired state*
+//! (logical, L-type rules compiled from the network policy) against the
+//! *actual state* (T-type rules collected from switch TCAMs). Following the
+//! paper, the comparison is done on reduced ordered binary decision diagrams:
+//! each rule set is encoded into the packet header space (VRF, source EPG,
+//! destination EPG, protocol, port) and the two allowed spaces are compared.
+//! When they differ, the checker emits the set of **missing rules** — the
+//! logical rules whose traffic the deployed TCAM does not allow — which is the
+//! evidence used to augment the risk models, plus any **unexpected rules**
+//! that allow traffic the policy does not.
+//!
+//! A naive sampling-based oracle ([`naive_missing_rules`]) is included and
+//! property-tested against the BDD checker.
+//!
+//! # Example
+//!
+//! ```
+//! use scout_equiv::EquivalenceChecker;
+//! use scout_fabric::Fabric;
+//! use scout_policy::sample;
+//!
+//! let mut fabric = Fabric::new(sample::three_tier());
+//! fabric.deploy();
+//! // Silently lose the port-700 rules on S2.
+//! fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+//!
+//! let checker = EquivalenceChecker::new();
+//! let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+//! assert!(!result.is_consistent());
+//! assert_eq!(result.missing_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod header;
+pub mod naive;
+
+pub use checker::{EquivalenceChecker, NetworkCheckResult, SwitchCheckResult};
+pub use header::HeaderSpace;
+pub use naive::{naive_missing_rules, sample_flows};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use scout_policy::{
+        ContractId, EpgId, FilterId, LogicalRule, PortRange, Protocol, RuleMatch, RuleProvenance,
+        SwitchId, TcamRule, VrfId,
+    };
+    use std::collections::BTreeSet;
+
+    const SWITCH: SwitchId = SwitchId::new(1);
+
+    /// Strategy producing a logical rule with a small id space so that
+    /// collisions (duplicate matches) actually happen.
+    fn logical_rule_strategy() -> impl Strategy<Value = LogicalRule> {
+        (
+            0u32..3,       // vrf
+            0u32..4,       // src epg
+            0u32..4,       // dst epg
+            prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)],
+            0u16..6,       // port
+            0u32..3,       // contract
+            0u32..3,       // filter
+        )
+            .prop_map(|(vrf, src, dst, proto, port, contract, filter)| {
+                let matcher = RuleMatch::new(
+                    VrfId::new(100 + vrf),
+                    EpgId::new(src),
+                    EpgId::new(dst),
+                    proto,
+                    PortRange::single(port),
+                );
+                LogicalRule::new(
+                    SWITCH,
+                    TcamRule::allow(matcher),
+                    RuleProvenance::new(
+                        VrfId::new(100 + vrf),
+                        EpgId::new(src),
+                        EpgId::new(dst),
+                        ContractId::new(contract),
+                        FilterId::new(filter),
+                    ),
+                )
+            })
+    }
+
+    proptest! {
+        /// The BDD checker and the naive oracle agree on which logical rules
+        /// are missing, for arbitrary subsets of the rules removed from the
+        /// TCAM (including duplicates covering the same traffic).
+        #[test]
+        fn bdd_checker_agrees_with_naive_oracle(
+            logical in proptest::collection::vec(logical_rule_strategy(), 1..20),
+            keep_mask in proptest::collection::vec(any::<bool>(), 20),
+        ) {
+            let tcam: Vec<TcamRule> = logical
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(true))
+                .map(|(_, l)| l.rule)
+                .collect();
+
+            let checker = EquivalenceChecker::new();
+            let result = checker.check_switch(SWITCH, &logical, &tcam);
+            let naive = naive_missing_rules(&logical, &tcam);
+
+            let bdd_missing: BTreeSet<LogicalRule> = result.missing_rules.iter().copied().collect();
+            let naive_missing: BTreeSet<LogicalRule> = naive.iter().copied().collect();
+            prop_assert_eq!(bdd_missing, naive_missing);
+        }
+
+        /// When the TCAM holds exactly the compiled rules, the checker reports
+        /// consistency regardless of rule ordering.
+        #[test]
+        fn identical_rule_sets_are_equivalent(
+            logical in proptest::collection::vec(logical_rule_strategy(), 1..20),
+            seed in any::<u64>(),
+        ) {
+            let mut tcam: Vec<TcamRule> = logical.iter().map(|l| l.rule).collect();
+            // Deterministic shuffle driven by the seed.
+            let len = tcam.len();
+            for i in (1..len).rev() {
+                let j = (seed as usize).wrapping_mul(31).wrapping_add(i * 7) % (i + 1);
+                tcam.swap(i, j);
+            }
+            let checker = EquivalenceChecker::new();
+            let result = checker.check_switch(SWITCH, &logical, &tcam);
+            prop_assert!(result.equivalent);
+            prop_assert!(result.missing_rules.is_empty());
+            prop_assert!(result.unexpected_rules.is_empty());
+        }
+
+        /// Missing rules are always a subset of the logical rules of the
+        /// checked switch, and removing everything reports every rule missing.
+        #[test]
+        fn missing_rules_are_logical_rules(
+            logical in proptest::collection::vec(logical_rule_strategy(), 1..15),
+        ) {
+            let checker = EquivalenceChecker::new();
+            let result = checker.check_switch(SWITCH, &logical, &[]);
+            let all: BTreeSet<LogicalRule> = logical.iter().copied().collect();
+            let missing: BTreeSet<LogicalRule> = result.missing_rules.iter().copied().collect();
+            prop_assert_eq!(missing.len(), all.len());
+            prop_assert!(missing.is_subset(&all));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The switch agent: receives instructions, maintains a local logical view and
+//! renders rules into the switch TCAM.
+//!
+//! The agent models the switch-side failure modes of §II-B: crashing in the
+//! middle of a batch of updates (only a prefix of the instructions is applied),
+//! and TCAM overflow when rendering rules into a full table.
+
+use serde::{Deserialize, Serialize};
+
+use scout_policy::{LogicalRule, SwitchId, TcamRule};
+
+use crate::clock::Timestamp;
+use crate::instruction::{Instruction, InstructionOp};
+use crate::logs::{FaultKind, FaultLog, Severity};
+use crate::tcam::TcamTable;
+
+/// The health of a switch agent process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentHealth {
+    /// The agent processes instructions normally.
+    Healthy,
+    /// The agent has crashed and ignores all further instructions.
+    Crashed,
+}
+
+/// The result of handing one instruction to an agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApplyOutcome {
+    /// The instruction was fully applied (logical view and TCAM updated).
+    Applied,
+    /// The logical view was updated but the TCAM install failed (overflow).
+    TcamRejected,
+    /// The agent is crashed and ignored the instruction.
+    IgnoredCrashed,
+}
+
+/// A simulated switch agent together with its TCAM table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchAgent {
+    switch: SwitchId,
+    health: AgentHealth,
+    /// Crash after applying this many more instructions, if set.
+    crash_after: Option<u64>,
+    logical_view: Vec<LogicalRule>,
+    tcam: TcamTable,
+    overflow_logged: bool,
+}
+
+impl SwitchAgent {
+    /// Creates a healthy agent with an empty TCAM of the given capacity.
+    pub fn new(switch: SwitchId, tcam_capacity: usize) -> Self {
+        Self {
+            switch,
+            health: AgentHealth::Healthy,
+            crash_after: None,
+            logical_view: Vec::new(),
+            tcam: TcamTable::new(tcam_capacity),
+            overflow_logged: false,
+        }
+    }
+
+    /// The switch this agent runs on.
+    pub fn switch(&self) -> SwitchId {
+        self.switch
+    }
+
+    /// Current health.
+    pub fn health(&self) -> AgentHealth {
+        self.health
+    }
+
+    /// Returns `true` if the agent has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.health == AgentHealth::Crashed
+    }
+
+    /// Crashes the agent immediately.
+    pub fn crash(&mut self) {
+        self.health = AgentHealth::Crashed;
+    }
+
+    /// Makes the agent crash after applying `n` more instructions, simulating a
+    /// crash in the middle of a rule-update batch.
+    pub fn crash_after(&mut self, n: u64) {
+        self.crash_after = Some(n);
+    }
+
+    /// Restarts a crashed agent (its logical view and TCAM are preserved).
+    pub fn restart(&mut self) {
+        self.health = AgentHealth::Healthy;
+        self.crash_after = None;
+    }
+
+    /// The agent's local logical view of the policy (the rules it believes it
+    /// should render).
+    pub fn logical_view(&self) -> &[LogicalRule] {
+        &self.logical_view
+    }
+
+    /// Read access to the TCAM table.
+    pub fn tcam(&self) -> &TcamTable {
+        &self.tcam
+    }
+
+    /// Mutable access to the TCAM table — used only by fault injection
+    /// (corruption, eviction, silent rule removal).
+    pub fn tcam_mut(&mut self) -> &mut TcamTable {
+        &mut self.tcam
+    }
+
+    /// The rules currently rendered in hardware (T-type rules).
+    pub fn tcam_rules(&self) -> Vec<TcamRule> {
+        self.tcam.rules().to_vec()
+    }
+
+    /// Applies one instruction at simulated time `now`, reporting hardware
+    /// faults into `fault_log`.
+    pub fn apply(
+        &mut self,
+        instruction: Instruction,
+        now: Timestamp,
+        fault_log: &mut FaultLog,
+    ) -> ApplyOutcome {
+        if self.is_crashed() {
+            return ApplyOutcome::IgnoredCrashed;
+        }
+        let outcome = match instruction.op {
+            InstructionOp::Install => self.apply_install(instruction.rule, now, fault_log),
+            InstructionOp::Remove => {
+                self.logical_view.retain(|r| r != &instruction.rule);
+                self.tcam.remove(&instruction.rule.rule);
+                ApplyOutcome::Applied
+            }
+        };
+        if let Some(remaining) = self.crash_after.as_mut() {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                self.health = AgentHealth::Crashed;
+                self.crash_after = None;
+                fault_log.raise(
+                    now,
+                    Some(self.switch),
+                    FaultKind::AgentCrash,
+                    Severity::Critical,
+                    format!("agent on {} crashed during rule updates", self.switch),
+                );
+            }
+        }
+        outcome
+    }
+
+    fn apply_install(
+        &mut self,
+        rule: LogicalRule,
+        now: Timestamp,
+        fault_log: &mut FaultLog,
+    ) -> ApplyOutcome {
+        if !self.logical_view.contains(&rule) {
+            self.logical_view.push(rule);
+        }
+        match self.tcam.install(rule.rule) {
+            Ok(()) => ApplyOutcome::Applied,
+            Err(_) => {
+                if !self.overflow_logged {
+                    // One fault entry per overflow episode is enough for
+                    // correlation; real switches also rate-limit these logs.
+                    fault_log.raise(
+                        now,
+                        Some(self.switch),
+                        FaultKind::TcamOverflow,
+                        Severity::Critical,
+                        format!(
+                            "tcam overflow on {}: utilization {:.0}%, install dropped",
+                            self.switch,
+                            self.tcam.utilization() * 100.0
+                        ),
+                    );
+                    self.overflow_logged = true;
+                }
+                ApplyOutcome::TcamRejected
+            }
+        }
+    }
+
+    /// Clears the "overflow already logged" latch, e.g. after capacity grows.
+    pub fn reset_overflow_latch(&mut self) {
+        self.overflow_logged = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::{
+        ContractId, EpgId, FilterId, PortRange, Protocol, RuleMatch, RuleProvenance, VrfId,
+    };
+
+    fn logical(port: u16) -> LogicalRule {
+        let matcher = RuleMatch::new(
+            VrfId::new(101),
+            EpgId::new(1),
+            EpgId::new(2),
+            Protocol::Tcp,
+            PortRange::single(port),
+        );
+        LogicalRule::new(
+            SwitchId::new(7),
+            TcamRule::allow(matcher),
+            RuleProvenance::new(
+                VrfId::new(101),
+                EpgId::new(1),
+                EpgId::new(2),
+                ContractId::new(1),
+                FilterId::new(1),
+            ),
+        )
+    }
+
+    #[test]
+    fn install_updates_view_and_tcam() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 16);
+        let mut faults = FaultLog::new();
+        let out = agent.apply(
+            Instruction::install(logical(80)),
+            Timestamp::new(1),
+            &mut faults,
+        );
+        assert_eq!(out, ApplyOutcome::Applied);
+        assert_eq!(agent.logical_view().len(), 1);
+        assert_eq!(agent.tcam().len(), 1);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn remove_undoes_install() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 16);
+        let mut faults = FaultLog::new();
+        agent.apply(
+            Instruction::install(logical(80)),
+            Timestamp::new(1),
+            &mut faults,
+        );
+        agent.apply(
+            Instruction::remove(logical(80)),
+            Timestamp::new(2),
+            &mut faults,
+        );
+        assert!(agent.logical_view().is_empty());
+        assert!(agent.tcam().is_empty());
+    }
+
+    #[test]
+    fn overflow_rejects_and_raises_one_fault() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 2);
+        let mut faults = FaultLog::new();
+        for port in 1..=4 {
+            agent.apply(
+                Instruction::install(logical(port)),
+                Timestamp::new(u64::from(port)),
+                &mut faults,
+            );
+        }
+        assert_eq!(agent.tcam().len(), 2);
+        // Logical view still learned all four rules.
+        assert_eq!(agent.logical_view().len(), 4);
+        let overflow_faults = faults.entries_of_kind(FaultKind::TcamOverflow);
+        assert_eq!(overflow_faults.len(), 1);
+        assert_eq!(overflow_faults[0].switch, Some(SwitchId::new(7)));
+    }
+
+    #[test]
+    fn crashed_agent_ignores_instructions() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 16);
+        let mut faults = FaultLog::new();
+        agent.crash();
+        let out = agent.apply(
+            Instruction::install(logical(80)),
+            Timestamp::new(1),
+            &mut faults,
+        );
+        assert_eq!(out, ApplyOutcome::IgnoredCrashed);
+        assert!(agent.tcam().is_empty());
+        assert!(agent.logical_view().is_empty());
+    }
+
+    #[test]
+    fn crash_after_applies_prefix_then_stops() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 16);
+        let mut faults = FaultLog::new();
+        agent.crash_after(2);
+        for port in 1..=5 {
+            agent.apply(
+                Instruction::install(logical(port)),
+                Timestamp::new(u64::from(port)),
+                &mut faults,
+            );
+        }
+        // Only the first two instructions landed.
+        assert_eq!(agent.tcam().len(), 2);
+        assert!(agent.is_crashed());
+        assert_eq!(faults.entries_of_kind(FaultKind::AgentCrash).len(), 1);
+    }
+
+    #[test]
+    fn restart_resumes_processing() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 16);
+        let mut faults = FaultLog::new();
+        agent.crash();
+        agent.restart();
+        assert!(!agent.is_crashed());
+        let out = agent.apply(
+            Instruction::install(logical(80)),
+            Timestamp::new(1),
+            &mut faults,
+        );
+        assert_eq!(out, ApplyOutcome::Applied);
+    }
+
+    #[test]
+    fn duplicate_install_does_not_duplicate_view() {
+        let mut agent = SwitchAgent::new(SwitchId::new(7), 16);
+        let mut faults = FaultLog::new();
+        for _ in 0..3 {
+            agent.apply(
+                Instruction::install(logical(80)),
+                Timestamp::new(1),
+                &mut faults,
+            );
+        }
+        assert_eq!(agent.logical_view().len(), 1);
+        assert_eq!(agent.tcam().len(), 1);
+    }
+}

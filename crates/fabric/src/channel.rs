@@ -1,0 +1,187 @@
+//! The control channel between the controller and one switch agent.
+//!
+//! The channel models the failure modes of the controller→switch leg of policy
+//! deployment (§II-B): a full disconnect (all instructions lost) and a degraded
+//! link that silently drops a deterministic subset of instructions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instruction::Instruction;
+
+/// The state of a control channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Instructions are delivered.
+    Connected,
+    /// No instructions are delivered.
+    Disconnected,
+    /// Every `drop_modulo`-th instruction (1-indexed) is silently dropped.
+    Degraded {
+        /// Drop every n-th instruction; must be at least 1 (1 drops all).
+        drop_modulo: u64,
+    },
+}
+
+/// The controller-side view of the channel towards one switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlChannel {
+    state: LinkState,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Default for ControlChannel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlChannel {
+    /// Creates a connected channel.
+    pub fn new() -> Self {
+        Self {
+            state: LinkState::Connected,
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current link state.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+
+    /// Returns `true` if the channel is fully connected.
+    pub fn is_connected(&self) -> bool {
+        self.state == LinkState::Connected
+    }
+
+    /// Sets the link state.
+    pub fn set_state(&mut self, state: LinkState) {
+        self.state = state;
+    }
+
+    /// Number of instructions the controller attempted to send.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of instructions actually delivered to the agent.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of instructions lost in the channel.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Attempts to transmit one instruction. Returns `Some(instruction)` if it
+    /// reaches the agent and `None` if the channel loses it.
+    pub fn transmit(&mut self, instruction: Instruction) -> Option<Instruction> {
+        self.sent += 1;
+        let deliver = match self.state {
+            LinkState::Connected => true,
+            LinkState::Disconnected => false,
+            LinkState::Degraded { drop_modulo } => {
+                let modulo = drop_modulo.max(1);
+                self.sent % modulo != 0
+            }
+        };
+        if deliver {
+            self.delivered += 1;
+            Some(instruction)
+        } else {
+            self.dropped += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::{
+        ContractId, EpgId, FilterId, LogicalRule, PortRange, Protocol, RuleMatch, RuleProvenance,
+        SwitchId, TcamRule, VrfId,
+    };
+
+    fn instruction(port: u16) -> Instruction {
+        let matcher = RuleMatch::new(
+            VrfId::new(101),
+            EpgId::new(1),
+            EpgId::new(2),
+            Protocol::Tcp,
+            PortRange::single(port),
+        );
+        Instruction::install(LogicalRule::new(
+            SwitchId::new(1),
+            TcamRule::allow(matcher),
+            RuleProvenance::new(
+                VrfId::new(101),
+                EpgId::new(1),
+                EpgId::new(2),
+                ContractId::new(1),
+                FilterId::new(1),
+            ),
+        ))
+    }
+
+    #[test]
+    fn connected_channel_delivers_everything() {
+        let mut ch = ControlChannel::new();
+        assert!(ch.is_connected());
+        for p in 0..10 {
+            assert!(ch.transmit(instruction(p)).is_some());
+        }
+        assert_eq!(ch.sent(), 10);
+        assert_eq!(ch.delivered(), 10);
+        assert_eq!(ch.dropped(), 0);
+    }
+
+    #[test]
+    fn disconnected_channel_drops_everything() {
+        let mut ch = ControlChannel::new();
+        ch.set_state(LinkState::Disconnected);
+        for p in 0..5 {
+            assert!(ch.transmit(instruction(p)).is_none());
+        }
+        assert_eq!(ch.dropped(), 5);
+        assert_eq!(ch.delivered(), 0);
+        assert!(!ch.is_connected());
+    }
+
+    #[test]
+    fn degraded_channel_drops_every_nth() {
+        let mut ch = ControlChannel::new();
+        ch.set_state(LinkState::Degraded { drop_modulo: 3 });
+        let outcomes: Vec<bool> = (0..9).map(|p| ch.transmit(instruction(p)).is_some()).collect();
+        // 1-indexed sends: every 3rd is dropped.
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(ch.dropped(), 3);
+        assert_eq!(ch.delivered(), 6);
+    }
+
+    #[test]
+    fn degraded_modulo_one_drops_all() {
+        let mut ch = ControlChannel::new();
+        ch.set_state(LinkState::Degraded { drop_modulo: 1 });
+        assert!(ch.transmit(instruction(1)).is_none());
+        assert!(ch.transmit(instruction(2)).is_none());
+        assert_eq!(ch.dropped(), 2);
+    }
+
+    #[test]
+    fn reconnect_resumes_delivery() {
+        let mut ch = ControlChannel::new();
+        ch.set_state(LinkState::Disconnected);
+        assert!(ch.transmit(instruction(1)).is_none());
+        ch.set_state(LinkState::Connected);
+        assert!(ch.transmit(instruction(2)).is_some());
+    }
+}

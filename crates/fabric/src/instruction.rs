@@ -1,0 +1,105 @@
+//! Instructions flowing from the controller to switch agents.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use scout_policy::LogicalRule;
+
+/// The operation requested by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InstructionOp {
+    /// Render and install the rule in the switch TCAM.
+    Install,
+    /// Remove the rule from the logical view and the TCAM.
+    Remove,
+}
+
+impl fmt::Display for InstructionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstructionOp::Install => f.write_str("install"),
+            InstructionOp::Remove => f.write_str("remove"),
+        }
+    }
+}
+
+/// A single controller→switch instruction about one logical rule.
+///
+/// Real controllers ship object-level updates; the simulator ships the
+/// already-expanded rule together with its provenance, which is equivalent for
+/// the purposes of fault localization (the provenance carries the object ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The requested operation.
+    pub op: InstructionOp,
+    /// The logical rule the operation applies to.
+    pub rule: LogicalRule,
+}
+
+impl Instruction {
+    /// Creates an install instruction.
+    pub fn install(rule: LogicalRule) -> Self {
+        Self {
+            op: InstructionOp::Install,
+            rule,
+        }
+    }
+
+    /// Creates a remove instruction.
+    pub fn remove(rule: LogicalRule) -> Self {
+        Self {
+            op: InstructionOp::Remove,
+            rule,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.op, self.rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::{
+        ContractId, EpgId, FilterId, PortRange, Protocol, RuleMatch, RuleProvenance, SwitchId,
+        TcamRule, VrfId,
+    };
+
+    fn rule() -> LogicalRule {
+        let matcher = RuleMatch::new(
+            VrfId::new(101),
+            EpgId::new(1),
+            EpgId::new(2),
+            Protocol::Tcp,
+            PortRange::single(80),
+        );
+        LogicalRule::new(
+            SwitchId::new(1),
+            TcamRule::allow(matcher),
+            RuleProvenance::new(
+                VrfId::new(101),
+                EpgId::new(1),
+                EpgId::new(2),
+                ContractId::new(1),
+                FilterId::new(1),
+            ),
+        )
+    }
+
+    #[test]
+    fn constructors_set_op() {
+        assert_eq!(Instruction::install(rule()).op, InstructionOp::Install);
+        assert_eq!(Instruction::remove(rule()).op, InstructionOp::Remove);
+    }
+
+    #[test]
+    fn display_contains_op() {
+        let text = Instruction::install(rule()).to_string();
+        assert!(text.starts_with("install"));
+        assert!(text.contains("switch-1"));
+    }
+}

@@ -1,0 +1,345 @@
+//! The TCAM table of a simulated switch.
+//!
+//! The table models the failure-relevant aspects of real switch TCAM hardware
+//! (§II-B of the paper): finite capacity (overflow makes installs fail),
+//! silent bit corruption of installed entries, and eviction of entries behind
+//! the controller's back.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use scout_policy::{Action, EpgId, TcamRule, VrfId};
+
+/// Error returned when a rule cannot be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcamError {
+    /// The table is full; the rule was not installed.
+    Overflow {
+        /// The capacity of the table.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for TcamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcamError::Overflow { capacity } => {
+                write!(f, "tcam overflow: capacity of {capacity} entries exhausted")
+            }
+        }
+    }
+}
+
+impl StdError for TcamError {}
+
+/// The specific field targeted by a simulated TCAM bit corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Flip the low bit of the VRF identifier.
+    VrfBit,
+    /// Flip the low bit of the source EPG class id.
+    SrcEpgBit,
+    /// Flip the low bit of the destination EPG class id.
+    DstEpgBit,
+    /// Flip the low bit of the port range start.
+    PortBit,
+    /// Flip the action (allow ↔ deny).
+    ActionFlip,
+}
+
+impl CorruptionKind {
+    /// All corruption kinds, for randomized fault injection.
+    pub const ALL: [CorruptionKind; 5] = [
+        CorruptionKind::VrfBit,
+        CorruptionKind::SrcEpgBit,
+        CorruptionKind::DstEpgBit,
+        CorruptionKind::PortBit,
+        CorruptionKind::ActionFlip,
+    ];
+
+    /// Applies the corruption to a rule, returning the corrupted copy.
+    pub fn apply(self, rule: &TcamRule) -> TcamRule {
+        let mut corrupted = *rule;
+        match self {
+            CorruptionKind::VrfBit => {
+                corrupted.matcher.vrf = VrfId::new(rule.matcher.vrf.raw() ^ 1);
+            }
+            CorruptionKind::SrcEpgBit => {
+                corrupted.matcher.src_epg = EpgId::new(rule.matcher.src_epg.raw() ^ 1);
+            }
+            CorruptionKind::DstEpgBit => {
+                corrupted.matcher.dst_epg = EpgId::new(rule.matcher.dst_epg.raw() ^ 1);
+            }
+            CorruptionKind::PortBit => {
+                let mut ports = rule.matcher.ports;
+                ports.start ^= 1;
+                if ports.start > ports.end {
+                    ports.end = ports.start;
+                }
+                corrupted.matcher.ports = ports;
+            }
+            CorruptionKind::ActionFlip => {
+                corrupted.action = match rule.action {
+                    Action::Allow => Action::Deny,
+                    Action::Deny => Action::Allow,
+                };
+            }
+        }
+        corrupted
+    }
+}
+
+/// A fixed-capacity TCAM table holding [`TcamRule`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcamTable {
+    capacity: usize,
+    entries: Vec<TcamRule>,
+}
+
+impl TcamTable {
+    /// Creates an empty table with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of capacity in use (`0.0..=1.0`).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.entries.len() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Returns `true` if an identical rule is already installed.
+    pub fn contains(&self, rule: &TcamRule) -> bool {
+        self.entries.contains(rule)
+    }
+
+    /// The installed rules in installation order.
+    pub fn rules(&self) -> &[TcamRule] {
+        &self.entries
+    }
+
+    /// Installs a rule.
+    ///
+    /// Installing a rule that is already present is a no-op and succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcamError::Overflow`] if the table is full.
+    pub fn install(&mut self, rule: TcamRule) -> Result<(), TcamError> {
+        if self.contains(&rule) {
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(TcamError::Overflow {
+                capacity: self.capacity,
+            });
+        }
+        self.entries.push(rule);
+        Ok(())
+    }
+
+    /// Removes an identical rule if present; returns `true` if one was removed.
+    pub fn remove(&mut self, rule: &TcamRule) -> bool {
+        if let Some(pos) = self.entries.iter().position(|r| r == rule) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every rule matching `predicate`, returning the removed rules.
+    pub fn remove_where<F: FnMut(&TcamRule) -> bool>(&mut self, mut predicate: F) -> Vec<TcamRule> {
+        let mut removed = Vec::new();
+        self.entries.retain(|r| {
+            if predicate(r) {
+                removed.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Evicts up to `n` entries from the front of the table (oldest first),
+    /// mimicking a local rule-eviction mechanism the controller is unaware of.
+    pub fn evict_oldest(&mut self, n: usize) -> Vec<TcamRule> {
+        let n = n.min(self.entries.len());
+        self.entries.drain(0..n).collect()
+    }
+
+    /// Corrupts the entry at `index`, returning `(original, corrupted)`.
+    ///
+    /// Returns `None` if `index` is out of bounds. The corrupted entry replaces
+    /// the original in place, exactly as a hardware bit error would.
+    pub fn corrupt(&mut self, index: usize, kind: CorruptionKind) -> Option<(TcamRule, TcamRule)> {
+        let original = *self.entries.get(index)?;
+        let corrupted = kind.apply(&original);
+        self.entries[index] = corrupted;
+        Some((original, corrupted))
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::{PortRange, Protocol, RuleMatch};
+
+    fn rule(port: u16) -> TcamRule {
+        TcamRule::allow(RuleMatch::new(
+            VrfId::new(101),
+            EpgId::new(1),
+            EpgId::new(2),
+            Protocol::Tcp,
+            PortRange::single(port),
+        ))
+    }
+
+    #[test]
+    fn install_and_remove() {
+        let mut t = TcamTable::new(4);
+        assert!(t.is_empty());
+        t.install(rule(80)).unwrap();
+        t.install(rule(443)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&rule(80)));
+        assert!(t.remove(&rule(80)));
+        assert!(!t.remove(&rule(80)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_install_is_idempotent() {
+        let mut t = TcamTable::new(2);
+        t.install(rule(80)).unwrap();
+        t.install(rule(80)).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn overflow_is_reported_and_rule_not_installed() {
+        let mut t = TcamTable::new(2);
+        t.install(rule(1)).unwrap();
+        t.install(rule(2)).unwrap();
+        let err = t.install(rule(3)).unwrap_err();
+        assert_eq!(err, TcamError::Overflow { capacity: 2 });
+        assert_eq!(t.len(), 2);
+        assert!(!t.contains(&rule(3)));
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn utilization_tracks_fill() {
+        let mut t = TcamTable::new(4);
+        assert_eq!(t.utilization(), 0.0);
+        t.install(rule(1)).unwrap();
+        t.install(rule(2)).unwrap();
+        assert_eq!(t.utilization(), 0.5);
+        assert_eq!(TcamTable::new(0).utilization(), 1.0);
+    }
+
+    #[test]
+    fn eviction_removes_oldest_first() {
+        let mut t = TcamTable::new(8);
+        for p in 1..=5 {
+            t.install(rule(p)).unwrap();
+        }
+        let evicted = t.evict_oldest(2);
+        assert_eq!(evicted, vec![rule(1), rule(2)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.contains(&rule(1)));
+        // Evicting more than present drains the table.
+        let evicted = t.evict_oldest(10);
+        assert_eq!(evicted.len(), 3);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_where_filters_in_place() {
+        let mut t = TcamTable::new(8);
+        for p in 1..=6 {
+            t.install(rule(p)).unwrap();
+        }
+        let removed = t.remove_where(|r| r.matcher.ports.start % 2 == 0);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_field() {
+        let mut t = TcamTable::new(4);
+        t.install(rule(80)).unwrap();
+        let (orig, corrupted) = t.corrupt(0, CorruptionKind::VrfBit).unwrap();
+        assert_eq!(orig, rule(80));
+        assert_ne!(corrupted, orig);
+        assert_eq!(corrupted.matcher.vrf, VrfId::new(100));
+        assert_eq!(corrupted.matcher.src_epg, orig.matcher.src_epg);
+        assert!(t.contains(&corrupted));
+        assert!(!t.contains(&orig));
+        assert!(t.corrupt(5, CorruptionKind::VrfBit).is_none());
+    }
+
+    #[test]
+    fn every_corruption_kind_changes_the_rule() {
+        let r = rule(80);
+        for kind in CorruptionKind::ALL {
+            let c = kind.apply(&r);
+            assert_ne!(c, r, "corruption {kind:?} must alter the rule");
+        }
+    }
+
+    #[test]
+    fn action_flip_round_trips() {
+        let r = rule(80);
+        let flipped = CorruptionKind::ActionFlip.apply(&r);
+        assert_eq!(flipped.action, Action::Deny);
+        let back = CorruptionKind::ActionFlip.apply(&flipped);
+        assert_eq!(back.action, Action::Allow);
+    }
+
+    #[test]
+    fn port_corruption_keeps_range_valid() {
+        // Port 0 flips to 1; port 1 flips to 0; either way start <= end.
+        for p in [0u16, 1, 80, 65535] {
+            let c = CorruptionKind::PortBit.apply(&rule(p));
+            assert!(c.matcher.ports.start <= c.matcher.ports.end);
+        }
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = TcamTable::new(4);
+        t.install(rule(80)).unwrap();
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

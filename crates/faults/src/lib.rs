@@ -1,0 +1,50 @@
+//! # scout-faults
+//!
+//! Fault injection for the SCOUT reproduction (ICDCS 2018).
+//!
+//! The evaluation of the paper (§VI) injects faults that make the deployed
+//! TCAM state diverge from the network policy and then measures how well the
+//! localization algorithms recover the truly faulty objects. This crate
+//! provides:
+//!
+//! * [`FaultInjector`] — seeded injection of *full* and *partial* object
+//!   faults (§VI-A) with [`GroundTruth`] bookkeeping for precision/recall;
+//! * the [`physical`] module — the named physical-level scenarios of §V-B
+//!   (unresponsive switch, agent crash mid-update, TCAM corruption, silent
+//!   rule eviction).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use scout_fabric::Fabric;
+//! use scout_faults::FaultInjector;
+//! use scout_policy::sample;
+//!
+//! let mut fabric = Fabric::new(sample::three_tier());
+//! fabric.deploy();
+//! let mut injector = FaultInjector::new(StdRng::seed_from_u64(7));
+//! let truth = injector.inject_object_faults(&mut fabric, 2);
+//! assert_eq!(truth.objects().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model_faults;
+pub mod object_faults;
+pub mod physical;
+
+pub use model_faults::{
+    candidate_objects_on_switch, synthesize_fault_on, synthesize_fault_on_switch,
+    synthesize_object_faults, synthesize_switch_scoped_faults, synthetic_change_log,
+    SyntheticFaults, Violation,
+};
+pub use object_faults::{
+    rules_for_object, FaultInjector, GroundTruth, InjectedFault, ObjectFaultKind,
+};
+pub use physical::{
+    agent_crash_mid_update, random_tcam_corruption, silent_rule_eviction, unresponsive_switch,
+    PhysicalFault,
+};

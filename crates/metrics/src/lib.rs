@@ -1,0 +1,89 @@
+//! # scout-metrics
+//!
+//! Evaluation metrics and small reporting utilities for the SCOUT reproduction
+//! (ICDCS 2018): precision/recall/F1 against an injected ground truth, the
+//! suspect-set reduction ratio γ, empirical CDFs (Figure 3), per-bin summaries
+//! (Figure 7), run statistics (mean ± stddev over repetitions) and aligned
+//! text tables for the benchmark harness output.
+//!
+//! # Example
+//!
+//! ```
+//! use std::collections::BTreeSet;
+//! use scout_metrics::Accuracy;
+//! use scout_policy::{FilterId, ObjectId};
+//!
+//! let truth: BTreeSet<ObjectId> = [ObjectId::Filter(FilterId::new(1))].into_iter().collect();
+//! let hypothesis = truth.clone();
+//! let acc = Accuracy::of(&truth, &hypothesis);
+//! assert_eq!(acc.precision, 1.0);
+//! assert_eq!(acc.recall, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod stats;
+pub mod table;
+
+pub use accuracy::{gamma, precision, recall, Accuracy};
+pub use stats::{Bins, Cdf, Summary};
+pub use table::{fmt3, Table};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use scout_policy::{FilterId, ObjectId};
+    use std::collections::BTreeSet;
+
+    fn to_set(ids: &[u32]) -> BTreeSet<ObjectId> {
+        ids.iter().map(|&i| ObjectId::Filter(FilterId::new(i))).collect()
+    }
+
+    proptest! {
+        /// Precision and recall are always in [0, 1] and symmetric in the
+        /// expected way: swapping G and H swaps precision and recall.
+        #[test]
+        fn precision_recall_bounds_and_duality(
+            g in proptest::collection::vec(0u32..20, 0..10),
+            h in proptest::collection::vec(0u32..20, 0..10),
+        ) {
+            let g = to_set(&g);
+            let h = to_set(&h);
+            let acc = Accuracy::of(&g, &h);
+            prop_assert!((0.0..=1.0).contains(&acc.precision));
+            prop_assert!((0.0..=1.0).contains(&acc.recall));
+            prop_assert!((0.0..=1.0).contains(&acc.f1()));
+            let swapped = Accuracy::of(&h, &g);
+            if !g.is_empty() && !h.is_empty() {
+                prop_assert!((acc.precision - swapped.recall).abs() < 1e-12);
+                prop_assert!((acc.recall - swapped.precision).abs() < 1e-12);
+            }
+        }
+
+        /// CDF fractions are monotone and reach 1 at the maximum sample.
+        #[test]
+        fn cdf_is_monotone(samples in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let cdf = Cdf::of(samples.iter().copied());
+            let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((cdf.fraction_le(max) - 1.0).abs() < 1e-12);
+            let mut prev = 0.0;
+            for x in [0.0, 10.0, 25.0, 50.0, 75.0, 100.0] {
+                let f = cdf.fraction_le(x);
+                prop_assert!(f + 1e-12 >= prev);
+                prev = f;
+            }
+        }
+
+        /// Summary mean always lies between min and max.
+        #[test]
+        fn summary_mean_within_bounds(samples in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+            let s = Summary::of(samples.iter().copied());
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.stddev >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Plain-text table rendering for the benchmark harness output.
+//!
+//! The per-figure binaries print the rows the paper reports (precision/recall
+//! per fault count, γ per suspect-set bin, …); this small renderer keeps the
+//! output aligned and copy-pastable into EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Missing cells render as empty; extra cells are kept.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.column_widths();
+        if !self.title.is_empty() {
+            writeln!(f, "# {}", self.title)?;
+        }
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total.saturating_sub(2)))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three decimals, the precision used throughout the
+/// experiment output.
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["faults", "precision", "recall"]);
+        t.row(["1", "1.000", "1.000"]);
+        t.row(["10", "0.915", "0.887"]);
+        let text = t.to_string();
+        assert!(text.contains("# demo"));
+        assert!(text.contains("faults"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator and two data rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y", "extra"]);
+        let text = t.to_string();
+        assert!(text.contains("only-one"));
+        assert!(text.contains("extra"));
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+}

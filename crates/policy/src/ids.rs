@@ -1,0 +1,310 @@
+//! Strongly-typed identifiers for every policy and physical object.
+//!
+//! Every object class managed by the controller gets its own newtype id so that
+//! switch ids, EPG ids, VRF ids and so on can never be confused with each other
+//! (see C-NEWTYPE in the Rust API guidelines). The generic [`ObjectId`] enum is
+//! the union used wherever a *shared risk* can be any object class, e.g. in the
+//! risk models and in the localization hypothesis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates a new id from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric index of this id.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a tenant (an administrative domain owning policies).
+    TenantId,
+    "tenant-"
+);
+define_id!(
+    /// Identifier of a virtual routing and forwarding (VRF) context.
+    VrfId,
+    "vrf-"
+);
+define_id!(
+    /// Identifier of an endpoint group (EPG).
+    EpgId,
+    "epg-"
+);
+define_id!(
+    /// Identifier of an individual endpoint (server, VM, middlebox port).
+    EndpointId,
+    "ep-"
+);
+define_id!(
+    /// Identifier of a contract (glue between EPGs and filters).
+    ContractId,
+    "contract-"
+);
+define_id!(
+    /// Identifier of a filter (set of allow entries on protocol/port).
+    FilterId,
+    "filter-"
+);
+define_id!(
+    /// Identifier of a physical leaf switch.
+    SwitchId,
+    "switch-"
+);
+
+/// The class of a policy or physical object.
+///
+/// This mirrors the object classes the paper treats as shared risks
+/// (Figure 3: switches, VRFs, EPGs, filters, contracts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// A virtual routing and forwarding context.
+    Vrf,
+    /// An endpoint group.
+    Epg,
+    /// A contract binding EPGs to filters.
+    Contract,
+    /// A filter (protocol/port allow entries).
+    Filter,
+    /// A physical leaf switch.
+    Switch,
+}
+
+impl ObjectClass {
+    /// All object classes, in a stable order.
+    pub const ALL: [ObjectClass; 5] = [
+        ObjectClass::Vrf,
+        ObjectClass::Epg,
+        ObjectClass::Contract,
+        ObjectClass::Filter,
+        ObjectClass::Switch,
+    ];
+
+    /// Short human-readable name of the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectClass::Vrf => "vrf",
+            ObjectClass::Epg => "epg",
+            ObjectClass::Contract => "contract",
+            ObjectClass::Filter => "filter",
+            ObjectClass::Switch => "switch",
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A reference to any object that can act as a *shared risk* in the risk models.
+///
+/// Shared risks are the right-hand side of the bipartite risk models (§III-B of
+/// the paper): VRFs, EPGs, contracts, filters and, in the controller risk model,
+/// physical switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjectId {
+    /// A VRF object.
+    Vrf(VrfId),
+    /// An EPG object.
+    Epg(EpgId),
+    /// A contract object.
+    Contract(ContractId),
+    /// A filter object.
+    Filter(FilterId),
+    /// A physical switch.
+    Switch(SwitchId),
+}
+
+impl ObjectId {
+    /// Returns the class of the referenced object.
+    pub fn class(self) -> ObjectClass {
+        match self {
+            ObjectId::Vrf(_) => ObjectClass::Vrf,
+            ObjectId::Epg(_) => ObjectClass::Epg,
+            ObjectId::Contract(_) => ObjectClass::Contract,
+            ObjectId::Filter(_) => ObjectClass::Filter,
+            ObjectId::Switch(_) => ObjectClass::Switch,
+        }
+    }
+
+    /// Returns the raw numeric index, discarding the class.
+    pub fn raw(self) -> u32 {
+        match self {
+            ObjectId::Vrf(id) => id.raw(),
+            ObjectId::Epg(id) => id.raw(),
+            ObjectId::Contract(id) => id.raw(),
+            ObjectId::Filter(id) => id.raw(),
+            ObjectId::Switch(id) => id.raw(),
+        }
+    }
+
+    /// Returns `true` if this object is a filter.
+    pub fn is_filter(self) -> bool {
+        matches!(self, ObjectId::Filter(_))
+    }
+
+    /// Returns `true` if this object is a physical switch.
+    pub fn is_switch(self) -> bool {
+        matches!(self, ObjectId::Switch(_))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectId::Vrf(id) => write!(f, "{id}"),
+            ObjectId::Epg(id) => write!(f, "{id}"),
+            ObjectId::Contract(id) => write!(f, "{id}"),
+            ObjectId::Filter(id) => write!(f, "{id}"),
+            ObjectId::Switch(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<VrfId> for ObjectId {
+    fn from(id: VrfId) -> Self {
+        ObjectId::Vrf(id)
+    }
+}
+
+impl From<EpgId> for ObjectId {
+    fn from(id: EpgId) -> Self {
+        ObjectId::Epg(id)
+    }
+}
+
+impl From<ContractId> for ObjectId {
+    fn from(id: ContractId) -> Self {
+        ObjectId::Contract(id)
+    }
+}
+
+impl From<FilterId> for ObjectId {
+    fn from(id: FilterId) -> Self {
+        ObjectId::Filter(id)
+    }
+}
+
+impl From<SwitchId> for ObjectId {
+    fn from(id: SwitchId) -> Self {
+        ObjectId::Switch(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn id_display_uses_class_prefix() {
+        assert_eq!(VrfId::new(101).to_string(), "vrf-101");
+        assert_eq!(EpgId::new(7).to_string(), "epg-7");
+        assert_eq!(ContractId::new(3).to_string(), "contract-3");
+        assert_eq!(FilterId::new(80).to_string(), "filter-80");
+        assert_eq!(SwitchId::new(2).to_string(), "switch-2");
+        assert_eq!(EndpointId::new(1).to_string(), "ep-1");
+        assert_eq!(TenantId::new(0).to_string(), "tenant-0");
+    }
+
+    #[test]
+    fn id_roundtrips_through_u32() {
+        let id = EpgId::from(42u32);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn object_id_class_matches_variant() {
+        assert_eq!(ObjectId::Vrf(VrfId::new(1)).class(), ObjectClass::Vrf);
+        assert_eq!(ObjectId::Epg(EpgId::new(1)).class(), ObjectClass::Epg);
+        assert_eq!(
+            ObjectId::Contract(ContractId::new(1)).class(),
+            ObjectClass::Contract
+        );
+        assert_eq!(
+            ObjectId::Filter(FilterId::new(1)).class(),
+            ObjectClass::Filter
+        );
+        assert_eq!(
+            ObjectId::Switch(SwitchId::new(1)).class(),
+            ObjectClass::Switch
+        );
+    }
+
+    #[test]
+    fn object_id_from_impls_preserve_raw_value() {
+        assert_eq!(ObjectId::from(VrfId::new(9)).raw(), 9);
+        assert_eq!(ObjectId::from(EpgId::new(8)).raw(), 8);
+        assert_eq!(ObjectId::from(ContractId::new(7)).raw(), 7);
+        assert_eq!(ObjectId::from(FilterId::new(6)).raw(), 6);
+        assert_eq!(ObjectId::from(SwitchId::new(5)).raw(), 5);
+    }
+
+    #[test]
+    fn object_ids_of_different_classes_are_distinct() {
+        let mut set = BTreeSet::new();
+        set.insert(ObjectId::Vrf(VrfId::new(1)));
+        set.insert(ObjectId::Epg(EpgId::new(1)));
+        set.insert(ObjectId::Filter(FilterId::new(1)));
+        set.insert(ObjectId::Contract(ContractId::new(1)));
+        set.insert(ObjectId::Switch(SwitchId::new(1)));
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn object_class_names_are_unique() {
+        let names: BTreeSet<_> = ObjectClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), ObjectClass::ALL.len());
+    }
+
+    #[test]
+    fn is_filter_and_is_switch_helpers() {
+        assert!(ObjectId::Filter(FilterId::new(0)).is_filter());
+        assert!(!ObjectId::Filter(FilterId::new(0)).is_switch());
+        assert!(ObjectId::Switch(SwitchId::new(0)).is_switch());
+        assert!(!ObjectId::Vrf(VrfId::new(0)).is_filter());
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(EpgId::new(1) < EpgId::new(2));
+        assert!(ObjectId::Vrf(VrfId::new(1)) < ObjectId::Vrf(VrfId::new(2)));
+    }
+}

@@ -1,0 +1,144 @@
+//! EPG-pair abstractions — the "affected elements" of the risk models.
+//!
+//! In the switch risk model the affected element is an [`EpgPair`] deployed on a
+//! given switch; in the controller risk model it is a [`SwitchEpgPair`] triplet
+//! (switch id + EPG pair) so that a failure limited to one switch can be
+//! distinguished from a global one (§III-B of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EpgId, SwitchId};
+
+/// An unordered pair of EPGs that are allowed to communicate through at least
+/// one contract.
+///
+/// The pair is normalized so that `a <= b`; `EpgPair::new(x, y)` and
+/// `EpgPair::new(y, x)` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EpgPair {
+    /// The smaller EPG id of the pair.
+    pub a: EpgId,
+    /// The larger EPG id of the pair.
+    pub b: EpgId,
+}
+
+impl EpgPair {
+    /// Creates a normalized pair from two EPG ids (order does not matter).
+    pub fn new(x: EpgId, y: EpgId) -> Self {
+        if x <= y {
+            Self { a: x, b: y }
+        } else {
+            Self { a: y, b: x }
+        }
+    }
+
+    /// Returns `true` if `epg` is one of the two members.
+    pub fn contains(&self, epg: EpgId) -> bool {
+        self.a == epg || self.b == epg
+    }
+
+    /// Returns the member other than `epg`, or `None` if `epg` is not a member.
+    pub fn other(&self, epg: EpgId) -> Option<EpgId> {
+        if self.a == epg {
+            Some(self.b)
+        } else if self.b == epg {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Returns both members as an array `[a, b]`.
+    pub fn members(&self) -> [EpgId; 2] {
+        [self.a, self.b]
+    }
+
+    /// Returns `true` if the two EPGs are the same (intra-EPG pair).
+    pub fn is_intra(&self) -> bool {
+        self.a == self.b
+    }
+}
+
+impl fmt::Display for EpgPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}~{}", self.a, self.b)
+    }
+}
+
+/// A (switch, EPG pair) triplet — the affected element of the controller risk
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchEpgPair {
+    /// The switch on which the pair's rules should be deployed.
+    pub switch: SwitchId,
+    /// The EPG pair.
+    pub pair: EpgPair,
+}
+
+impl SwitchEpgPair {
+    /// Creates a triplet for `pair` deployed on `switch`.
+    pub fn new(switch: SwitchId, pair: EpgPair) -> Self {
+        Self { switch, pair }
+    }
+}
+
+impl fmt::Display for SwitchEpgPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.switch, self.pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_order_insensitive() {
+        let p1 = EpgPair::new(EpgId::new(5), EpgId::new(2));
+        let p2 = EpgPair::new(EpgId::new(2), EpgId::new(5));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.a, EpgId::new(2));
+        assert_eq!(p1.b, EpgId::new(5));
+    }
+
+    #[test]
+    fn contains_and_other() {
+        let p = EpgPair::new(EpgId::new(1), EpgId::new(2));
+        assert!(p.contains(EpgId::new(1)));
+        assert!(p.contains(EpgId::new(2)));
+        assert!(!p.contains(EpgId::new(3)));
+        assert_eq!(p.other(EpgId::new(1)), Some(EpgId::new(2)));
+        assert_eq!(p.other(EpgId::new(2)), Some(EpgId::new(1)));
+        assert_eq!(p.other(EpgId::new(3)), None);
+    }
+
+    #[test]
+    fn intra_pair_detection() {
+        assert!(EpgPair::new(EpgId::new(4), EpgId::new(4)).is_intra());
+        assert!(!EpgPair::new(EpgId::new(4), EpgId::new(5)).is_intra());
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = EpgPair::new(EpgId::new(1), EpgId::new(2));
+        assert_eq!(p.to_string(), "epg-1~epg-2");
+        let t = SwitchEpgPair::new(SwitchId::new(3), p);
+        assert_eq!(t.to_string(), "switch-3:epg-1~epg-2");
+    }
+
+    #[test]
+    fn members_returns_sorted_pair() {
+        let p = EpgPair::new(EpgId::new(9), EpgId::new(3));
+        assert_eq!(p.members(), [EpgId::new(3), EpgId::new(9)]);
+    }
+
+    #[test]
+    fn triplets_with_different_switches_are_distinct() {
+        let pair = EpgPair::new(EpgId::new(1), EpgId::new(2));
+        let t1 = SwitchEpgPair::new(SwitchId::new(1), pair);
+        let t2 = SwitchEpgPair::new(SwitchId::new(2), pair);
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,126 @@
+//! The canonical 3-tier Web/App/DB example policy of Figure 1.
+//!
+//! The example mirrors the paper exactly: a tenant intent allowing port 80
+//! between Web and App, and ports 80 and 700 between App and DB, deployed on a
+//! three-switch fabric with one endpoint per tier (EP1 on S1, EP2 on S2, EP3 on
+//! S3). It is used throughout the unit tests of the other crates and by the
+//! quickstart example.
+
+use crate::ids::{ContractId, EndpointId, EpgId, FilterId, SwitchId, TenantId, VrfId};
+use crate::object::{
+    Contract, ContractBinding, Endpoint, Epg, Filter, FilterEntry, Switch, Tenant, Vrf,
+};
+use crate::universe::PolicyUniverse;
+
+/// The tenant of the example.
+pub const TENANT: TenantId = TenantId::new(1);
+/// VRF 101 of Figure 1.
+pub const VRF: VrfId = VrfId::new(101);
+/// EPG "Web".
+pub const WEB: EpgId = EpgId::new(1);
+/// EPG "App".
+pub const APP: EpgId = EpgId::new(2);
+/// EPG "DB".
+pub const DB: EpgId = EpgId::new(3);
+/// Filter allowing TCP port 80.
+pub const F_HTTP: FilterId = FilterId::new(1);
+/// Filter allowing TCP port 700.
+pub const F_700: FilterId = FilterId::new(2);
+/// Contract "Web-App".
+pub const C_WEB_APP: ContractId = ContractId::new(1);
+/// Contract "App-DB".
+pub const C_APP_DB: ContractId = ContractId::new(2);
+/// Leaf switch S1 (hosts EP1 ∈ Web).
+pub const S1: SwitchId = SwitchId::new(1);
+/// Leaf switch S2 (hosts EP2 ∈ App).
+pub const S2: SwitchId = SwitchId::new(2);
+/// Leaf switch S3 (hosts EP3 ∈ DB).
+pub const S3: SwitchId = SwitchId::new(3);
+/// Endpoint EP1 ∈ Web on S1.
+pub const EP1: EndpointId = EndpointId::new(1);
+/// Endpoint EP2 ∈ App on S2.
+pub const EP2: EndpointId = EndpointId::new(2);
+/// Endpoint EP3 ∈ DB on S3.
+pub const EP3: EndpointId = EndpointId::new(3);
+
+/// Builds the 3-tier example universe of Figure 1.
+///
+/// # Panics
+///
+/// Never panics: the example is statically well-formed.
+pub fn three_tier() -> PolicyUniverse {
+    three_tier_with_capacity(Switch::DEFAULT_TCAM_CAPACITY)
+}
+
+/// Builds the 3-tier example with an explicit per-switch TCAM capacity, used by
+/// the TCAM-overflow use case.
+pub fn three_tier_with_capacity(tcam_capacity: usize) -> PolicyUniverse {
+    let mut b = PolicyUniverse::builder();
+    b.tenant(Tenant::new(TENANT, "3tier"))
+        .vrf(Vrf::new(VRF, "vrf-101", TENANT))
+        .epg(Epg::new(WEB, "Web", VRF))
+        .epg(Epg::new(APP, "App", VRF))
+        .epg(Epg::new(DB, "DB", VRF))
+        .switch(Switch::with_capacity(S1, "S1", tcam_capacity))
+        .switch(Switch::with_capacity(S2, "S2", tcam_capacity))
+        .switch(Switch::with_capacity(S3, "S3", tcam_capacity))
+        .endpoint(Endpoint::new(EP1, "EP1", WEB, S1))
+        .endpoint(Endpoint::new(EP2, "EP2", APP, S2))
+        .endpoint(Endpoint::new(EP3, "EP3", DB, S3))
+        .filter(Filter::new(
+            F_HTTP,
+            "port-80",
+            vec![FilterEntry::allow_tcp_port(80)],
+        ))
+        .filter(Filter::new(
+            F_700,
+            "port-700",
+            vec![FilterEntry::allow_tcp_port(700)],
+        ))
+        .contract(Contract::new(C_WEB_APP, "Web-App", vec![F_HTTP]))
+        .contract(Contract::new(C_APP_DB, "App-DB", vec![F_HTTP, F_700]))
+        .bind(ContractBinding::new(WEB, APP, C_WEB_APP))
+        .bind(ContractBinding::new(APP, DB, C_APP_DB));
+    b.build()
+        .expect("the built-in 3-tier example policy is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+    use crate::pair::EpgPair;
+
+    #[test]
+    fn example_builds() {
+        let u = three_tier();
+        assert_eq!(u.stats().epg_pairs, 2);
+        assert_eq!(u.stats().switches, 3);
+    }
+
+    #[test]
+    fn example_capacity_is_configurable() {
+        let u = three_tier_with_capacity(4);
+        assert_eq!(u.switch(S1).unwrap().tcam_capacity, 4);
+        assert_eq!(u.switch(S3).unwrap().tcam_capacity, 4);
+    }
+
+    #[test]
+    fn app_db_pair_uses_both_filters() {
+        let u = three_tier();
+        let objs = u.objects_for_pair(EpgPair::new(APP, DB));
+        assert!(objs.contains(&ObjectId::Filter(F_HTTP)));
+        assert!(objs.contains(&ObjectId::Filter(F_700)));
+    }
+
+    #[test]
+    fn endpoint_placement_matches_figure_1() {
+        let u = three_tier();
+        assert_eq!(u.endpoint(EP1).unwrap().switch, S1);
+        assert_eq!(u.endpoint(EP2).unwrap().switch, S2);
+        assert_eq!(u.endpoint(EP3).unwrap().switch, S3);
+        assert_eq!(u.endpoint(EP1).unwrap().epg, WEB);
+        assert_eq!(u.endpoint(EP2).unwrap().epg, APP);
+        assert_eq!(u.endpoint(EP3).unwrap().epg, DB);
+    }
+}

@@ -1,0 +1,93 @@
+//! # scout-workload
+//!
+//! Synthetic network-policy workloads for the SCOUT reproduction (ICDCS 2018).
+//!
+//! The paper evaluates against policies that are not publicly available: a
+//! production cluster (6 VRFs, 615 EPGs, 386 contracts, 160 filters on ≈30
+//! switches) and a physical testbed policy derived from it (36 EPGs,
+//! 24 contracts, 9 filters, ≈100 EPG pairs). This crate provides deterministic,
+//! seeded generators calibrated to those published statistics:
+//!
+//! * [`ClusterSpec`] — the production-cluster-like policy (Figure 3 sharing
+//!   shape, used by the simulation experiments of Figures 7(b), 8 and 9);
+//! * [`TestbedSpec`] — the small testbed policy (Figures 7(a) and 10);
+//! * [`ScaleSpec`] — the per-switch replicated policy used by the scalability
+//!   experiment (10 → 500 leaf switches);
+//! * the [`mutate`] module — targeted policy edits (add/remove a filter on a
+//!   contract) used by the dynamic-change use cases of §V-B.
+//!
+//! # Example
+//!
+//! ```
+//! use scout_workload::ClusterSpec;
+//!
+//! let universe = ClusterSpec::small().generate(7);
+//! assert_eq!(universe.stats().vrfs, 3);
+//! assert!(universe.stats().epg_pairs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod mutate;
+pub mod scale;
+pub mod testbed;
+
+pub use cluster::ClusterSpec;
+pub use mutate::{add_filter_to_contract, next_filter_id, remove_filter_from_contract};
+pub use scale::ScaleSpec;
+pub use testbed::TestbedSpec;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any small cluster spec with positive counts builds a valid universe
+        /// whose pairs all have a non-empty dependency closure.
+        #[test]
+        fn generated_clusters_are_well_formed(
+            seed in 0u64..1000,
+            vrfs in 1usize..4,
+            epgs in 4usize..40,
+            contracts in 2usize..20,
+            filters in 1usize..8,
+            switches in 1usize..6,
+        ) {
+            let spec = ClusterSpec {
+                vrfs,
+                epgs,
+                contracts,
+                filters,
+                switches,
+                max_endpoints_per_epg: 2,
+                hub_contract_fraction: 0.2,
+                max_hub_fanout: 20,
+                tcam_capacity: 1024,
+            };
+            let u = spec.generate(seed);
+            prop_assert_eq!(u.stats().vrfs, vrfs);
+            prop_assert_eq!(u.stats().epgs, epgs);
+            for pair in u.epg_pairs() {
+                let objs = u.objects_for_pair(pair);
+                // VRF + 2 EPGs + ≥1 contract + ≥1 filter.
+                prop_assert!(objs.len() >= 5, "closure too small: {}", objs.len());
+            }
+        }
+
+        /// Testbed generation never produces more pairs than EPG combinations
+        /// and stays deterministic.
+        #[test]
+        fn testbed_bounds(seed in 0u64..500) {
+            let spec = TestbedSpec::paper();
+            let u = spec.generate(seed);
+            let pairs = u.stats().epg_pairs;
+            prop_assert!(pairs <= spec.epgs * (spec.epgs - 1) / 2);
+            prop_assert_eq!(u, spec.generate(seed));
+        }
+    }
+}

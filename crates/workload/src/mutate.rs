@@ -1,0 +1,174 @@
+//! Policy mutation helpers.
+//!
+//! The use cases of §V-B of the paper exercise *dynamic* policy changes — for
+//! example, "continuously adding one new filter after another to the
+//! Contract:App-DB object" until the switch TCAM overflows. [`PolicyUniverse`]
+//! is immutable by design, so these helpers rebuild a new universe with one
+//! targeted change applied; the fabric's `update_policy` then derives the
+//! incremental instructions and change-log entries from the difference.
+
+use scout_policy::{
+    Contract, ContractId, Filter, FilterEntry, FilterId, PolicyUniverse, PortRange, Protocol,
+};
+
+/// Clones everything except contracts and bindings into a fresh builder; the
+/// caller then adds the (possibly modified) contracts and the bindings.
+fn clone_base(universe: &PolicyUniverse) -> scout_policy::PolicyBuilder {
+    let mut builder = PolicyUniverse::builder();
+    for t in universe.tenants() {
+        builder.tenant(t.clone());
+    }
+    for v in universe.vrfs() {
+        builder.vrf(v.clone());
+    }
+    for e in universe.epgs() {
+        builder.epg(e.clone());
+    }
+    for s in universe.switches() {
+        builder.switch(s.clone());
+    }
+    for ep in universe.endpoints() {
+        builder.endpoint(ep.clone());
+    }
+    for f in universe.filters() {
+        builder.filter(f.clone());
+    }
+    builder
+}
+
+/// Returns a new universe in which a brand-new single-port TCP filter has been
+/// created and appended to `contract`'s filter list.
+///
+/// Returns `None` if the contract does not exist. The new filter gets the id
+/// `new_filter` (must be unused) and allows TCP traffic on `port`.
+pub fn add_filter_to_contract(
+    universe: &PolicyUniverse,
+    contract: ContractId,
+    new_filter: FilterId,
+    port: u16,
+) -> Option<PolicyUniverse> {
+    universe.contract(contract)?;
+    if universe.filter(new_filter).is_some() {
+        return None;
+    }
+    let mut builder = clone_base(universe);
+    builder.filter(Filter::new(
+        new_filter,
+        format!("added-port-{port}"),
+        vec![FilterEntry::allow(Protocol::Tcp, PortRange::single(port))],
+    ));
+    for c in universe.contracts() {
+        if c.id == contract {
+            let mut filters = c.filters.clone();
+            filters.push(new_filter);
+            builder.contract(Contract::new(c.id, c.name.clone(), filters));
+        } else {
+            builder.contract(c.clone());
+        }
+    }
+    for b in universe.bindings() {
+        builder.bind(*b);
+    }
+    builder.build().ok()
+}
+
+/// Returns a new universe with `filter` removed from `contract`'s filter list
+/// (the filter object itself is kept so other contracts can still use it).
+///
+/// Returns `None` if the contract does not exist, does not reference the
+/// filter, or would become empty.
+pub fn remove_filter_from_contract(
+    universe: &PolicyUniverse,
+    contract: ContractId,
+    filter: FilterId,
+) -> Option<PolicyUniverse> {
+    let existing = universe.contract(contract)?;
+    if !existing.filters.contains(&filter) || existing.filters.len() == 1 {
+        return None;
+    }
+    let mut builder = clone_base(universe);
+    for c in universe.contracts() {
+        if c.id == contract {
+            let filters: Vec<FilterId> =
+                c.filters.iter().copied().filter(|&f| f != filter).collect();
+            builder.contract(Contract::new(c.id, c.name.clone(), filters));
+        } else {
+            builder.contract(c.clone());
+        }
+    }
+    for b in universe.bindings() {
+        builder.bind(*b);
+    }
+    builder.build().ok()
+}
+
+/// The smallest unused filter id in `universe`, for incremental additions.
+pub fn next_filter_id(universe: &PolicyUniverse) -> FilterId {
+    let max = universe.filters().map(|f| f.id.raw()).max().unwrap_or(0);
+    FilterId::new(max + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_policy::sample;
+
+    #[test]
+    fn add_filter_grows_the_contract() {
+        let u = sample::three_tier();
+        let new_id = next_filter_id(&u);
+        let updated = add_filter_to_contract(&u, sample::C_APP_DB, new_id, 8443).unwrap();
+        assert_eq!(updated.filters().count(), 3);
+        assert!(updated
+            .contract(sample::C_APP_DB)
+            .unwrap()
+            .filters
+            .contains(&new_id));
+        // The other contract is untouched.
+        assert_eq!(updated.contract(sample::C_WEB_APP).unwrap().filters.len(), 1);
+    }
+
+    #[test]
+    fn add_filter_rejects_unknown_contract_and_reused_id() {
+        let u = sample::three_tier();
+        assert!(add_filter_to_contract(&u, ContractId::new(99), FilterId::new(50), 80).is_none());
+        assert!(add_filter_to_contract(&u, sample::C_APP_DB, sample::F_HTTP, 80).is_none());
+    }
+
+    #[test]
+    fn remove_filter_shrinks_the_contract() {
+        let u = sample::three_tier();
+        let updated = remove_filter_from_contract(&u, sample::C_APP_DB, sample::F_700).unwrap();
+        assert_eq!(
+            updated.contract(sample::C_APP_DB).unwrap().filters,
+            vec![sample::F_HTTP]
+        );
+        // The filter object still exists.
+        assert!(updated.filter(sample::F_700).is_some());
+    }
+
+    #[test]
+    fn remove_filter_refuses_to_empty_a_contract() {
+        let u = sample::three_tier();
+        assert!(remove_filter_from_contract(&u, sample::C_WEB_APP, sample::F_HTTP).is_none());
+        assert!(remove_filter_from_contract(&u, sample::C_APP_DB, FilterId::new(77)).is_none());
+    }
+
+    #[test]
+    fn next_filter_id_is_unused() {
+        let u = sample::three_tier();
+        let id = next_filter_id(&u);
+        assert!(u.filter(id).is_none());
+    }
+
+    #[test]
+    fn repeated_additions_keep_building() {
+        let mut u = sample::three_tier();
+        for i in 0..5 {
+            let id = next_filter_id(&u);
+            u = add_filter_to_contract(&u, sample::C_APP_DB, id, 9000 + i).unwrap();
+        }
+        assert_eq!(u.contract(sample::C_APP_DB).unwrap().filters.len(), 2 + 5);
+        assert_eq!(u.filters().count(), 2 + 5);
+    }
+}

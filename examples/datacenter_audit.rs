@@ -1,0 +1,71 @@
+//! Use case 3 of §V-B: "too many missing rules".
+//!
+//! A large policy (a scaled-down version of the paper's production cluster) is
+//! pushed while one switch is unresponsive, so every rule destined for that
+//! switch goes missing — the paper observed more than 300 K missing rules in
+//! this situation. Without fault localization an operator would have to sift
+//! through thousands of suspect objects; SCOUT narrows the problem down to the
+//! unresponsive switch.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example datacenter_audit
+//! ```
+
+use scout::core::ScoutSystem;
+use scout::fabric::{Fabric, FaultKind};
+use scout::policy::ObjectId;
+use scout::workload::ClusterSpec;
+
+fn main() {
+    // A cluster-like policy: 3 VRFs, 60 EPGs, 40 contracts, 16 filters on 8
+    // switches (use ClusterSpec::paper() for the full-size dataset).
+    let universe = ClusterSpec::small().generate(42);
+    println!("generated cluster policy: {:?}", universe.stats());
+
+    let victim = universe.switch_ids()[0];
+    let mut fabric = Fabric::new(universe);
+
+    // The victim switch never answers the controller during the deployment.
+    fabric.disconnect_switch(victim);
+    let report = fabric.deploy();
+    println!(
+        "deployment pushed {} instructions; {} were lost towards {}",
+        report.instructions_sent,
+        report.lost_in_channel(),
+        victim
+    );
+
+    let analysis = ScoutSystem::new().analyze_fabric(&fabric);
+    println!("\n--- SCOUT report ---");
+    println!("missing rules          : {}", analysis.missing_rule_count());
+    println!("failed (switch, pair)s : {}", analysis.observations.len());
+    println!("suspect objects        : {}", analysis.suspect_objects.len());
+    println!("hypothesis size        : {}", analysis.hypothesis.len());
+    println!("suspect-set reduction γ: {:.4}", analysis.gamma());
+
+    println!("\nhypothesis:");
+    for (object, _) in analysis.hypothesis.iter() {
+        println!("  - {object}");
+    }
+    println!("\nmost likely root causes:");
+    for (kind, count) in analysis.diagnosis.most_likely() {
+        println!("  {kind}: explains {count} objects");
+    }
+
+    assert!(
+        analysis.hypothesis.contains(ObjectId::Switch(victim)),
+        "the unresponsive switch must be part of the hypothesis"
+    );
+    assert!(analysis
+        .diagnosis
+        .causes_by_kind()
+        .contains_key(&FaultKind::SwitchUnreachable));
+    assert!(analysis.gamma() < 0.2);
+    println!(
+        "\nSCOUT reduced {} suspects to {} objects and blamed {} (unreachable switch)",
+        analysis.suspect_objects.len(),
+        analysis.hypothesis.len(),
+        victim
+    );
+}

@@ -1,0 +1,74 @@
+//! Use case 1 of §V-B: TCAM overflow.
+//!
+//! The tenant keeps adding filters to the Contract:App-DB object of the 3-tier
+//! policy. The switches have a deliberately tiny TCAM, so at some point the
+//! installs start failing and the switch raises TCAM-overflow faults. SCOUT
+//! localizes the filters whose rules never made it into hardware, and the
+//! event correlation engine tags them with the TCAM-overflow signature.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example tcam_overflow
+//! ```
+
+use scout::core::ScoutSystem;
+use scout::fabric::{Fabric, FaultKind};
+use scout::policy::sample;
+use scout::workload::{add_filter_to_contract, next_filter_id};
+
+fn main() {
+    // Switches with room for only 8 TCAM entries each.
+    let mut universe = sample::three_tier_with_capacity(8);
+    let mut fabric = Fabric::new(universe.clone());
+    fabric.deploy();
+    println!(
+        "initial deployment: S2 holds {} / {} TCAM entries",
+        fabric.tcam_rules(sample::S2).len(),
+        8
+    );
+
+    // The tenant keeps adding one filter after another to Contract:App-DB.
+    for i in 0..6 {
+        let filter = next_filter_id(&universe);
+        let port = 9000 + i;
+        universe = add_filter_to_contract(&universe, sample::C_APP_DB, filter, port)
+            .expect("the contract exists and the filter id is fresh");
+        let report = fabric.update_policy(universe.clone());
+        println!(
+            "added filter {filter} (tcp/{port}): {} instructions, {} rejected by TCAM",
+            report.instructions_sent, report.rules_rejected
+        );
+    }
+
+    println!(
+        "\nS2 TCAM utilization: {}/{} entries; overflow faults logged: {}",
+        fabric.tcam_rules(sample::S2).len(),
+        8,
+        fabric
+            .fault_log()
+            .entries_of_kind(FaultKind::TcamOverflow)
+            .len()
+    );
+
+    // Run the end-to-end analysis.
+    let analysis = ScoutSystem::new().analyze_fabric(&fabric);
+    println!("\n--- SCOUT report ---");
+    println!("missing rules   : {}", analysis.missing_rule_count());
+    println!("suspect objects : {}", analysis.suspect_objects.len());
+    println!("hypothesis      : {} objects", analysis.hypothesis.len());
+    for (object, _) in analysis.hypothesis.iter() {
+        println!("  - {object}");
+    }
+
+    println!("\n--- most likely physical root causes ---");
+    for (kind, objects) in analysis.diagnosis.most_likely() {
+        println!("  {kind}: explains {objects} faulty objects");
+    }
+
+    let by_kind = analysis.diagnosis.causes_by_kind();
+    assert!(
+        by_kind.contains_key(&FaultKind::TcamOverflow),
+        "the correlation engine must tag the failed filters with TCAM overflow"
+    );
+    println!("\nthe failed filters are correctly attributed to TCAM overflow");
+}

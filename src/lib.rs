@@ -1,0 +1,74 @@
+//! # scout
+//!
+//! Facade crate for the SCOUT reproduction: *Fault Localization in Large-Scale
+//! Network Policy Deployment* (Tammana, Nagarajan, Mamillapalli, Kompella,
+//! Lee — ICDCS 2018).
+//!
+//! SCOUT localizes *faulty policy objects* — VRFs, EPGs, contracts, filters and
+//! switches — when a high-level network policy is not rendered correctly as
+//! low-level TCAM rules, and then correlates the faulty objects with
+//! physical-level root causes (TCAM overflow, unreachable switch, agent crash,
+//! …).
+//!
+//! This crate simply re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`policy`] | `scout-policy` | APIC-like object model, policy universe, TCAM rules |
+//! | [`bdd`] | `scout-bdd` | ROBDD engine used by the equivalence checker |
+//! | [`fabric`] | `scout-fabric` | deterministic controller/switch/TCAM simulator with change & fault logs |
+//! | [`equiv`] | `scout-equiv` | L–T equivalence checker (missing-rule detection) |
+//! | [`faults`] | `scout-faults` | object-level and physical-level fault injection |
+//! | [`workload`] | `scout-workload` | cluster / testbed / scaling policy generators |
+//! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, end-to-end system |
+//! | [`metrics`] | `scout-metrics` | precision/recall/γ, CDFs, run statistics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scout::core::ScoutSystem;
+//! use scout::fabric::Fabric;
+//! use scout::policy::{sample, ObjectId};
+//!
+//! // Deploy the paper's 3-tier Web/App/DB example policy.
+//! let mut fabric = Fabric::new(sample::three_tier());
+//! fabric.deploy();
+//!
+//! // Something goes wrong: the port-700 rules silently vanish from the TCAMs.
+//! for switch in [sample::S2, sample::S3] {
+//!     fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+//! }
+//!
+//! // SCOUT detects the inconsistency and localizes the faulty object.
+//! let report = ScoutSystem::new().analyze_fabric(&fabric);
+//! assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use scout_bdd as bdd;
+pub use scout_core as core;
+pub use scout_equiv as equiv;
+pub use scout_fabric as fabric;
+pub use scout_faults as faults;
+pub use scout_metrics as metrics;
+pub use scout_policy as policy;
+pub use scout_workload as workload;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use scout_core::{
+        score_localize, scout_localize, CorrelationEngine, Hypothesis, RiskModel, ScoutConfig,
+        ScoutReport, ScoutSystem,
+    };
+    pub use scout_equiv::EquivalenceChecker;
+    pub use scout_fabric::{Fabric, FaultKind};
+    pub use scout_faults::{FaultInjector, ObjectFaultKind};
+    pub use scout_metrics::{Accuracy, Cdf, Summary};
+    pub use scout_policy::{
+        sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
+    };
+    pub use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
+}

@@ -1,0 +1,100 @@
+//! The three example use cases of §V-B of the paper, reproduced end to end:
+//! TCAM overflow, an unresponsive switch during policy updates, and the
+//! "too many missing rules" scenario on a large policy.
+
+use scout::core::{Evidence, ScoutSystem};
+use scout::fabric::{Fabric, FaultKind};
+use scout::policy::{sample, ObjectId};
+use scout::workload::{add_filter_to_contract, next_filter_id, ClusterSpec};
+
+/// §V-B "TCAM overflow": filters added to Contract:App-DB until the TCAM is
+/// full. The failed filters are localized and tagged with the TCAM-overflow
+/// signature.
+#[test]
+fn tcam_overflow_use_case() {
+    let mut universe = sample::three_tier_with_capacity(8);
+    let mut fabric = Fabric::new(universe.clone());
+    fabric.deploy();
+
+    let mut rejected_total = 0;
+    for i in 0..6u16 {
+        let filter = next_filter_id(&universe);
+        universe = add_filter_to_contract(&universe, sample::C_APP_DB, filter, 9000 + i)
+            .expect("fresh filter id on an existing contract");
+        rejected_total += fabric.update_policy(universe.clone()).rules_rejected;
+    }
+    assert!(rejected_total > 0, "the tiny TCAM must eventually overflow");
+    assert!(!fabric
+        .fault_log()
+        .entries_of_kind(FaultKind::TcamOverflow)
+        .is_empty());
+
+    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    assert!(!report.is_consistent());
+    // At least one of the added filters is in the hypothesis.
+    let added_filters: Vec<ObjectId> = (3..9).map(|i| ObjectId::Filter(i.into())).collect();
+    assert!(added_filters.iter().any(|f| report.hypothesis.contains(*f)));
+    // And the dominant root cause is TCAM overflow.
+    let most_likely = report.diagnosis.most_likely();
+    assert_eq!(most_likely.first().map(|(k, _)| *k), Some(FaultKind::TcamOverflow));
+}
+
+/// §V-B "Unresponsive switch": filters are added while S2 is unreachable. The
+/// filters are localized through the change-log stage and correlated with the
+/// switch-unreachable fault that was active when they were created.
+#[test]
+fn unresponsive_switch_use_case() {
+    let mut universe = sample::three_tier();
+    let mut fabric = Fabric::new(universe.clone());
+    fabric.deploy();
+    fabric.disconnect_switch(sample::S2);
+
+    let mut added = Vec::new();
+    for port in [8080u16, 8443] {
+        let filter = next_filter_id(&universe);
+        universe = add_filter_to_contract(&universe, sample::C_APP_DB, filter, port).unwrap();
+        let push = fabric.update_policy(universe.clone());
+        assert!(push.lost_in_channel() > 0);
+        added.push(filter);
+    }
+
+    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    assert!(!report.is_consistent());
+    for filter in &added {
+        let object = ObjectId::Filter(*filter);
+        assert!(report.hypothesis.contains(object), "missing {object}");
+        assert!(matches!(
+            report.hypothesis.evidence(object),
+            Some(Evidence::RecentChange { .. })
+        ));
+        // The diagnosis for each filter points at the unreachable switch.
+        let diagnosis = report.diagnosis.for_object(object).unwrap();
+        assert!(diagnosis.fault_kinds().contains(&FaultKind::SwitchUnreachable));
+    }
+}
+
+/// §V-B "Too many missing rules": a large policy is pushed onto a fabric whose
+/// first switch never responds, causing a flood of missing rules. SCOUT boils
+/// the flood down to the unresponsive switch.
+#[test]
+fn too_many_missing_rules_use_case() {
+    let universe = ClusterSpec::small().generate(42);
+    let victim = universe.switch_ids()[0];
+    let mut fabric = Fabric::new(universe);
+    fabric.disconnect_switch(victim);
+    let push = fabric.deploy();
+    assert!(push.lost_in_channel() > 50, "the victim switch loses its whole rule set");
+
+    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    assert!(!report.is_consistent());
+    assert!(report.missing_rule_count() > 50);
+    // Far fewer hypothesis objects than suspects, and the switch is blamed.
+    assert!(report.hypothesis.len() <= 3);
+    assert!(report.suspect_objects.len() > 20);
+    assert!(report.hypothesis.contains(ObjectId::Switch(victim)));
+    assert!(report.gamma() < 0.2);
+    assert!(report
+        .diagnosis
+        .causes_by_kind()
+        .contains_key(&FaultKind::SwitchUnreachable));
+}
