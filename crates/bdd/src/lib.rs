@@ -41,7 +41,8 @@ pub use manager::{Bdd, BddManager, BddOp, Var};
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     /// A tiny boolean expression AST used to cross-check BDD semantics against
     /// direct evaluation.
@@ -90,71 +91,111 @@ mod proptests {
 
     const NUM_VARS: u32 = 5;
 
-    fn expr_strategy() -> impl Strategy<Value = Expr> {
-        let leaf = (0..NUM_VARS).prop_map(Expr::Var);
-        leaf.prop_recursive(4, 32, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            ]
-        })
+    /// Generates a random expression over `NUM_VARS` variables with bounded
+    /// depth, exercising every operator.
+    fn random_expr(rng: &mut StdRng, depth: u32) -> Expr {
+        if depth == 0 || rng.gen_bool(0.3) {
+            return Expr::Var(rng.gen_range(0..NUM_VARS));
+        }
+        let a = Box::new(random_expr(rng, depth - 1));
+        match rng.gen_range(0u8..4) {
+            0 => Expr::Not(a),
+            1 => Expr::And(a, Box::new(random_expr(rng, depth - 1))),
+            2 => Expr::Or(a, Box::new(random_expr(rng, depth - 1))),
+            _ => Expr::Xor(a, Box::new(random_expr(rng, depth - 1))),
+        }
     }
 
     fn all_assignments(n: u32) -> impl Iterator<Item = Vec<bool>> {
         (0..(1u32 << n)).map(move |bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
     }
 
-    proptest! {
-        #[test]
-        fn bdd_matches_truth_table(expr in expr_strategy()) {
+    const CASES: u64 = 200;
+
+    #[test]
+    fn bdd_matches_truth_table() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let expr = random_expr(&mut rng, 4);
             let mut m = BddManager::new(NUM_VARS);
             let bdd = expr.to_bdd(&mut m);
             for assignment in all_assignments(NUM_VARS) {
-                prop_assert_eq!(m.eval(bdd, &assignment), expr.eval(&assignment));
+                assert_eq!(
+                    m.eval(bdd, &assignment),
+                    expr.eval(&assignment),
+                    "seed {seed}: {expr:?} at {assignment:?}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn sat_count_matches_truth_table(expr in expr_strategy()) {
+    #[test]
+    fn sat_count_matches_truth_table() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let expr = random_expr(&mut rng, 4);
             let mut m = BddManager::new(NUM_VARS);
             let bdd = expr.to_bdd(&mut m);
-            let expected = all_assignments(NUM_VARS)
-                .filter(|a| expr.eval(a))
-                .count() as f64;
-            prop_assert!((m.sat_count(bdd) - expected).abs() < 1e-9);
+            let expected = all_assignments(NUM_VARS).filter(|a| expr.eval(a)).count() as f64;
+            assert!(
+                (m.sat_count(bdd) - expected).abs() < 1e-9,
+                "seed {seed}: {expr:?}"
+            );
         }
+    }
 
-        #[test]
-        fn equivalent_expressions_get_equal_handles(expr in expr_strategy()) {
+    #[test]
+    fn equivalent_expressions_get_equal_handles() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let expr = random_expr(&mut rng, 4);
             let mut m = BddManager::new(NUM_VARS);
             let bdd = expr.to_bdd(&mut m);
             // Double negation and OR with self are semantic no-ops.
             let neg = m.not(bdd);
             let double_neg = m.not(neg);
-            prop_assert!(m.equivalent(bdd, double_neg));
+            assert!(m.equivalent(bdd, double_neg), "seed {seed}");
             let or_self = m.or(bdd, bdd);
-            prop_assert!(m.equivalent(bdd, or_self));
+            assert!(m.equivalent(bdd, or_self), "seed {seed}");
         }
+    }
 
-        #[test]
-        fn any_sat_model_satisfies(expr in expr_strategy()) {
+    #[test]
+    fn any_sat_model_satisfies() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let expr = random_expr(&mut rng, 4);
             let mut m = BddManager::new(NUM_VARS);
             let bdd = expr.to_bdd(&mut m);
             match m.any_sat(bdd) {
-                Some(model) => prop_assert!(m.eval(bdd, &model)),
-                None => prop_assert!(bdd.is_false()),
+                Some(model) => assert!(m.eval(bdd, &model), "seed {seed}"),
+                None => assert!(bdd.is_false(), "seed {seed}"),
             }
         }
+    }
 
-        #[test]
-        fn range_encoding_matches_interval(width in 1u32..10, lo in 0u64..512, hi in 0u64..512) {
+    #[test]
+    fn implies_fast_path_agrees_with_diff() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a_expr = random_expr(&mut rng, 4);
+            let b_expr = random_expr(&mut rng, 4);
+            let mut m = BddManager::new(NUM_VARS);
+            let a = a_expr.to_bdd(&mut m);
+            let b = b_expr.to_bdd(&mut m);
+            let via_diff = m.diff(a, b).is_false();
+            assert_eq!(m.implies(a, b), via_diff, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn range_encoding_matches_interval() {
+        for seed in 0..60 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let width = rng.gen_range(1u32..10);
             let max = (1u64 << width) - 1;
-            let lo = lo.min(max);
-            let hi = hi.min(max);
+            let lo = rng.gen_range(0u64..512).min(max);
+            let hi = rng.gen_range(0u64..512).min(max);
             let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
             let enc = FieldEncoder::new(0, width);
             let mut m = BddManager::new(width);
@@ -162,7 +203,11 @@ mod proptests {
             for v in 0..=max {
                 let exact = enc.exact(&mut m, v);
                 let in_range = m.and(exact, range);
-                prop_assert_eq!(m.is_satisfiable(in_range), (lo..=hi).contains(&v));
+                assert_eq!(
+                    m.is_satisfiable(in_range),
+                    (lo..=hi).contains(&v),
+                    "seed {seed}: v={v} in [{lo}, {hi}]"
+                );
             }
         }
     }

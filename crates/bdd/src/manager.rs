@@ -90,9 +90,7 @@ impl BddOp {
                     Some(Bdd::FALSE)
                 } else if a.is_true() {
                     Some(b)
-                } else if b.is_true() {
-                    Some(a)
-                } else if a == b {
+                } else if b.is_true() || a == b {
                     Some(a)
                 } else {
                     None
@@ -103,9 +101,7 @@ impl BddOp {
                     Some(Bdd::TRUE)
                 } else if a.is_false() {
                     Some(b)
-                } else if b.is_false() {
-                    Some(a)
-                } else if a == b {
+                } else if b.is_false() || a == b {
                     Some(a)
                 } else {
                     None
@@ -160,6 +156,7 @@ pub struct BddManager {
     unique: HashMap<Node, Bdd>,
     op_cache: HashMap<(BddOp, Bdd, Bdd), Bdd>,
     not_cache: HashMap<Bdd, Bdd>,
+    implies_cache: HashMap<(Bdd, Bdd), bool>,
     num_vars: u32,
 }
 
@@ -186,6 +183,7 @@ impl BddManager {
             unique: HashMap::new(),
             op_cache: HashMap::new(),
             not_cache: HashMap::new(),
+            implies_cache: HashMap::new(),
             num_vars,
         }
     }
@@ -438,8 +436,52 @@ impl BddManager {
     }
 
     /// Returns `true` if `a` implies `b` (i.e. `a ∧ ¬b` is unsatisfiable).
+    ///
+    /// Unlike computing `diff(a, b)` and testing for `FALSE`, this fast path
+    /// never materializes intermediate nodes: it walks the two diagrams'
+    /// cofactors directly, short-circuits on the first counterexample, and
+    /// memoizes verdicts in a dedicated cache. On the equivalence checker's
+    /// hot path (thousands of `rule ⊆ allowed-space` subset tests) this keeps
+    /// the node table from growing with throw-away difference diagrams.
     pub fn implies(&mut self, a: Bdd, b: Bdd) -> bool {
-        self.diff(a, b).is_false()
+        // Terminal and identity short-circuits, mirroring BddOp::Diff.
+        if a.is_false() || b.is_true() || a == b {
+            return true;
+        }
+        if b.is_false() {
+            // a is not FALSE here.
+            return false;
+        }
+        if a.is_true() {
+            // In a reduced diagram only TRUE denotes the tautology.
+            return false;
+        }
+        if let Some(&cached) = self.implies_cache.get(&(a, b)) {
+            return cached;
+        }
+        let top = self.var_of(a).min(self.var_of(b));
+        let (a_low, a_high) = self.cofactors(a, top);
+        let (b_low, b_high) = self.cofactors(b, top);
+        let result = self.implies(a_low, b_low) && self.implies(a_high, b_high);
+        self.implies_cache.insert((a, b), result);
+        result
+    }
+
+    /// Number of entries across the operation caches (apply, not, implies).
+    ///
+    /// Useful to monitor the memory footprint of a long-lived manager.
+    pub fn cache_len(&self) -> usize {
+        self.op_cache.len() + self.not_cache.len() + self.implies_cache.len()
+    }
+
+    /// Drops every memoized operation result while keeping the node table.
+    ///
+    /// Existing [`Bdd`] handles stay valid; subsequent operations re-derive
+    /// (and re-memoize) their results.
+    pub fn clear_op_caches(&mut self) {
+        self.op_cache.clear();
+        self.not_cache.clear();
+        self.implies_cache.clear();
     }
 }
 
@@ -604,5 +646,31 @@ mod tests {
     fn var_out_of_range_panics() {
         let mut m = BddManager::new(2);
         let _ = m.var(5);
+    }
+
+    #[test]
+    fn implies_does_not_materialize_nodes() {
+        let mut m = BddManager::new(8);
+        let vars: Vec<Bdd> = (0..8).map(|i| m.var(i)).collect();
+        let narrow = m.and_all(vars.iter().copied().take(4));
+        let wide = m.or_all(vars.iter().copied());
+        let before = m.node_count();
+        assert!(m.implies(narrow, wide));
+        assert!(!m.implies(wide, narrow));
+        assert_eq!(m.node_count(), before, "implies must not allocate nodes");
+    }
+
+    #[test]
+    fn implies_results_survive_cache_clear() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let both = m.and(x, y);
+        assert!(m.implies(both, x));
+        assert!(m.cache_len() > 0);
+        m.clear_op_caches();
+        assert_eq!(m.cache_len(), 0);
+        assert!(m.implies(both, x));
+        assert!(!m.implies(x, both));
     }
 }

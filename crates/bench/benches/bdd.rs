@@ -1,8 +1,7 @@
-//! Criterion micro-benchmarks for the ROBDD engine: encoding rule sets into
-//! the packet header space and checking them for equivalence.
+//! Micro-benchmarks for the ROBDD engine: encoding rule sets into the packet
+//! header space and checking them for equivalence.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use scout_bench::harness::Harness;
 use scout_equiv::HeaderSpace;
 use scout_policy::{EpgId, PortRange, Protocol, RuleMatch, TcamRule, VrfId};
 
@@ -13,47 +12,33 @@ fn rules(count: usize) -> Vec<TcamRule> {
                 VrfId::new((i % 6) as u32),
                 EpgId::new((i % 40) as u32),
                 EpgId::new(((i * 7) % 40) as u32),
-                if i % 3 == 0 { Protocol::Udp } else { Protocol::Tcp },
+                if i % 3 == 0 {
+                    Protocol::Udp
+                } else {
+                    Protocol::Tcp
+                },
                 PortRange::single((1024 + i % 500) as u16),
             ))
         })
         .collect()
 }
 
-fn bench_bdd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bdd");
-    group.sample_size(10);
-
+fn main() {
+    let mut h = Harness::new("bdd");
     for &count in &[64usize, 256, 1024] {
         let rule_set = rules(count);
-        group.bench_with_input(
-            BenchmarkId::new("allowed-space", count),
-            &count,
-            |b, _| {
-                let hs = HeaderSpace::new();
-                b.iter(|| {
-                    let mut manager = hs.manager();
-                    hs.allowed_space(&mut manager, &rule_set)
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("equivalence-check", count),
-            &count,
-            |b, _| {
-                let hs = HeaderSpace::new();
-                b.iter(|| {
-                    let mut manager = hs.manager();
-                    let a = hs.allowed_space(&mut manager, &rule_set);
-                    let reversed: Vec<TcamRule> = rule_set.iter().rev().copied().collect();
-                    let bdd = hs.allowed_space(&mut manager, &reversed);
-                    manager.equivalent(a, bdd)
-                });
-            },
-        );
+        let hs = HeaderSpace::new();
+        h.bench(&format!("allowed-space/{count}"), || {
+            let mut manager = hs.manager();
+            hs.allowed_space(&mut manager, &rule_set)
+        });
+        h.bench(&format!("equivalence-check/{count}"), || {
+            let mut manager = hs.manager();
+            let a = hs.allowed_space(&mut manager, &rule_set);
+            let reversed: Vec<TcamRule> = rule_set.iter().rev().copied().collect();
+            let b = hs.allowed_space(&mut manager, &reversed);
+            manager.equivalent(a, b)
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_bdd);
-criterion_main!(benches);

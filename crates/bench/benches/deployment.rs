@@ -1,46 +1,26 @@
-//! Criterion micro-benchmarks for policy compilation and full fabric
-//! deployment (controller → channels → agents → TCAM).
+//! Micro-benchmarks for policy compilation and full fabric deployment
+//! (controller → channels → agents → TCAM).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use scout_bench::harness::Harness;
 use scout_fabric::{compile, Fabric};
 use scout_workload::{ClusterSpec, TestbedSpec};
 
-fn bench_deployment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("deployment");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("deployment");
 
     let testbed = TestbedSpec::paper().generate(1);
-    group.bench_function("compile/testbed", |b| {
-        b.iter(|| compile(&testbed));
-    });
-    group.bench_function("deploy/testbed", |b| {
-        b.iter(|| {
-            let mut fabric = Fabric::new(testbed.clone());
-            fabric.deploy()
-        });
+    h.bench("compile/testbed", || compile(&testbed));
+    h.bench("deploy/testbed", || {
+        let mut fabric = Fabric::new(testbed.clone());
+        fabric.deploy()
     });
 
     let small_cluster = ClusterSpec::small().generate(1);
-    group.bench_with_input(
-        BenchmarkId::new("compile", "small-cluster"),
-        &small_cluster,
-        |b, universe| {
-            b.iter(|| compile(universe));
-        },
-    );
-    group.bench_with_input(
-        BenchmarkId::new("deploy", "small-cluster"),
-        &small_cluster,
-        |b, universe| {
-            b.iter(|| {
-                let mut fabric = Fabric::new(universe.clone());
-                fabric.deploy()
-            });
-        },
-    );
-    group.finish();
-}
+    h.bench("compile/small-cluster", || compile(&small_cluster));
+    h.bench("deploy/small-cluster", || {
+        let mut fabric = Fabric::new(small_cluster.clone());
+        fabric.deploy()
+    });
 
-criterion_group!(benches, bench_deployment);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,16 +1,14 @@
-//! Criterion micro-benchmarks for the L–T equivalence checker on deployed
-//! policies: the consistent case (fast path) and the case with missing rules
-//! (missing-rule extraction).
+//! Micro-benchmarks for the L–T equivalence checker on deployed policies: the
+//! consistent case (fast path) and the case with missing rules (missing-rule
+//! extraction).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use scout_bench::harness::Harness;
 use scout_equiv::EquivalenceChecker;
 use scout_fabric::Fabric;
 use scout_workload::TestbedSpec;
 
-fn bench_equivalence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("equivalence");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("equivalence");
 
     for &pairs in &[50usize, 100, 200] {
         let spec = TestbedSpec {
@@ -23,12 +21,12 @@ fn bench_equivalence(c: &mut Criterion) {
         };
         let mut fabric = Fabric::new(spec.generate(1));
         fabric.deploy();
-        let checker = EquivalenceChecker::new();
         let logical = fabric.logical_rules().to_vec();
         let tcam = fabric.collect_tcam();
 
-        group.bench_with_input(BenchmarkId::new("consistent", pairs), &pairs, |b, _| {
-            b.iter(|| checker.check_network(&logical, &tcam));
+        h.bench(&format!("consistent/{pairs}"), || {
+            let checker = EquivalenceChecker::new();
+            checker.check_network(&logical, &tcam)
         });
 
         // Break ~10% of the rules on one switch and measure the slow path.
@@ -41,16 +39,11 @@ fn bench_equivalence(c: &mut Criterion) {
             removed <= total / 10 + 1
         });
         let broken_tcam = broken.collect_tcam();
-        group.bench_with_input(
-            BenchmarkId::new("with-missing-rules", pairs),
-            &pairs,
-            |b, _| {
-                b.iter(|| checker.check_network(&logical, &broken_tcam));
-            },
-        );
+        h.bench(&format!("with-missing-rules/{pairs}"), || {
+            let checker = EquivalenceChecker::new();
+            checker.check_network(&logical, &broken_tcam)
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_equivalence);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,18 +1,17 @@
-//! Criterion micro-benchmarks for the localization algorithms: SCOUT and the
-//! SCORE baseline on controller risk models of increasing size (the scaling
+//! Micro-benchmarks for the localization algorithms: SCOUT and the SCORE
+//! baseline on controller risk models of increasing size (the scaling
 //! workload of §VI-B).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use scout_bench::harness::Harness;
 use scout_core::{controller_risk_model, score_localize, scout_localize, ScoutConfig};
 use scout_faults::{synthesize_object_faults, synthetic_change_log};
 use scout_workload::ScaleSpec;
 
-fn bench_localization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("localization");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("localization");
 
     for &switches in &[10usize, 25, 50] {
         let universe = ScaleSpec::with_switches(switches).generate(1);
@@ -23,30 +22,16 @@ fn bench_localization(c: &mut Criterion) {
         let mut model = base.clone();
         faults.apply_to_controller_model(&mut model);
 
-        group.bench_with_input(
-            BenchmarkId::new("scout", switches),
-            &switches,
-            |b, _| {
-                b.iter(|| scout_localize(&model, &change_log, ScoutConfig::default()));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("score-1.0", switches),
-            &switches,
-            |b, _| {
-                b.iter(|| score_localize(&model, 1.0));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("build-model", switches),
-            &switches,
-            |b, _| {
-                b.iter(|| controller_risk_model(&universe));
-            },
-        );
+        h.bench(&format!("scout/{switches}"), || {
+            scout_localize(&model, &change_log, ScoutConfig::default())
+        });
+        h.bench(&format!("score-1.0/{switches}"), || {
+            score_localize(&model, 1.0)
+        });
+        h.bench(&format!("build-model/{switches}"), || {
+            controller_risk_model(&universe)
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_localization);
-criterion_main!(benches);
+    h.finish();
+}

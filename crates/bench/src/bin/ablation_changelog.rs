@@ -11,8 +11,8 @@
 //! cargo run --release -p scout-bench --bin ablation_changelog -- --runs 30
 //! ```
 
-use scout_bench::experiments::{accuracy_table, changelog_ablation};
 use scout_bench::arg_value;
+use scout_bench::experiments::{accuracy_table, changelog_ablation};
 use scout_workload::ClusterSpec;
 
 fn main() {
@@ -32,6 +32,9 @@ fn main() {
     let rows = changelog_ablation(&universe, &fault_counts, runs, seed);
     println!(
         "{}",
-        accuracy_table("Ablation — SCOUT with and without the change-log stage", &rows)
+        accuracy_table(
+            "Ablation — SCOUT with and without the change-log stage",
+            &rows
+        )
     );
 }

@@ -43,9 +43,7 @@ fn main() {
         } else {
             ClusterSpec::paper()
         };
-        eprintln!(
-            "figure 7(b): {faults} single faults on the {scale} cluster policy, seed {seed}"
-        );
+        eprintln!("figure 7(b): {faults} single faults on the {scale} cluster policy, seed {seed}");
         let universe = spec.generate(seed);
         let bins = suspect_reduction(
             &universe,

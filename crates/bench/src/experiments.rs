@@ -74,7 +74,9 @@ pub fn sharing_table(cdfs: &SharingCdfs) -> Table {
     let thresholds = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
     let mut table = Table::new(
         "Figure 3 — CDF of #EPG pairs per object (fraction of objects <= threshold)",
-        &["class", "objects", "<=1", "<=10", "<=100", "<=1k", "<=10k", "p50", "max"],
+        &[
+            "class", "objects", "<=1", "<=10", "<=100", "<=1k", "<=10k", "p50", "max",
+        ],
     );
     for (class, cdf) in &cdfs.per_class {
         let mut cells = vec![class.to_string(), cdf.len().to_string()];
@@ -200,12 +202,9 @@ pub fn accuracy_sweep(
             let truth = injected.objects.clone();
 
             let outcomes: Vec<(String, BTreeSet<ObjectId>)> = match kind {
-                ModelKind::Controller => controller_outcomes(
-                    &base_controller,
-                    &injected,
-                    &change_log,
-                    score_thresholds,
-                ),
+                ModelKind::Controller => {
+                    controller_outcomes(&base_controller, &injected, &change_log, score_thresholds)
+                }
                 ModelKind::Switch => switch_outcomes(
                     &base_switch,
                     model_switch.expect("switch chosen for the switch-model experiment"),
@@ -294,10 +293,7 @@ fn switch_outcomes(
     change_log: &scout_fabric::ChangeLog,
     score_thresholds: &[f64],
 ) -> Vec<(String, BTreeSet<ObjectId>)> {
-    let mut model = base
-        .get(&switch)
-        .cloned()
-        .unwrap_or_else(RiskModel::new);
+    let mut model = base.get(&switch).cloned().unwrap_or_else(RiskModel::new);
     injected.apply_to_switch_model(&mut model, switch);
     let mut outcomes = Vec::new();
     let scout = scout_localize(&model, change_log, ScoutConfig::default());
@@ -344,7 +340,7 @@ pub fn testbed_accuracy(
 
             // SCORE baseline on the same augmented controller risk model.
             let mut model = controller_risk_model(fabric.universe());
-            augment_controller_model(&mut model, &report.check.missing_rules());
+            augment_controller_model(&mut model, report.check.missing_rules());
             let score = score_localize(&model, 1.0);
             let score_acc = Accuracy::of(&truth, &score.objects());
             score_p.push(score_acc.precision);
@@ -525,7 +521,13 @@ pub struct ScalabilityPoint {
 pub fn scalability_table(points: &[ScalabilityPoint]) -> Table {
     let mut table = Table::new(
         "Scalability — controller risk model localization time vs. fabric size",
-        &["switches", "elements", "risks", "build (ms)", "localize (ms)"],
+        &[
+            "switches",
+            "elements",
+            "risks",
+            "build (ms)",
+            "localize (ms)",
+        ],
     );
     for p in points {
         table.row([
@@ -542,7 +544,11 @@ pub fn scalability_table(points: &[ScalabilityPoint]) -> Table {
 /// The §VI-B scalability experiment: for each switch count, generate the
 /// scaled policy, build the controller risk model, inject `faults` object
 /// faults and measure the SCOUT localization time.
-pub fn scalability(switch_counts: &[usize], faults: usize, base_seed: u64) -> Vec<ScalabilityPoint> {
+pub fn scalability(
+    switch_counts: &[usize],
+    faults: usize,
+    base_seed: u64,
+) -> Vec<ScalabilityPoint> {
     let mut points = Vec::new();
     for &switches in switch_counts {
         let universe = ScaleSpec::with_switches(switches).generate(base_seed);

@@ -1,0 +1,106 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! The build environment has no crates.io registry, so the workspace cannot
+//! use Criterion; this module provides the small subset the benches need:
+//! adaptive iteration counts, best-of-N sampling and an aligned report table.
+//! Benches are plain `harness = false` binaries calling [`Harness::bench`].
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(120);
+/// Number of samples per benchmark; the fastest is reported.
+const SAMPLES: usize = 3;
+/// Upper bound on iterations per sample, to bound total runtime.
+const MAX_ITERS: u32 = 10_000;
+
+/// Collects named timings and prints them as an aligned table.
+#[derive(Debug, Default)]
+pub struct Harness {
+    group: String,
+    rows: Vec<(String, Duration)>,
+}
+
+impl Harness {
+    /// Creates a harness for a named benchmark group.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, records the result under `label`, and returns the
+    /// best-sample mean time per iteration.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) -> Duration {
+        // Warm-up run, also used to pick the iteration count.
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(50));
+        let iters = u32::try_from(SAMPLE_TARGET.as_nanos() / estimate.as_nanos().max(1))
+            .unwrap_or(MAX_ITERS)
+            .clamp(1, MAX_ITERS);
+
+        let mut best = Duration::MAX;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            best = best.min(start.elapsed() / iters);
+        }
+        self.rows.push((label.to_string(), best));
+        best
+    }
+
+    /// Prints the recorded rows as an aligned table.
+    pub fn finish(self) {
+        let width = self
+            .rows
+            .iter()
+            .map(|(label, _)| label.len())
+            .max()
+            .unwrap_or(0)
+            .max(24);
+        println!("\n== {} ==", self.group);
+        for (label, time) in &self.rows {
+            println!("{label:<width$}  {}", fmt_duration(*time));
+        }
+    }
+}
+
+/// Formats a duration with an appropriate unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_time() {
+        let mut h = Harness::new("test");
+        let t = h.bench("spin", || (0..100u64).sum::<u64>());
+        assert!(t > Duration::ZERO);
+        h.finish();
+    }
+
+    #[test]
+    fn durations_format_with_units() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with("s"));
+    }
+}

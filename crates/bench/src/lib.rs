@@ -1,7 +1,7 @@
 //! # scout-bench
 //!
 //! The benchmark harness of the SCOUT reproduction: one binary per table and
-//! figure of the paper's evaluation (§VI), plus Criterion micro-benchmarks for
+//! figure of the paper's evaluation (§VI), plus micro-benchmarks for
 //! the core data structures.
 //!
 //! | target | reproduces |
@@ -15,12 +15,13 @@
 //! | `ablation_changelog` | §IV-C — contribution of SCOUT's change-log stage |
 //!
 //! The reusable experiment logic lives in [`experiments`] so that the binaries,
-//! the integration tests and the Criterion benches all exercise the same code.
+//! the integration tests and the micro-benches all exercise the same code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{
     accuracy_sweep, accuracy_table, gamma_table, object_sharing, scalability, scalability_table,
@@ -54,7 +55,10 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(arg_value(&args, "--runs", 30usize), 5);
-        assert_eq!(arg_value::<String>(&args, "--setting", "sim".into()), "testbed");
+        assert_eq!(
+            arg_value::<String>(&args, "--setting", "sim".into()),
+            "testbed"
+        );
         assert_eq!(arg_value(&args, "--seed", 42u64), 42);
         assert!(has_flag(&args, "--runs"));
         assert!(!has_flag(&args, "--full"));
@@ -62,7 +66,10 @@ mod tests {
 
     #[test]
     fn arg_value_falls_back_on_malformed_input() {
-        let args: Vec<String> = ["--runs", "not-a-number"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--runs", "not-a-number"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--runs", 30usize), 30);
     }
 }

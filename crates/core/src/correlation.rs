@@ -313,7 +313,7 @@ mod tests {
         let checker = EquivalenceChecker::new();
         let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
         let mut model = controller_risk_model(fabric.universe());
-        augment_controller_model(&mut model, &result.missing_rules());
+        augment_controller_model(&mut model, result.missing_rules());
         scout_localize(&model, fabric.change_log(), ScoutConfig::default())
     }
 

@@ -178,10 +178,7 @@ pub fn scout_localize<E: Ord + Copy>(
         for &risk in &faulty_set {
             affected.extend(work.dependents_of(risk));
         }
-        let newly_explained = unexplained
-            .iter()
-            .filter(|o| affected.contains(o))
-            .count();
+        let newly_explained = unexplained.iter().filter(|o| affected.contains(o)).count();
         hypothesis.explained_by_cover += newly_explained;
         unexplained.retain(|o| !affected.contains(o));
         work.prune_elements(&affected);

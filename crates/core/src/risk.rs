@@ -233,10 +233,7 @@ impl<E: Ord + Copy> RiskModel<E> {
     /// The union of the risks of a set of elements — the *suspect set* a
     /// network admin would have to examine without localization.
     pub fn suspect_set(&self, elements: &BTreeSet<E>) -> BTreeSet<ObjectId> {
-        elements
-            .iter()
-            .flat_map(|e| self.risks_of(e))
-            .collect()
+        elements.iter().flat_map(|e| self.risks_of(e)).collect()
     }
 }
 
@@ -284,12 +281,15 @@ pub fn controller_risk_model(universe: &PolicyUniverse) -> RiskModel<SwitchEpgPa
 /// Augments the switch risk model of `switch` with the missing rules reported
 /// by the equivalence checker: for every missing rule of this switch, the edges
 /// between its EPG pair and the objects in its provenance are marked failed.
-pub fn augment_switch_model(
-    model: &mut RiskModel<EpgPair>,
-    switch: SwitchId,
-    missing_rules: &[LogicalRule],
-) {
-    for rule in missing_rules.iter().filter(|r| r.switch == switch) {
+///
+/// Accepts any stream of rules (e.g. directly from
+/// [`scout_equiv::NetworkCheckResult::missing_rules`]) so the hot reporting
+/// path never has to collect into an intermediate `Vec`.
+pub fn augment_switch_model<I>(model: &mut RiskModel<EpgPair>, switch: SwitchId, missing_rules: I)
+where
+    I: IntoIterator<Item = LogicalRule>,
+{
+    for rule in missing_rules.into_iter().filter(|r| r.switch == switch) {
         let pair = rule.pair();
         for risk in rule.provenance.policy_objects() {
             model.mark_failed(pair, risk);
@@ -300,10 +300,12 @@ pub fn augment_switch_model(
 /// Augments the controller risk model with missing rules from any switch: for
 /// every missing rule, the edges between its `(switch, pair)` triplet and the
 /// objects in its provenance (including the switch) are marked failed.
-pub fn augment_controller_model(
-    model: &mut RiskModel<SwitchEpgPair>,
-    missing_rules: &[LogicalRule],
-) {
+///
+/// Accepts any stream of rules (see [`augment_switch_model`]).
+pub fn augment_controller_model<I>(model: &mut RiskModel<SwitchEpgPair>, missing_rules: I)
+where
+    I: IntoIterator<Item = LogicalRule>,
+{
     for rule in missing_rules {
         let element = SwitchEpgPair::new(rule.switch, rule.pair());
         for risk in rule.provenance.objects_with_switch(rule.switch) {
@@ -388,7 +390,7 @@ mod tests {
         assert_eq!(missing.len(), 2);
 
         let mut s2_model = switch_risk_model(&u, sample::S2);
-        augment_switch_model(&mut s2_model, sample::S2, &missing);
+        augment_switch_model(&mut s2_model, sample::S2, missing.iter().copied());
         let app_db = EpgPair::new(sample::APP, sample::DB);
         assert!(s2_model.is_failed(&app_db));
         assert!(!s2_model.is_failed(&EpgPair::new(sample::WEB, sample::APP)));
@@ -399,7 +401,7 @@ mod tests {
         assert!(!failed.contains(&ObjectId::Filter(sample::F_HTTP)));
 
         let mut c_model = controller_risk_model(&u);
-        augment_controller_model(&mut c_model, &missing);
+        augment_controller_model(&mut c_model, missing.iter().copied());
         let s2_app_db = SwitchEpgPair::new(sample::S2, app_db);
         let s3_app_db = SwitchEpgPair::new(sample::S3, app_db);
         assert!(c_model.is_failed(&s2_app_db));
@@ -422,10 +424,7 @@ mod tests {
             .any(|&r| r == ObjectId::Contract(sample::C_WEB_APP)));
         // Shared risks remain.
         assert!(model.risks().any(|&r| r == ObjectId::Vrf(sample::VRF)));
-        assert_eq!(
-            model.dependents_of(ObjectId::Vrf(sample::VRF)).len(),
-            1
-        );
+        assert_eq!(model.dependents_of(ObjectId::Vrf(sample::VRF)).len(), 1);
     }
 
     #[test]

@@ -92,6 +92,17 @@ pub struct ScoutSystem {
     checker: EquivalenceChecker,
     correlation: CorrelationEngine,
     config: SystemConfig,
+    /// Cached equivalence check for incremental re-analysis, keyed by fabric
+    /// identity and epoch (see [`ScoutSystem::analyze_fabric_incremental`]).
+    cache: Option<CheckCache>,
+}
+
+/// The state [`ScoutSystem::analyze_fabric_incremental`] carries between runs.
+#[derive(Debug, Clone)]
+struct CheckCache {
+    fabric_id: u64,
+    epoch: u64,
+    check: NetworkCheckResult,
 }
 
 impl ScoutSystem {
@@ -107,6 +118,7 @@ impl ScoutSystem {
             checker: EquivalenceChecker::new(),
             correlation: CorrelationEngine::new(),
             config,
+            cache: None,
         }
     }
 
@@ -117,6 +129,7 @@ impl ScoutSystem {
             checker: EquivalenceChecker::new(),
             correlation,
             config,
+            cache: None,
         }
     }
 
@@ -126,6 +139,49 @@ impl ScoutSystem {
             fabric.universe(),
             fabric.logical_rules(),
             &fabric.collect_tcam(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        )
+    }
+
+    /// Analyzes a fabric *incrementally*: only the switches whose TCAM or
+    /// logical rule set changed since this system's previous call are
+    /// re-checked; clean switches reuse the cached result.
+    ///
+    /// The cache is keyed on [`Fabric::id`] and [`Fabric::epoch`], so the
+    /// first call for a given fabric (or a fabric clone, which gets a fresh
+    /// id) falls back to a full check transparently. The produced report is
+    /// identical to [`ScoutSystem::analyze_fabric`]; only the cost differs —
+    /// proportional to the change, not the network.
+    pub fn analyze_fabric_incremental(&mut self, fabric: &Fabric) -> ScoutReport {
+        let check = match &self.cache {
+            Some(cache) if cache.fabric_id == fabric.id() => {
+                // Warm path: fetch TCAM snapshots only for re-checked
+                // switches, so a cycle with k dirty switches copies k
+                // switches' rules — zero for a no-change cycle.
+                let dirty = fabric.dirty_switches_since(cache.epoch);
+                let current: BTreeSet<SwitchId> =
+                    fabric.universe().switch_ids().into_iter().collect();
+                self.checker.recheck_dirty_with(
+                    &cache.check,
+                    fabric.logical_rules(),
+                    &current,
+                    &dirty,
+                    |s| fabric.tcam_rules(s),
+                )
+            }
+            _ => self
+                .checker
+                .check_network(fabric.logical_rules(), &fabric.collect_tcam()),
+        };
+        self.cache = Some(CheckCache {
+            fabric_id: fabric.id(),
+            epoch: fabric.epoch(),
+            check: check.clone(),
+        });
+        self.report_from_check(
+            check,
+            fabric.universe(),
             fabric.change_log(),
             fabric.fault_log(),
         )
@@ -143,17 +199,27 @@ impl ScoutSystem {
         fault_log: &FaultLog,
     ) -> ScoutReport {
         let check = self.checker.check_network(logical_rules, tcam);
-        let missing = check.missing_rules();
+        self.report_from_check(check, universe, change_log, fault_log)
+    }
 
+    /// Builds the localization/diagnosis stages of a report from an
+    /// already-computed equivalence check.
+    fn report_from_check(
+        &self,
+        check: NetworkCheckResult,
+        universe: &PolicyUniverse,
+        change_log: &ChangeLog,
+        fault_log: &FaultLog,
+    ) -> ScoutReport {
         let mut model = controller_risk_model(universe);
-        augment_controller_model(&mut model, &missing);
+        augment_controller_model(&mut model, check.missing_rules());
         let observations = model.failure_signature();
         let suspect_objects = model.suspect_set(&observations);
 
         let hypothesis = scout_localize(&model, change_log, self.config.scout);
-        let diagnosis =
-            self.correlation
-                .correlate(&hypothesis, universe, change_log, fault_log);
+        let diagnosis = self
+            .correlation
+            .correlate(&hypothesis, universe, change_log, fault_log);
 
         ScoutReport {
             check,
@@ -173,10 +239,14 @@ impl ScoutSystem {
         logical_rules: &[LogicalRule],
         tcam: &[TcamRule],
         change_log: &ChangeLog,
-    ) -> (SwitchCheckResult, RiskModel<scout_policy::EpgPair>, Hypothesis) {
+    ) -> (
+        SwitchCheckResult,
+        RiskModel<scout_policy::EpgPair>,
+        Hypothesis,
+    ) {
         let check = self.checker.check_switch(switch, logical_rules, tcam);
         let mut model = switch_risk_model(universe, switch);
-        augment_switch_model(&mut model, switch, &check.missing_rules);
+        augment_switch_model(&mut model, switch, check.missing_rules.iter().copied());
         let hypothesis = scout_localize(&model, change_log, self.config.scout);
         (check, model, hypothesis)
     }
@@ -259,6 +329,47 @@ mod tests {
         assert!(hypothesis.contains(ObjectId::Contract(sample::C_WEB_APP)));
         assert!(!hypothesis.contains(ObjectId::Vrf(sample::VRF)));
         assert!(!hypothesis.contains(ObjectId::Epg(sample::APP)));
+    }
+
+    #[test]
+    fn incremental_analysis_matches_full_analysis() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        let mut system = ScoutSystem::new();
+
+        // Warm run on the healthy fabric.
+        let warm = system.analyze_fabric_incremental(&fabric);
+        assert!(warm.is_consistent());
+
+        // Mutate one switch; the incremental report must match a full one.
+        for switch in [sample::S2, sample::S3] {
+            fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+        }
+        let incremental = system.analyze_fabric_incremental(&fabric);
+        let full = ScoutSystem::new().analyze_fabric(&fabric);
+        assert_eq!(incremental, full);
+        assert!(incremental
+            .hypothesis
+            .contains(ObjectId::Filter(sample::F_700)));
+
+        // A further no-op round trips the cache (nothing dirty).
+        let again = system.analyze_fabric_incremental(&fabric);
+        assert_eq!(again, full);
+    }
+
+    #[test]
+    fn incremental_analysis_survives_fabric_swap() {
+        let mut a = Fabric::new(sample::three_tier());
+        a.deploy();
+        let mut b = a.clone();
+        b.remove_tcam_rules_where(sample::S2, |_| true);
+
+        let mut system = ScoutSystem::new();
+        let _ = system.analyze_fabric_incremental(&a);
+        // Switching to a different fabric (fresh id) must not reuse a's cache.
+        let report_b = system.analyze_fabric_incremental(&b);
+        assert_eq!(report_b, ScoutSystem::new().analyze_fabric(&b));
+        assert!(!report_b.is_consistent());
     }
 
     #[test]

@@ -7,11 +7,34 @@
 //! *missing rules* — logical rules whose traffic is not (fully) allowed by the
 //! deployed TCAM — which is the failure evidence the risk models are augmented
 //! with.
+//!
+//! # Pipeline architecture
+//!
+//! The checker is built for production-scale fabrics (thousands of switches,
+//! continuous re-checking after every change):
+//!
+//! * **Persistent caches** — the checker's BDD workers (one for sequential
+//!   checking plus a pool for threaded checking) survive across calls, so a
+//!   rule appearing on many switches (or across many checks) is encoded into
+//!   the header space once per worker and every apply/implies result stays
+//!   memoized.
+//! * **Indexed logical rules** — [`EquivalenceChecker::check_network`] groups
+//!   the logical rules by switch once (`O(total rules)`) instead of re-scanning
+//!   the full rule list per switch (`O(switches × total rules)`).
+//! * **Parallel checking** — per-switch checks are embarrassingly parallel;
+//!   large networks are split across worker threads, each with its own
+//!   manager. Results are deterministic regardless of thread count.
+//! * **Incremental re-checking** — [`EquivalenceChecker::recheck_dirty`]
+//!   reuses a previous [`NetworkCheckResult`] and only revisits the switches
+//!   whose TCAM (or logical rule set) changed, doing work proportional to the
+//!   change instead of the network.
 
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
+use std::thread;
 
-use scout_policy::{EpgPair, LogicalRule, SwitchId, TcamRule};
+use scout_bdd::{Bdd, BddManager};
+use scout_policy::{Action, EpgPair, LogicalRule, SwitchId, TcamRule};
 
 use crate::header::HeaderSpace;
 
@@ -30,6 +53,16 @@ pub struct SwitchCheckResult {
 }
 
 impl SwitchCheckResult {
+    /// A result reporting `switch` as fully consistent with the policy.
+    pub fn consistent(switch: SwitchId) -> Self {
+        Self {
+            switch,
+            equivalent: true,
+            missing_rules: Vec::new(),
+            unexpected_rules: Vec::new(),
+        }
+    }
+
     /// The EPG pairs affected by the missing rules on this switch.
     pub fn affected_pairs(&self) -> BTreeSet<EpgPair> {
         self.missing_rules.iter().map(|r| r.pair()).collect()
@@ -44,22 +77,30 @@ pub struct NetworkCheckResult {
 }
 
 impl NetworkCheckResult {
+    /// An empty result (no switches checked), identical to `Default`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// `true` if every switch is consistent with the policy.
     pub fn is_consistent(&self) -> bool {
         self.per_switch.values().all(|r| r.equivalent)
     }
 
-    /// All missing rules across switches.
-    pub fn missing_rules(&self) -> Vec<LogicalRule> {
+    /// All missing rules across switches, in switch order, without
+    /// materializing an intermediate `Vec`.
+    pub fn missing_rules(&self) -> impl Iterator<Item = LogicalRule> + '_ {
         self.per_switch
             .values()
             .flat_map(|r| r.missing_rules.iter().copied())
-            .collect()
     }
 
     /// Total number of missing rules.
     pub fn missing_count(&self) -> usize {
-        self.per_switch.values().map(|r| r.missing_rules.len()).sum()
+        self.per_switch
+            .values()
+            .map(|r| r.missing_rules.len())
+            .sum()
     }
 
     /// Switches that are not consistent with the policy.
@@ -72,7 +113,135 @@ impl NetworkCheckResult {
     }
 }
 
+/// When the worker's node table exceeds this bound the manager is rebuilt,
+/// keeping the memory of a long-lived checker bounded.
+const WORKER_NODE_LIMIT: usize = 1 << 20;
+
+/// Networks below this size are checked sequentially even in auto mode; the
+/// per-thread manager warm-up would cost more than it saves.
+const AUTO_PARALLEL_THRESHOLD: usize = 8;
+
+/// A BDD manager plus the memoized per-rule encodings built on top of it.
+///
+/// This is the unit of state the checker keeps per thread: the manager's
+/// hash-consed node table and operation caches persist across switches and
+/// across calls, and `rule_cache` maps every [`TcamRule`] ever encoded to its
+/// diagram so shared rules (the common case — the compiler renders the same
+/// contract onto many switches) are encoded once.
+#[derive(Debug, Clone)]
+struct CheckWorker {
+    manager: BddManager,
+    rule_cache: HashMap<TcamRule, Bdd>,
+}
+
+impl CheckWorker {
+    fn new(header_space: &HeaderSpace) -> Self {
+        Self {
+            manager: header_space.manager(),
+            rule_cache: HashMap::new(),
+        }
+    }
+
+    /// Memoized encoding of one rule's match into the header space.
+    fn rule_match(&mut self, header_space: &HeaderSpace, rule: &TcamRule) -> Bdd {
+        if let Some(&bdd) = self.rule_cache.get(rule) {
+            return bdd;
+        }
+        let bdd = header_space.rule_match(&mut self.manager, rule);
+        self.rule_cache.insert(*rule, bdd);
+        bdd
+    }
+
+    /// Allowed space of an ordered rule set under first-match semantics,
+    /// built from cached per-rule diagrams. The fold itself lives in
+    /// [`crate::header::allowed_space_with`]; only the memoizing encoder is
+    /// supplied here.
+    fn allowed_space(&mut self, header_space: &HeaderSpace, rules: &[TcamRule]) -> Bdd {
+        let Self {
+            manager,
+            rule_cache,
+        } = self;
+        crate::header::allowed_space_with(manager, rules, |m, rule| {
+            *rule_cache
+                .entry(*rule)
+                .or_insert_with(|| header_space.rule_match(m, rule))
+        })
+    }
+
+    /// Checks one switch given its (pre-filtered) logical rules.
+    fn check_switch(
+        &mut self,
+        header_space: &HeaderSpace,
+        switch: SwitchId,
+        logical: &[LogicalRule],
+        tcam: &[TcamRule],
+    ) -> SwitchCheckResult {
+        let logical_rules: Vec<TcamRule> = logical.iter().map(|l| l.rule).collect();
+        let l_allowed = self.allowed_space(header_space, &logical_rules);
+        let t_allowed = self.allowed_space(header_space, tcam);
+
+        let equivalent = self.manager.equivalent(l_allowed, t_allowed);
+        let mut missing_rules = Vec::new();
+        let mut unexpected_rules = Vec::new();
+
+        if !equivalent {
+            // A logical rule is missing if part of its traffic is not allowed
+            // by the deployed TCAM.
+            for l in logical {
+                let space = self.rule_match(header_space, &l.rule);
+                if !self.manager.implies(space, t_allowed) {
+                    missing_rules.push(*l);
+                }
+            }
+            // A deployed rule is unexpected if it allows traffic the policy
+            // does not allow.
+            for t in tcam {
+                if t.action != Action::Allow {
+                    continue;
+                }
+                let space = self.rule_match(header_space, t);
+                let effectively_allowed = self.manager.and(space, t_allowed);
+                if !self.manager.implies(effectively_allowed, l_allowed) {
+                    unexpected_rules.push(*t);
+                }
+            }
+        }
+
+        SwitchCheckResult {
+            switch,
+            equivalent,
+            missing_rules,
+            unexpected_rules,
+        }
+    }
+
+    /// Rebuilds the manager if the node table outgrew the bound.
+    fn maybe_shrink(&mut self, header_space: &HeaderSpace) {
+        if self.manager.node_count() > WORKER_NODE_LIMIT {
+            self.manager = header_space.manager();
+            self.rule_cache.clear();
+        }
+    }
+}
+
+/// How many worker threads [`EquivalenceChecker::check_network`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Decide from the network size and the machine's available parallelism.
+    #[default]
+    Auto,
+    /// Always check sequentially (single thread, maximal cache reuse).
+    Sequential,
+    /// Use exactly this many worker threads (clamped to the switch count).
+    Fixed(usize),
+}
+
 /// The BDD-based L–T equivalence checker.
+///
+/// The checker keeps a persistent, internally synchronized BDD worker so that
+/// repeated calls — the normal mode of operation for a monitor that re-checks
+/// the fabric after every change — reuse rule encodings and operation caches
+/// instead of rebuilding the world.
 ///
 /// # Example
 ///
@@ -87,70 +256,92 @@ impl NetworkCheckResult {
 /// let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
 /// assert!(result.is_consistent());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct EquivalenceChecker {
     header_space: HeaderSpace,
+    parallelism: Parallelism,
+    /// The sequential worker, warm across calls.
+    worker: Mutex<CheckWorker>,
+    /// Parallel workers, returned to this pool after every threaded check so
+    /// their managers and rule caches stay warm across calls too.
+    pool: Mutex<Vec<CheckWorker>>,
+}
+
+impl Default for EquivalenceChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for EquivalenceChecker {
+    /// Clones the configuration; the clone starts with fresh (empty) caches.
+    fn clone(&self) -> Self {
+        Self {
+            header_space: self.header_space.clone(),
+            parallelism: self.parallelism,
+            worker: Mutex::new(CheckWorker::new(&self.header_space)),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl EquivalenceChecker {
-    /// Creates a checker over the standard header space.
+    /// Creates a checker over the standard header space with automatic
+    /// parallelism.
     pub fn new() -> Self {
+        Self::with_parallelism(Parallelism::Auto)
+    }
+
+    /// Creates a checker with an explicit parallelism policy.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        let header_space = HeaderSpace::new();
+        let worker = Mutex::new(CheckWorker::new(&header_space));
         Self {
-            header_space: HeaderSpace::new(),
+            header_space,
+            parallelism,
+            worker,
+            pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Changes the parallelism policy.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Groups logical rules by destination switch.
+    ///
+    /// Building this index once per check replaces the quadratic
+    /// filter-per-switch scan of the naive formulation.
+    pub fn index_by_switch(logical: &[LogicalRule]) -> BTreeMap<SwitchId, Vec<LogicalRule>> {
+        let mut index: BTreeMap<SwitchId, Vec<LogicalRule>> = BTreeMap::new();
+        for &rule in logical {
+            index.entry(rule.switch).or_default().push(rule);
+        }
+        index
     }
 
     /// Checks one switch: compares the logical rules destined for `switch`
     /// against the TCAM rules collected from it.
+    ///
+    /// `logical` may be the full network-wide rule list; it is filtered here.
+    /// When checking many switches prefer [`EquivalenceChecker::check_network`],
+    /// which indexes the rules once.
     pub fn check_switch(
         &self,
         switch: SwitchId,
         logical: &[LogicalRule],
         tcam: &[TcamRule],
     ) -> SwitchCheckResult {
-        let mut manager = self.header_space.manager();
-
-        let logical_rules: Vec<TcamRule> = logical
+        let for_switch: Vec<LogicalRule> = logical
             .iter()
             .filter(|l| l.switch == switch)
-            .map(|l| l.rule)
+            .copied()
             .collect();
-        let l_allowed = self.header_space.allowed_space(&mut manager, &logical_rules);
-        let t_allowed = self.header_space.allowed_space(&mut manager, tcam);
-
-        let equivalent = manager.equivalent(l_allowed, t_allowed);
-        let mut missing_rules = Vec::new();
-        let mut unexpected_rules = Vec::new();
-
-        if !equivalent {
-            // A logical rule is missing if part of its traffic is not allowed
-            // by the deployed TCAM.
-            for l in logical.iter().filter(|l| l.switch == switch) {
-                let space = self.header_space.rule_match(&mut manager, &l.rule);
-                if !manager.implies(space, t_allowed) {
-                    missing_rules.push(*l);
-                }
-            }
-            // A deployed rule is unexpected if it allows traffic the policy
-            // does not allow.
-            for t in tcam {
-                if t.action != scout_policy::Action::Allow {
-                    continue;
-                }
-                let space = self.header_space.rule_match(&mut manager, t);
-                let effectively_allowed = manager.and(space, t_allowed);
-                if !manager.implies(effectively_allowed, l_allowed) {
-                    unexpected_rules.push(*t);
-                }
-            }
-        }
-
-        SwitchCheckResult {
-            switch,
-            equivalent,
-            missing_rules,
-            unexpected_rules,
-        }
+        let mut worker = self.lock_worker();
+        let result = worker.check_switch(&self.header_space, switch, &for_switch, tcam);
+        worker.maybe_shrink(&self.header_space);
+        result
     }
 
     /// Checks every switch appearing either in the logical rules or in the
@@ -160,16 +351,185 @@ impl EquivalenceChecker {
         logical: &[LogicalRule],
         tcam: &BTreeMap<SwitchId, Vec<TcamRule>>,
     ) -> NetworkCheckResult {
+        let index = Self::index_by_switch(logical);
         let mut switches: BTreeSet<SwitchId> = tcam.keys().copied().collect();
-        switches.extend(logical.iter().map(|l| l.switch));
-
-        let empty: Vec<TcamRule> = Vec::new();
-        let mut per_switch = BTreeMap::new();
-        for switch in switches {
-            let tcam_rules = tcam.get(&switch).unwrap_or(&empty);
-            per_switch.insert(switch, self.check_switch(switch, logical, tcam_rules));
-        }
+        switches.extend(index.keys().copied());
+        let per_switch = self.check_switches(&index, tcam, switches.into_iter().collect());
         NetworkCheckResult { per_switch }
+    }
+
+    /// Incrementally re-checks the network after a change.
+    ///
+    /// Starts from `previous` (a result produced by
+    /// [`EquivalenceChecker::check_network`] or an earlier `recheck_dirty`
+    /// against the *same evolving network*) and re-checks only:
+    ///
+    /// * the switches listed in `dirty`, and
+    /// * switches present now but absent from `previous` (newly added).
+    ///
+    /// Switches that disappeared from the network are dropped. Provided
+    /// `dirty` covers every switch whose TCAM contents *or* logical rule set
+    /// changed since `previous` was computed (see
+    /// `scout_fabric::Fabric::dirty_switches_since`), the result is identical
+    /// to a full [`EquivalenceChecker::check_network`] — at a cost
+    /// proportional to the change, not the network.
+    pub fn recheck_dirty(
+        &self,
+        previous: &NetworkCheckResult,
+        logical: &[LogicalRule],
+        tcam: &BTreeMap<SwitchId, Vec<TcamRule>>,
+        dirty: &BTreeSet<SwitchId>,
+    ) -> NetworkCheckResult {
+        let switches: BTreeSet<SwitchId> = tcam.keys().copied().collect();
+        self.recheck_dirty_with(previous, logical, &switches, dirty, |s| {
+            tcam.get(&s).cloned().unwrap_or_default()
+        })
+    }
+
+    /// Like [`EquivalenceChecker::recheck_dirty`], but fetches TCAM snapshots
+    /// lazily, only for the switches that are actually re-checked.
+    ///
+    /// `current_switches` is the set of switches present in the network now
+    /// (switches appearing in `logical` are added automatically); `tcam_of`
+    /// is consulted once per re-checked switch. This keeps the *entire* cost
+    /// of an incremental cycle proportional to the change — a no-change cycle
+    /// copies no TCAM rules at all, where [`EquivalenceChecker::recheck_dirty`]
+    /// requires the caller to have collected the full network snapshot first.
+    pub fn recheck_dirty_with<F>(
+        &self,
+        previous: &NetworkCheckResult,
+        logical: &[LogicalRule],
+        current_switches: &BTreeSet<SwitchId>,
+        dirty: &BTreeSet<SwitchId>,
+        mut tcam_of: F,
+    ) -> NetworkCheckResult
+    where
+        F: FnMut(SwitchId) -> Vec<TcamRule>,
+    {
+        let index = Self::index_by_switch(logical);
+        let mut current = current_switches.clone();
+        current.extend(index.keys().copied());
+
+        let to_check: Vec<SwitchId> = current
+            .iter()
+            .copied()
+            .filter(|s| dirty.contains(s) || !previous.per_switch.contains_key(s))
+            .collect();
+        let tcam: BTreeMap<SwitchId, Vec<TcamRule>> =
+            to_check.iter().map(|&s| (s, tcam_of(s))).collect();
+
+        // Carry over every clean, still-present switch.
+        let mut per_switch: BTreeMap<SwitchId, SwitchCheckResult> = previous
+            .per_switch
+            .iter()
+            .filter(|(s, _)| current.contains(s) && !dirty.contains(s))
+            .map(|(&s, r)| (s, r.clone()))
+            .collect();
+
+        per_switch.append(&mut self.check_switches(&index, &tcam, to_check));
+        NetworkCheckResult { per_switch }
+    }
+
+    /// Checks the given switches, sequentially or in parallel according to the
+    /// configured policy. Results are deterministic either way.
+    fn check_switches(
+        &self,
+        index: &BTreeMap<SwitchId, Vec<LogicalRule>>,
+        tcam: &BTreeMap<SwitchId, Vec<TcamRule>>,
+        switches: Vec<SwitchId>,
+    ) -> BTreeMap<SwitchId, SwitchCheckResult> {
+        static EMPTY_LOGICAL: Vec<LogicalRule> = Vec::new();
+        static EMPTY_TCAM: Vec<TcamRule> = Vec::new();
+
+        let threads = self.effective_threads(switches.len());
+        if threads <= 1 {
+            let mut worker = self.lock_worker();
+            let result = switches
+                .into_iter()
+                .map(|switch| {
+                    let logical = index.get(&switch).unwrap_or(&EMPTY_LOGICAL);
+                    let rules = tcam.get(&switch).unwrap_or(&EMPTY_TCAM);
+                    (
+                        switch,
+                        worker.check_switch(&self.header_space, switch, logical, rules),
+                    )
+                })
+                .collect();
+            worker.maybe_shrink(&self.header_space);
+            return result;
+        }
+
+        // Split the switches into contiguous chunks, one worker (and one
+        // private BDD manager) per thread. Workers are checked out of the
+        // persistent pool and returned afterwards, so threaded checks stay
+        // warm across calls just like the sequential path. The per-switch
+        // results are independent, so parallel and sequential checking agree
+        // exactly.
+        let chunk_size = switches.len().div_ceil(threads);
+        let chunk_count = switches.len().div_ceil(chunk_size);
+        let header_space = &self.header_space;
+        let mut workers = {
+            let mut pool = self.lock_pool();
+            while pool.len() < chunk_count {
+                pool.push(CheckWorker::new(header_space));
+            }
+            let keep = pool.len() - chunk_count;
+            pool.split_off(keep)
+        };
+        let mut per_switch = BTreeMap::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = switches
+                .chunks(chunk_size)
+                .zip(workers.drain(..))
+                .map(|(chunk, mut worker)| {
+                    scope.spawn(move || {
+                        let results = chunk
+                            .iter()
+                            .map(|&switch| {
+                                let logical = index.get(&switch).unwrap_or(&EMPTY_LOGICAL);
+                                let rules = tcam.get(&switch).unwrap_or(&EMPTY_TCAM);
+                                (
+                                    switch,
+                                    worker.check_switch(header_space, switch, logical, rules),
+                                )
+                            })
+                            .collect::<Vec<_>>();
+                        worker.maybe_shrink(header_space);
+                        (worker, results)
+                    })
+                })
+                .collect();
+            let mut pool = self.lock_pool();
+            for handle in handles {
+                let (worker, results) = handle.join().expect("checker thread panicked");
+                pool.push(worker);
+                per_switch.extend(results);
+            }
+        });
+        per_switch
+    }
+
+    fn effective_threads(&self, switch_count: usize) -> usize {
+        let requested = match self.parallelism {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => {
+                if switch_count < AUTO_PARALLEL_THRESHOLD {
+                    1
+                } else {
+                    thread::available_parallelism().map_or(1, |n| n.get())
+                }
+            }
+        };
+        requested.min(switch_count.max(1))
+    }
+
+    fn lock_worker(&self) -> std::sync::MutexGuard<'_, CheckWorker> {
+        self.worker.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_pool(&self) -> std::sync::MutexGuard<'_, Vec<CheckWorker>> {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -270,20 +630,14 @@ mod tests {
         // Hand-install a rule on S1 that the policy does not call for.
         let logical = fabric.logical_rules_for(sample::S3)[0];
         let foreign = logical.rule;
-        {
-            // Direct TCAM manipulation through the fault hook: remove nothing,
-            // then reuse remove_tcam_rules_where's access path via agent is not
-            // exposed; emulate by corrupting after install through a dedicated
-            // fabric with modified policy instead.
-            let mut tcam = fabric.collect_tcam();
-            tcam.get_mut(&sample::S1).unwrap().push(foreign);
-            let checker = EquivalenceChecker::new();
-            let result = checker.check_network(fabric.logical_rules(), &tcam);
-            let s1 = &result.per_switch[&sample::S1];
-            assert!(!s1.equivalent);
-            assert!(s1.missing_rules.is_empty());
-            assert_eq!(s1.unexpected_rules, vec![foreign]);
-        }
+        let mut tcam = fabric.collect_tcam();
+        tcam.get_mut(&sample::S1).unwrap().push(foreign);
+        let checker = EquivalenceChecker::new();
+        let result = checker.check_network(fabric.logical_rules(), &tcam);
+        let s1 = &result.per_switch[&sample::S1];
+        assert!(!s1.equivalent);
+        assert!(s1.missing_rules.is_empty());
+        assert_eq!(s1.unexpected_rules, vec![foreign]);
     }
 
     #[test]
@@ -297,5 +651,153 @@ mod tests {
         let result = checker.check_network(fabric.logical_rules(), &tcam);
         assert!(result.per_switch.contains_key(&stray));
         assert!(!result.per_switch[&stray].equivalent);
+    }
+
+    #[test]
+    fn repeated_checks_reuse_the_persistent_cache() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let tcam = fabric.collect_tcam();
+        let first = checker.check_network(fabric.logical_rules(), &tcam);
+        let cached_nodes = {
+            let worker = checker.lock_worker();
+            assert!(!worker.rule_cache.is_empty(), "rule cache must be warm");
+            worker.manager.node_count()
+        };
+        let second = checker.check_network(fabric.logical_rules(), &tcam);
+        assert_eq!(first, second);
+        let after = checker.lock_worker().manager.node_count();
+        assert_eq!(cached_nodes, after, "second check must not allocate nodes");
+    }
+
+    #[test]
+    fn parallel_pool_stays_warm_across_calls() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::with_parallelism(Parallelism::Fixed(2));
+        let tcam = fabric.collect_tcam();
+        let first = checker.check_network(fabric.logical_rules(), &tcam);
+        let warm_nodes: Vec<usize> = {
+            let pool = checker.lock_pool();
+            assert_eq!(pool.len(), 2, "both workers must return to the pool");
+            pool.iter().map(|w| w.manager.node_count()).collect()
+        };
+        let second = checker.check_network(fabric.logical_rules(), &tcam);
+        assert_eq!(first, second);
+        let after: Vec<usize> = checker
+            .lock_pool()
+            .iter()
+            .map(|w| w.manager.node_count())
+            .collect();
+        assert_eq!(warm_nodes, after, "second parallel check must hit caches");
+    }
+
+    #[test]
+    fn recheck_dirty_with_fetches_only_dirty_switches() {
+        let mut fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let baseline = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let current: BTreeSet<_> = fabric.collect_tcam().keys().copied().collect();
+        let mut fetched = Vec::new();
+        let incremental = checker.recheck_dirty_with(
+            &baseline,
+            fabric.logical_rules(),
+            &current,
+            &BTreeSet::from([sample::S2]),
+            |s| {
+                fetched.push(s);
+                fabric.tcam_rules(s)
+            },
+        );
+        assert_eq!(fetched, vec![sample::S2], "only the dirty switch is read");
+        let full = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        assert_eq!(incremental, full);
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_agree() {
+        let mut fabric = deployed();
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        fabric
+            .corrupt_tcam(sample::S3, 0, CorruptionKind::SrcEpgBit)
+            .unwrap();
+        let logical = fabric.logical_rules();
+        let tcam = fabric.collect_tcam();
+
+        let sequential = EquivalenceChecker::with_parallelism(Parallelism::Sequential)
+            .check_network(logical, &tcam);
+        for threads in [2usize, 3, 8] {
+            let parallel = EquivalenceChecker::with_parallelism(Parallelism::Fixed(threads))
+                .check_network(logical, &tcam);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recheck_dirty_matches_full_check() {
+        let mut fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let baseline = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let tcam = fabric.collect_tcam();
+        let full = checker.check_network(fabric.logical_rules(), &tcam);
+        let incremental = checker.recheck_dirty(
+            &baseline,
+            fabric.logical_rules(),
+            &tcam,
+            &BTreeSet::from([sample::S2]),
+        );
+        assert_eq!(full, incremental);
+        assert!(!incremental.is_consistent());
+    }
+
+    #[test]
+    fn recheck_dirty_handles_added_and_removed_switches() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let baseline = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+
+        // S1 disappears from the snapshot; a stray switch appears.
+        let mut tcam = fabric.collect_tcam();
+        tcam.remove(&sample::S1);
+        let stray = scout_policy::SwitchId::new(77);
+        tcam.insert(stray, vec![fabric.logical_rules()[0].rule]);
+        // Restrict the logical rules to the remaining switches so S1 truly
+        // vanishes from the network.
+        let logical: Vec<_> = fabric
+            .logical_rules()
+            .iter()
+            .filter(|l| l.switch != sample::S1)
+            .copied()
+            .collect();
+
+        let full = checker.check_network(&logical, &tcam);
+        let incremental = checker.recheck_dirty(&baseline, &logical, &tcam, &BTreeSet::new());
+        assert_eq!(full, incremental);
+        assert!(!incremental.per_switch.contains_key(&sample::S1));
+        assert!(incremental.per_switch.contains_key(&stray));
+    }
+
+    #[test]
+    fn recheck_with_empty_dirty_set_is_a_cheap_clone() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let tcam = fabric.collect_tcam();
+        let baseline = checker.check_network(fabric.logical_rules(), &tcam);
+        let again =
+            checker.recheck_dirty(&baseline, fabric.logical_rules(), &tcam, &BTreeSet::new());
+        assert_eq!(baseline, again);
+    }
+
+    #[test]
+    fn consistent_constructor_matches_a_real_clean_check() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let result = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        for (&switch, r) in &result.per_switch {
+            assert_eq!(r, &SwitchCheckResult::consistent(switch));
+        }
     }
 }

@@ -72,7 +72,10 @@ impl HeaderSpace {
             .exact(manager, u64::from(rule.matcher.dst_epg.raw() & 0xffff));
         let proto = match rule.matcher.protocol {
             Protocol::Any => Bdd::TRUE,
-            p => self.layout.field(F_PROTO).exact(manager, u64::from(p.code())),
+            p => self
+                .layout
+                .field(F_PROTO)
+                .exact(manager, u64::from(p.code())),
         };
         let port = self.layout.field(F_PORT).range(
             manager,
@@ -92,23 +95,33 @@ impl HeaderSpace {
     /// order, matching [`scout_policy::evaluate`]): a packet belongs to the
     /// allowed space if the first rule covering it has [`Action::Allow`].
     pub fn allowed_space(&self, manager: &mut BddManager, rules: &[TcamRule]) -> Bdd {
-        // Stable sort by descending priority preserves list order inside a
-        // priority class.
-        let mut ordered: Vec<&TcamRule> = rules.iter().collect();
-        ordered.sort_by(|a, b| b.priority.cmp(&a.priority));
-
-        let mut covered = Bdd::FALSE;
-        let mut allowed = Bdd::FALSE;
-        for rule in ordered {
-            let matched = self.rule_match(manager, rule);
-            let effective = manager.diff(matched, covered);
-            if rule.action == Action::Allow {
-                allowed = manager.or(allowed, effective);
-            }
-            covered = manager.or(covered, matched);
-        }
-        allowed
+        allowed_space_with(manager, rules, |m, rule| self.rule_match(m, rule))
     }
+}
+
+/// The first-match, deny-by-default allowed-space fold, parameterized over the
+/// per-rule encoder so callers can plug in a memoizing one (see the checker's
+/// rule cache). This is the single home of the priority/tie-break semantics.
+pub fn allowed_space_with<F>(manager: &mut BddManager, rules: &[TcamRule], mut encode: F) -> Bdd
+where
+    F: FnMut(&mut BddManager, &TcamRule) -> Bdd,
+{
+    // Stable sort by descending priority preserves list order inside a
+    // priority class, matching `scout_policy::evaluate`.
+    let mut ordered: Vec<&TcamRule> = rules.iter().collect();
+    ordered.sort_by_key(|r| std::cmp::Reverse(r.priority));
+
+    let mut covered = Bdd::FALSE;
+    let mut allowed = Bdd::FALSE;
+    for rule in ordered {
+        let matched = encode(manager, rule);
+        let effective = manager.diff(matched, covered);
+        if rule.action == Action::Allow {
+            allowed = manager.or(allowed, effective);
+        }
+        covered = manager.or(covered, matched);
+    }
+    allowed
 }
 
 #[cfg(test)]

@@ -41,14 +41,16 @@ pub mod checker;
 pub mod header;
 pub mod naive;
 
-pub use checker::{EquivalenceChecker, NetworkCheckResult, SwitchCheckResult};
+pub use checker::{EquivalenceChecker, NetworkCheckResult, Parallelism, SwitchCheckResult};
 pub use header::HeaderSpace;
 pub use naive::{naive_missing_rules, sample_flows};
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
     use scout_policy::{
         ContractId, EpgId, FilterId, LogicalRule, PortRange, Protocol, RuleMatch, RuleProvenance,
         SwitchId, TcamRule, VrfId,
@@ -57,98 +59,95 @@ mod proptests {
 
     const SWITCH: SwitchId = SwitchId::new(1);
 
-    /// Strategy producing a logical rule with a small id space so that
-    /// collisions (duplicate matches) actually happen.
-    fn logical_rule_strategy() -> impl Strategy<Value = LogicalRule> {
-        (
-            0u32..3,       // vrf
-            0u32..4,       // src epg
-            0u32..4,       // dst epg
-            prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)],
-            0u16..6,       // port
-            0u32..3,       // contract
-            0u32..3,       // filter
+    /// Generates a logical rule from a small id space so that collisions
+    /// (duplicate matches covering the same traffic) actually happen.
+    fn random_logical_rule(rng: &mut StdRng) -> LogicalRule {
+        let vrf = 100 + rng.gen_range(0u32..3);
+        let src = rng.gen_range(0u32..4);
+        let dst = rng.gen_range(0u32..4);
+        let proto = *[Protocol::Tcp, Protocol::Udp, Protocol::Icmp]
+            .choose(rng)
+            .unwrap();
+        let port = rng.gen_range(0u16..6);
+        let matcher = RuleMatch::new(
+            VrfId::new(vrf),
+            EpgId::new(src),
+            EpgId::new(dst),
+            proto,
+            PortRange::single(port),
+        );
+        LogicalRule::new(
+            SWITCH,
+            TcamRule::allow(matcher),
+            RuleProvenance::new(
+                VrfId::new(vrf),
+                EpgId::new(src),
+                EpgId::new(dst),
+                ContractId::new(rng.gen_range(0u32..3)),
+                FilterId::new(rng.gen_range(0u32..3)),
+            ),
         )
-            .prop_map(|(vrf, src, dst, proto, port, contract, filter)| {
-                let matcher = RuleMatch::new(
-                    VrfId::new(100 + vrf),
-                    EpgId::new(src),
-                    EpgId::new(dst),
-                    proto,
-                    PortRange::single(port),
-                );
-                LogicalRule::new(
-                    SWITCH,
-                    TcamRule::allow(matcher),
-                    RuleProvenance::new(
-                        VrfId::new(100 + vrf),
-                        EpgId::new(src),
-                        EpgId::new(dst),
-                        ContractId::new(contract),
-                        FilterId::new(filter),
-                    ),
-                )
-            })
     }
 
-    proptest! {
-        /// The BDD checker and the naive oracle agree on which logical rules
-        /// are missing, for arbitrary subsets of the rules removed from the
-        /// TCAM (including duplicates covering the same traffic).
-        #[test]
-        fn bdd_checker_agrees_with_naive_oracle(
-            logical in proptest::collection::vec(logical_rule_strategy(), 1..20),
-            keep_mask in proptest::collection::vec(any::<bool>(), 20),
-        ) {
+    fn random_rule_set(rng: &mut StdRng, max: usize) -> Vec<LogicalRule> {
+        let count = rng.gen_range(1..=max);
+        (0..count).map(|_| random_logical_rule(rng)).collect()
+    }
+
+    /// The BDD checker and the naive oracle agree on which logical rules are
+    /// missing, for arbitrary subsets of the rules removed from the TCAM
+    /// (including duplicates covering the same traffic).
+    #[test]
+    fn bdd_checker_agrees_with_naive_oracle() {
+        let checker = EquivalenceChecker::new();
+        for seed in 0..300 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let logical = random_rule_set(&mut rng, 20);
             let tcam: Vec<TcamRule> = logical
                 .iter()
-                .enumerate()
-                .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(true))
-                .map(|(_, l)| l.rule)
+                .filter(|_| rng.gen_bool(0.5))
+                .map(|l| l.rule)
                 .collect();
 
-            let checker = EquivalenceChecker::new();
             let result = checker.check_switch(SWITCH, &logical, &tcam);
             let naive = naive_missing_rules(&logical, &tcam);
 
             let bdd_missing: BTreeSet<LogicalRule> = result.missing_rules.iter().copied().collect();
             let naive_missing: BTreeSet<LogicalRule> = naive.iter().copied().collect();
-            prop_assert_eq!(bdd_missing, naive_missing);
+            assert_eq!(bdd_missing, naive_missing, "seed {seed}");
         }
+    }
 
-        /// When the TCAM holds exactly the compiled rules, the checker reports
-        /// consistency regardless of rule ordering.
-        #[test]
-        fn identical_rule_sets_are_equivalent(
-            logical in proptest::collection::vec(logical_rule_strategy(), 1..20),
-            seed in any::<u64>(),
-        ) {
+    /// When the TCAM holds exactly the compiled rules, the checker reports
+    /// consistency regardless of rule ordering.
+    #[test]
+    fn identical_rule_sets_are_equivalent() {
+        let checker = EquivalenceChecker::new();
+        for seed in 0..150 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let logical = random_rule_set(&mut rng, 20);
             let mut tcam: Vec<TcamRule> = logical.iter().map(|l| l.rule).collect();
-            // Deterministic shuffle driven by the seed.
-            let len = tcam.len();
-            for i in (1..len).rev() {
-                let j = (seed as usize).wrapping_mul(31).wrapping_add(i * 7) % (i + 1);
-                tcam.swap(i, j);
-            }
-            let checker = EquivalenceChecker::new();
+            tcam.shuffle(&mut rng);
             let result = checker.check_switch(SWITCH, &logical, &tcam);
-            prop_assert!(result.equivalent);
-            prop_assert!(result.missing_rules.is_empty());
-            prop_assert!(result.unexpected_rules.is_empty());
+            assert!(result.equivalent, "seed {seed}");
+            assert!(result.missing_rules.is_empty(), "seed {seed}");
+            assert!(result.unexpected_rules.is_empty(), "seed {seed}");
         }
+    }
 
-        /// Missing rules are always a subset of the logical rules of the
-        /// checked switch, and removing everything reports every rule missing.
-        #[test]
-        fn missing_rules_are_logical_rules(
-            logical in proptest::collection::vec(logical_rule_strategy(), 1..15),
-        ) {
-            let checker = EquivalenceChecker::new();
+    /// Missing rules are always a subset of the logical rules of the checked
+    /// switch, and removing everything reports every rule missing.
+    #[test]
+    fn missing_rules_are_logical_rules() {
+        let checker = EquivalenceChecker::new();
+        for seed in 0..150 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let logical = random_rule_set(&mut rng, 15);
             let result = checker.check_switch(SWITCH, &logical, &[]);
             let all: BTreeSet<LogicalRule> = logical.iter().copied().collect();
             let missing: BTreeSet<LogicalRule> = result.missing_rules.iter().copied().collect();
-            prop_assert_eq!(missing.len(), all.len());
-            prop_assert!(missing.is_subset(&all));
+            assert_eq!(missing.len(), all.len(), "seed {seed}");
+            assert!(missing.is_subset(&all), "seed {seed}");
         }
     }
 }

@@ -5,8 +5,6 @@
 //! middle of a batch of updates (only a prefix of the instructions is applied),
 //! and TCAM overflow when rendering rules into a full table.
 
-use serde::{Deserialize, Serialize};
-
 use scout_policy::{LogicalRule, SwitchId, TcamRule};
 
 use crate::clock::Timestamp;
@@ -15,7 +13,7 @@ use crate::logs::{FaultKind, FaultLog, Severity};
 use crate::tcam::TcamTable;
 
 /// The health of a switch agent process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AgentHealth {
     /// The agent processes instructions normally.
     Healthy,
@@ -24,7 +22,7 @@ pub enum AgentHealth {
 }
 
 /// The result of handing one instruction to an agent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ApplyOutcome {
     /// The instruction was fully applied (logical view and TCAM updated).
     Applied,
@@ -35,7 +33,7 @@ pub enum ApplyOutcome {
 }
 
 /// A simulated switch agent together with its TCAM table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchAgent {
     switch: SwitchId,
     health: AgentHealth,

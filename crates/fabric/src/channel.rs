@@ -4,12 +4,10 @@
 //! deployment (§II-B): a full disconnect (all instructions lost) and a degraded
 //! link that silently drops a deterministic subset of instructions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::instruction::Instruction;
 
 /// The state of a control channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkState {
     /// Instructions are delivered.
     Connected,
@@ -23,7 +21,7 @@ pub enum LinkState {
 }
 
 /// The controller-side view of the channel towards one switch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ControlChannel {
     state: LinkState,
     sent: u64,
@@ -87,7 +85,7 @@ impl ControlChannel {
             LinkState::Disconnected => false,
             LinkState::Degraded { drop_modulo } => {
                 let modulo = drop_modulo.max(1);
-                self.sent % modulo != 0
+                !self.sent.is_multiple_of(modulo)
             }
         };
         if deliver {
@@ -157,7 +155,9 @@ mod tests {
     fn degraded_channel_drops_every_nth() {
         let mut ch = ControlChannel::new();
         ch.set_state(LinkState::Degraded { drop_modulo: 3 });
-        let outcomes: Vec<bool> = (0..9).map(|p| ch.transmit(instruction(p)).is_some()).collect();
+        let outcomes: Vec<bool> = (0..9)
+            .map(|p| ch.transmit(instruction(p)).is_some())
+            .collect();
         // 1-indexed sends: every 3rd is dropped.
         assert_eq!(
             outcomes,

@@ -62,7 +62,11 @@ pub fn compile_for_switch(universe: &PolicyUniverse, switch: SwitchId) -> Vec<Lo
                     (binding.provider, binding.consumer),
                 ] {
                     let matcher = RuleMatch::new(vrf, src, dst, entry.protocol, entry.ports);
-                    rules.push(LogicalRule::new(switch, TcamRule::allow(matcher), provenance));
+                    rules.push(LogicalRule::new(
+                        switch,
+                        TcamRule::allow(matcher),
+                        provenance,
+                    ));
                 }
             }
         }
@@ -142,11 +146,9 @@ mod tests {
             assert!(objs.contains(&ObjectId::Contract(sample::C_APP_DB)));
         }
         // One of the S3 rules must come from the port-700 filter.
-        assert!(rules
-            .iter()
-            .any(|r| r.provenance.filter == sample::F_700
-                && r.rule.matcher.ports == PortRange::single(700)
-                && r.rule.matcher.protocol == Protocol::Tcp));
+        assert!(rules.iter().any(|r| r.provenance.filter == sample::F_700
+            && r.rule.matcher.ports == PortRange::single(700)
+            && r.rule.matcher.protocol == Protocol::Tcp));
     }
 
     #[test]
@@ -157,9 +159,7 @@ mod tests {
 
     #[test]
     fn switch_without_endpoints_gets_no_rules() {
-        use scout_policy::{
-            Contract, ContractBinding, Endpoint, Epg, Filter, Switch, Tenant,
-        };
+        use scout_policy::{Contract, ContractBinding, Endpoint, Epg, Filter, Switch, Tenant};
         use scout_policy::{ContractId, EndpointId, EpgId, FilterId, SwitchId, TenantId, VrfId};
         let mut b = PolicyUniverse::builder();
         b.tenant(Tenant::new(TenantId::new(0), "t"))
@@ -181,7 +181,11 @@ mod tests {
                 SwitchId::new(1),
             ))
             .filter(Filter::tcp_port(FilterId::new(1), "http", 80))
-            .contract(Contract::new(ContractId::new(1), "c", vec![FilterId::new(1)]))
+            .contract(Contract::new(
+                ContractId::new(1),
+                "c",
+                vec![FilterId::new(1)],
+            ))
             .bind(ContractBinding::new(
                 EpgId::new(1),
                 EpgId::new(2),

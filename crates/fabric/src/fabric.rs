@@ -7,6 +7,7 @@
 //! `scout-faults`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchId, TcamRule};
 
@@ -48,9 +49,13 @@ impl DeploymentReport {
     }
 }
 
+/// Process-wide source of unique fabric identities (see [`Fabric::id`]).
+static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
+
 /// The simulated fabric: policy universe + controller + switches.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Fabric {
+    id: u64,
     universe: PolicyUniverse,
     clock: SimClock,
     agents: BTreeMap<SwitchId, SwitchAgent>,
@@ -60,6 +65,34 @@ pub struct Fabric {
     logical_rules: Vec<LogicalRule>,
     /// Fault-log indices of currently-active switch-unreachable faults.
     unreachable_faults: BTreeMap<SwitchId, usize>,
+    /// Monotonic counter bumped on every check-relevant mutation (TCAM change
+    /// or logical-rule change).
+    epoch: u64,
+    /// Per-switch epoch of the last check-relevant mutation.
+    tcam_versions: BTreeMap<SwitchId, u64>,
+}
+
+impl Clone for Fabric {
+    /// Clones the full fabric state under a *fresh identity*.
+    ///
+    /// The clone diverges from the original from this point on, so giving it
+    /// a new [`Fabric::id`] keeps incremental consumers (which cache state per
+    /// fabric identity) from mixing the two histories up.
+    fn clone(&self) -> Self {
+        Self {
+            id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
+            universe: self.universe.clone(),
+            clock: self.clock.clone(),
+            agents: self.agents.clone(),
+            channels: self.channels.clone(),
+            change_log: self.change_log.clone(),
+            fault_log: self.fault_log.clone(),
+            logical_rules: self.logical_rules.clone(),
+            unreachable_faults: self.unreachable_faults.clone(),
+            epoch: self.epoch,
+            tcam_versions: self.tcam_versions.clone(),
+        }
+    }
 }
 
 impl Fabric {
@@ -73,6 +106,7 @@ impl Fabric {
             channels.insert(switch.id, ControlChannel::new());
         }
         Self {
+            id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
             universe,
             clock: SimClock::new(),
             agents,
@@ -81,12 +115,51 @@ impl Fabric {
             fault_log: FaultLog::new(),
             logical_rules: Vec::new(),
             unreachable_faults: BTreeMap::new(),
+            epoch: 0,
+            tcam_versions: BTreeMap::new(),
         }
     }
 
     // ------------------------------------------------------------------
     // Read access
     // ------------------------------------------------------------------
+
+    /// A process-unique identity for this fabric instance.
+    ///
+    /// Clones receive a fresh id, so two fabrics with the same id are the same
+    /// evolving network. Incremental consumers key their cached state on this.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The current change epoch: a monotonic counter bumped whenever a
+    /// switch's TCAM contents or logical rule set changes.
+    ///
+    /// Together with [`Fabric::dirty_switches_since`] this lets a checker
+    /// re-examine only what changed since a previous run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Switches whose TCAM contents or logical rule set changed after epoch
+    /// `since` (exclusive).
+    ///
+    /// `dirty_switches_since(0)` returns every switch ever mutated; passing
+    /// the epoch observed at the time of a previous check returns exactly the
+    /// switches that check is stale for.
+    pub fn dirty_switches_since(&self, since: u64) -> BTreeSet<SwitchId> {
+        self.tcam_versions
+            .iter()
+            .filter(|(_, &v)| v > since)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Records a check-relevant mutation of `switch`.
+    fn mark_dirty(&mut self, switch: SwitchId) {
+        self.epoch += 1;
+        self.tcam_versions.insert(switch, self.epoch);
+    }
 
     /// The current policy universe (desired state).
     pub fn universe(&self) -> &PolicyUniverse {
@@ -187,6 +260,17 @@ impl Fabric {
                 .record(t, object, ChangeAction::Create, None, "initial deployment");
         }
         self.logical_rules = compiler::compile(&self.universe);
+        // Every switch's expected rule set just changed from "nothing" to the
+        // compiled policy, so every switch needs (re-)checking.
+        let switches: Vec<SwitchId> = self
+            .agents
+            .keys()
+            .copied()
+            .chain(self.logical_rules.iter().map(|r| r.switch))
+            .collect();
+        for switch in switches {
+            self.mark_dirty(switch);
+        }
         let instructions: Vec<Instruction> = self
             .logical_rules
             .iter()
@@ -214,7 +298,11 @@ impl Fabric {
         }
         self.agents.retain(|id, _| new_switches.contains(id));
         self.channels.retain(|id, _| new_switches.contains(id));
-        self.unreachable_faults.retain(|id, _| new_switches.contains(id));
+        self.unreachable_faults
+            .retain(|id, _| new_switches.contains(id));
+        // Removed switches vanish from check results via the current switch
+        // set; keeping their versions around would only leak entries.
+        self.tcam_versions.retain(|id, _| new_switches.contains(id));
 
         let old_rules: BTreeSet<LogicalRule> = self.logical_rules.iter().copied().collect();
         let new_rules_vec = compiler::compile(&new_universe);
@@ -226,6 +314,20 @@ impl Fabric {
         }
         for &added in new_rules.difference(&old_rules) {
             instructions.push(Instruction::install(added));
+        }
+
+        // A switch's expected rule set changed iff some rule in the symmetric
+        // difference targets it; those switches need re-checking even when the
+        // corresponding instruction never reaches the hardware. Switches that
+        // left the network are excluded — they were pruned from the version
+        // map above and must not be re-inserted as ghosts.
+        let changed: BTreeSet<SwitchId> = old_rules
+            .symmetric_difference(&new_rules)
+            .map(|r| r.switch)
+            .filter(|s| new_switches.contains(s))
+            .collect();
+        for switch in changed {
+            self.mark_dirty(switch);
         }
 
         self.universe = new_universe;
@@ -265,6 +367,9 @@ impl Fabric {
                         ApplyOutcome::TcamRejected => single.rules_rejected = 1,
                         ApplyOutcome::IgnoredCrashed => single.rules_ignored = 1,
                     }
+                }
+                if single.rules_applied == 1 {
+                    self.mark_dirty(switch);
                 }
             }
             report.absorb(single);
@@ -361,9 +466,14 @@ impl Fabric {
         index: usize,
         kind: CorruptionKind,
     ) -> Option<(TcamRule, TcamRule)> {
-        self.agents
+        let corrupted = self
+            .agents
             .get_mut(&switch)
-            .and_then(|a| a.tcam_mut().corrupt(index, kind))
+            .and_then(|a| a.tcam_mut().corrupt(index, kind));
+        if corrupted.is_some() {
+            self.mark_dirty(switch);
+        }
+        corrupted
     }
 
     /// Evicts the oldest `n` TCAM entries on `switch`. When `log` is true a
@@ -375,6 +485,9 @@ impl Fabric {
             .get_mut(&switch)
             .map(|a| a.tcam_mut().evict_oldest(n))
             .unwrap_or_default();
+        if !evicted.is_empty() {
+            self.mark_dirty(switch);
+        }
         if log && !evicted.is_empty() {
             let t = self.clock.tick();
             self.fault_log.raise(
@@ -395,10 +508,15 @@ impl Fabric {
         switch: SwitchId,
         predicate: F,
     ) -> Vec<TcamRule> {
-        self.agents
+        let removed = self
+            .agents
             .get_mut(&switch)
             .map(|a| a.tcam_mut().remove_where(predicate))
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if !removed.is_empty() {
+            self.mark_dirty(switch);
+        }
+        removed
     }
 }
 
@@ -487,9 +605,7 @@ pub fn diff_universes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scout_policy::{
-        sample, Contract, Filter, FilterEntry, PortRange, Protocol,
-    };
+    use scout_policy::{sample, Contract, Filter, FilterEntry, PortRange, Protocol};
     use scout_policy::{ContractId, FilterId};
 
     fn deployed_three_tier() -> Fabric {
@@ -540,7 +656,9 @@ mod tests {
         assert_eq!(fabric.tcam_rules(sample::S2).len(), 0);
         assert_eq!(fabric.tcam_rules(sample::S1).len(), 2);
         assert_eq!(report.lost_in_channel(), 6);
-        let faults = fabric.fault_log().entries_of_kind(FaultKind::SwitchUnreachable);
+        let faults = fabric
+            .fault_log()
+            .entries_of_kind(FaultKind::SwitchUnreachable);
         assert_eq!(faults.len(), 1);
         assert_eq!(faults[0].switch, Some(sample::S2));
         // Reconnect clears the fault and a resync repairs the switch.
@@ -570,7 +688,10 @@ mod tests {
         assert_eq!(fabric.tcam_rules(sample::S3).len(), 0);
         assert_eq!(report.rules_ignored, 4);
         assert_eq!(
-            fabric.fault_log().entries_of_kind(FaultKind::AgentCrash).len(),
+            fabric
+                .fault_log()
+                .entries_of_kind(FaultKind::AgentCrash)
+                .len(),
             1
         );
         fabric.restart_agent(sample::S3);
@@ -614,8 +735,7 @@ mod tests {
     #[test]
     fn remove_tcam_rules_where_is_silent() {
         let mut fabric = deployed_three_tier();
-        let removed =
-            fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let removed = fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
         assert_eq!(removed.len(), 2);
         assert_eq!(fabric.tcam_rules(sample::S2).len(), 4);
         assert!(fabric.fault_log().is_empty());
@@ -694,18 +814,96 @@ mod tests {
         let old = three_tier_with_extra_filter();
         let new = sample::three_tier();
         let changes = diff_universes(&old, &new);
-        assert!(changes.iter().any(|(o, a, _)| *o
-            == ObjectId::Filter(FilterId::new(50))
-            && *a == ChangeAction::Delete));
-        assert!(changes.iter().any(|(o, a, _)| *o
-            == ObjectId::Contract(ContractId::new(2))
-            && *a == ChangeAction::Modify));
+        assert!(changes.iter().any(
+            |(o, a, _)| *o == ObjectId::Filter(FilterId::new(50)) && *a == ChangeAction::Delete
+        ));
+        assert!(changes
+            .iter()
+            .any(|(o, a, _)| *o == ObjectId::Contract(ContractId::new(2))
+                && *a == ChangeAction::Modify));
     }
 
     #[test]
     fn diff_of_identical_universes_is_empty() {
         let u = sample::three_tier();
         assert!(diff_universes(&u, &u).is_empty());
+    }
+
+    #[test]
+    fn deploy_marks_every_switch_dirty() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        assert_eq!(fabric.epoch(), 0);
+        assert!(fabric.dirty_switches_since(0).is_empty());
+        fabric.deploy();
+        assert!(fabric.epoch() > 0);
+        assert_eq!(
+            fabric.dirty_switches_since(0),
+            BTreeSet::from([sample::S1, sample::S2, sample::S3])
+        );
+    }
+
+    #[test]
+    fn targeted_mutations_dirty_only_their_switch() {
+        let mut fabric = deployed_three_tier();
+        let checkpoint = fabric.epoch();
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        assert_eq!(
+            fabric.dirty_switches_since(checkpoint),
+            BTreeSet::from([sample::S2])
+        );
+        let checkpoint = fabric.epoch();
+        fabric
+            .corrupt_tcam(sample::S1, 0, CorruptionKind::VrfBit)
+            .unwrap();
+        fabric.evict_tcam(sample::S3, 1, false);
+        assert_eq!(
+            fabric.dirty_switches_since(checkpoint),
+            BTreeSet::from([sample::S1, sample::S3])
+        );
+    }
+
+    #[test]
+    fn no_op_mutations_do_not_dirty() {
+        let mut fabric = deployed_three_tier();
+        let checkpoint = fabric.epoch();
+        // Predicate matches nothing; out-of-range corruption; zero eviction.
+        fabric.remove_tcam_rules_where(sample::S2, |_| false);
+        assert!(fabric
+            .corrupt_tcam(sample::S2, 999, CorruptionKind::VrfBit)
+            .is_none());
+        fabric.evict_tcam(sample::S2, 0, false);
+        assert_eq!(fabric.epoch(), checkpoint);
+        assert!(fabric.dirty_switches_since(checkpoint).is_empty());
+    }
+
+    #[test]
+    fn update_policy_dirties_switches_with_changed_rules() {
+        let mut fabric = deployed_three_tier();
+        let checkpoint = fabric.epoch();
+        fabric.update_policy(three_tier_with_extra_filter());
+        // The new filter adds rules on S2 and S3 only.
+        assert_eq!(
+            fabric.dirty_switches_since(checkpoint),
+            BTreeSet::from([sample::S2, sample::S3])
+        );
+    }
+
+    #[test]
+    fn lost_instructions_still_dirty_the_switch() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.disconnect_switch(sample::S2);
+        fabric.deploy();
+        // S2 received nothing, but its expected rule set changed: a checker
+        // trusting the dirty set must re-examine it to see the divergence.
+        assert!(fabric.dirty_switches_since(0).contains(&sample::S2));
+    }
+
+    #[test]
+    fn clones_get_fresh_identities() {
+        let fabric = deployed_three_tier();
+        let clone = fabric.clone();
+        assert_ne!(fabric.id(), clone.id());
+        assert_eq!(fabric.epoch(), clone.epoch());
     }
 
     #[test]

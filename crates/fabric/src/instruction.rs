@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use scout_policy::LogicalRule;
 
 /// The operation requested by an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstructionOp {
     /// Render and install the rule in the switch TCAM.
     Install,
@@ -29,7 +27,7 @@ impl fmt::Display for InstructionOp {
 /// Real controllers ship object-level updates; the simulator ships the
 /// already-expanded rule together with its provenance, which is equivalent for
 /// the purposes of fault localization (the provenance carries the object ids).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instruction {
     /// The requested operation.
     pub op: InstructionOp,

@@ -8,8 +8,6 @@
 use std::error::Error as StdError;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use scout_policy::{Action, EpgId, TcamRule, VrfId};
 
 /// Error returned when a rule cannot be installed.
@@ -35,7 +33,7 @@ impl fmt::Display for TcamError {
 impl StdError for TcamError {}
 
 /// The specific field targeted by a simulated TCAM bit corruption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CorruptionKind {
     /// Flip the low bit of the VRF identifier.
     VrfBit,
@@ -92,7 +90,7 @@ impl CorruptionKind {
 }
 
 /// A fixed-capacity TCAM table holding [`TcamRule`]s.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcamTable {
     capacity: usize,
     entries: Vec<TcamRule>,

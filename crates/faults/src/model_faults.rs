@@ -360,7 +360,7 @@ mod tests {
         )
         .unwrap();
         let all = combinations_for_object(&u, ObjectId::Vrf(sample::VRF));
-        assert!(violations.len() >= 1);
+        assert!(!violations.is_empty());
         assert!(violations.len() < all.len());
     }
 
@@ -402,7 +402,10 @@ mod tests {
         let mut s1 = switch_risk_model(&u, sample::S1);
         faults.apply_to_switch_model(&mut s1, sample::S1);
         assert!(s1.failure_signature().is_empty());
-        assert_eq!(faults.affected_switches(), BTreeSet::from([sample::S2, sample::S3]));
+        assert_eq!(
+            faults.affected_switches(),
+            BTreeSet::from([sample::S2, sample::S3])
+        );
     }
 
     #[test]

@@ -252,7 +252,6 @@ mod tests {
         assert_eq!(result.missing_count(), 4);
         assert!(result
             .missing_rules()
-            .iter()
             .all(|r| r.provenance.filter == sample::F_700));
     }
 
@@ -270,7 +269,10 @@ mod tests {
             .unwrap();
         let after: usize = fabric.collect_tcam().values().map(|v| v.len()).sum();
         assert!(fault.removed_rules >= 1);
-        assert!(fault.removed_rules < 12, "partial fault must not remove everything");
+        assert!(
+            fault.removed_rules < 12,
+            "partial fault must not remove everything"
+        );
         assert_eq!(before - after, fault.removed_rules);
     }
 

@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(fabric.tcam_rules(sample::S2).len(), 3);
         assert!(fabric.agent(sample::S2).unwrap().is_crashed());
         assert_eq!(
-            fabric.fault_log().entries_of_kind(FaultKind::AgentCrash).len(),
+            fabric
+                .fault_log()
+                .entries_of_kind(FaultKind::AgentCrash)
+                .len(),
             1
         );
     }

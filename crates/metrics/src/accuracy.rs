@@ -90,7 +90,9 @@ mod tests {
     use scout_policy::{EpgId, FilterId, VrfId};
 
     fn objs(ids: &[u32]) -> BTreeSet<ObjectId> {
-        ids.iter().map(|&i| ObjectId::Filter(FilterId::new(i))).collect()
+        ids.iter()
+            .map(|&i| ObjectId::Filter(FilterId::new(i)))
+            .collect()
     }
 
     #[test]

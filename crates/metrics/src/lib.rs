@@ -34,56 +34,77 @@ pub use table::{fmt3, Table};
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use scout_policy::{FilterId, ObjectId};
     use std::collections::BTreeSet;
 
-    fn to_set(ids: &[u32]) -> BTreeSet<ObjectId> {
-        ids.iter().map(|&i| ObjectId::Filter(FilterId::new(i))).collect()
+    fn random_set(rng: &mut StdRng) -> BTreeSet<ObjectId> {
+        let count = rng.gen_range(0usize..10);
+        (0..count)
+            .map(|_| ObjectId::Filter(FilterId::new(rng.gen_range(0u32..20))))
+            .collect()
     }
 
-    proptest! {
-        /// Precision and recall are always in [0, 1] and symmetric in the
-        /// expected way: swapping G and H swaps precision and recall.
-        #[test]
-        fn precision_recall_bounds_and_duality(
-            g in proptest::collection::vec(0u32..20, 0..10),
-            h in proptest::collection::vec(0u32..20, 0..10),
-        ) {
-            let g = to_set(&g);
-            let h = to_set(&h);
+    fn random_samples(rng: &mut StdRng, lo: f64, hi: f64, max: usize) -> Vec<f64> {
+        let count = rng.gen_range(1..=max);
+        (0..count).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    /// Precision and recall are always in [0, 1] and symmetric in the expected
+    /// way: swapping G and H swaps precision and recall.
+    #[test]
+    fn precision_recall_bounds_and_duality() {
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_set(&mut rng);
+            let h = random_set(&mut rng);
             let acc = Accuracy::of(&g, &h);
-            prop_assert!((0.0..=1.0).contains(&acc.precision));
-            prop_assert!((0.0..=1.0).contains(&acc.recall));
-            prop_assert!((0.0..=1.0).contains(&acc.f1()));
+            assert!((0.0..=1.0).contains(&acc.precision), "seed {seed}");
+            assert!((0.0..=1.0).contains(&acc.recall), "seed {seed}");
+            assert!((0.0..=1.0).contains(&acc.f1()), "seed {seed}");
             let swapped = Accuracy::of(&h, &g);
             if !g.is_empty() && !h.is_empty() {
-                prop_assert!((acc.precision - swapped.recall).abs() < 1e-12);
-                prop_assert!((acc.recall - swapped.precision).abs() < 1e-12);
+                assert!(
+                    (acc.precision - swapped.recall).abs() < 1e-12,
+                    "seed {seed}"
+                );
+                assert!(
+                    (acc.recall - swapped.precision).abs() < 1e-12,
+                    "seed {seed}"
+                );
             }
         }
+    }
 
-        /// CDF fractions are monotone and reach 1 at the maximum sample.
-        #[test]
-        fn cdf_is_monotone(samples in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+    /// CDF fractions are monotone and reach 1 at the maximum sample.
+    #[test]
+    fn cdf_is_monotone() {
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = random_samples(&mut rng, 0.0, 100.0, 49);
             let cdf = Cdf::of(samples.iter().copied());
             let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!((cdf.fraction_le(max) - 1.0).abs() < 1e-12);
+            assert!((cdf.fraction_le(max) - 1.0).abs() < 1e-12, "seed {seed}");
             let mut prev = 0.0;
             for x in [0.0, 10.0, 25.0, 50.0, 75.0, 100.0] {
                 let f = cdf.fraction_le(x);
-                prop_assert!(f + 1e-12 >= prev);
+                assert!(f + 1e-12 >= prev, "seed {seed}");
                 prev = f;
             }
         }
+    }
 
-        /// Summary mean always lies between min and max.
-        #[test]
-        fn summary_mean_within_bounds(samples in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+    /// Summary mean always lies between min and max.
+    #[test]
+    fn summary_mean_within_bounds() {
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = random_samples(&mut rng, -50.0, 50.0, 39);
             let s = Summary::of(samples.iter().copied());
-            prop_assert!(s.mean >= s.min - 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!(s.stddev >= 0.0);
+            assert!(s.mean >= s.min - 1e-9, "seed {seed}");
+            assert!(s.mean <= s.max + 1e-9, "seed {seed}");
+            assert!(s.stddev >= 0.0, "seed {seed}");
         }
     }
 }

@@ -144,7 +144,10 @@ impl Bins {
 
     /// Per-bin summaries, in bin order.
     pub fn summaries(&self) -> Vec<Summary> {
-        self.samples.iter().map(|s| Summary::of(s.iter().copied())).collect()
+        self.samples
+            .iter()
+            .map(|s| Summary::of(s.iter().copied()))
+            .collect()
     }
 }
 

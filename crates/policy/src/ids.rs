@@ -8,14 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -90,7 +86,7 @@ define_id!(
 ///
 /// This mirrors the object classes the paper treats as shared risks
 /// (Figure 3: switches, VRFs, EPGs, filters, contracts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ObjectClass {
     /// A virtual routing and forwarding context.
     Vrf,
@@ -137,7 +133,7 @@ impl fmt::Display for ObjectClass {
 /// Shared risks are the right-hand side of the bipartite risk models (§III-B of
 /// the paper): VRFs, EPGs, contracts, filters and, in the controller risk model,
 /// physical switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ObjectId {
     /// A VRF object.
     Vrf(VrfId),

@@ -5,12 +5,10 @@
 //! contain endpoints attached to leaf switches, and contracts glue EPG pairs to
 //! filters which whitelist protocol/port combinations (§II-A of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ContractId, EndpointId, EpgId, FilterId, SwitchId, TenantId, VrfId};
 
 /// An administrative tenant owning a slice of the policy.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tenant {
     /// Unique tenant identifier.
     pub id: TenantId,
@@ -31,7 +29,7 @@ impl Tenant {
 /// A virtual routing and forwarding context (layer-3 private network).
 ///
 /// All EPGs of a tenant policy live inside a VRF; rules never cross VRFs.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Vrf {
     /// Unique VRF identifier.
     pub id: VrfId,
@@ -54,7 +52,7 @@ impl Vrf {
 
 /// An endpoint group: a set of endpoints that share the same policy treatment
 /// (e.g. all web-tier VMs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Epg {
     /// Unique EPG identifier.
     pub id: EpgId,
@@ -77,7 +75,7 @@ impl Epg {
 
 /// An individual endpoint (server, VM or middlebox interface) and the leaf
 /// switch it is attached to.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// Unique endpoint identifier.
     pub id: EndpointId,
@@ -102,7 +100,7 @@ impl Endpoint {
 }
 
 /// A physical leaf switch of the fabric.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Switch {
     /// Unique switch identifier.
     pub id: SwitchId,
@@ -132,7 +130,7 @@ impl Switch {
 }
 
 /// The transport protocol matched by a filter entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     /// Match any IP protocol.
     Any,
@@ -179,7 +177,7 @@ impl std::fmt::Display for Protocol {
 /// An inclusive destination-port range matched by a filter entry.
 ///
 /// `PortRange::any()` matches every port (used for ICMP or port-less filters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortRange {
     /// Lowest port matched (inclusive).
     pub start: u16,
@@ -260,7 +258,7 @@ impl std::fmt::Display for PortRange {
 }
 
 /// Whether matched traffic is permitted or dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Action {
     /// Permit matching traffic.
     Allow,
@@ -281,7 +279,7 @@ impl std::fmt::Display for Action {
 ///
 /// The paper's example "Filter: port 80/allow" corresponds to
 /// `FilterEntry::allow(Protocol::Tcp, PortRange::single(80))`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FilterEntry {
     /// Matched transport protocol.
     pub protocol: Protocol,
@@ -315,7 +313,7 @@ impl std::fmt::Display for FilterEntry {
 }
 
 /// A filter: a named set of whitelist entries.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Filter {
     /// Unique filter identifier.
     pub id: FilterId,
@@ -343,7 +341,7 @@ impl Filter {
 
 /// A contract: the glue object binding consumer/provider EPG pairs to a set of
 /// filters (§II-A of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Contract {
     /// Unique contract identifier.
     pub id: ContractId,
@@ -368,7 +366,7 @@ impl Contract {
 ///
 /// Each binding yields one *EPG pair* in the risk models; directional TCAM
 /// rules are generated for both directions of the pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ContractBinding {
     /// The consumer-side EPG (traffic initiator).
     pub consumer: EpgId,

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{EpgId, SwitchId};
 
 /// An unordered pair of EPGs that are allowed to communicate through at least
@@ -16,7 +14,7 @@ use crate::ids::{EpgId, SwitchId};
 ///
 /// The pair is normalized so that `a <= b`; `EpgPair::new(x, y)` and
 /// `EpgPair::new(y, x)` compare equal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EpgPair {
     /// The smaller EPG id of the pair.
     pub a: EpgId,
@@ -69,7 +67,7 @@ impl fmt::Display for EpgPair {
 
 /// A (switch, EPG pair) triplet — the affected element of the controller risk
 /// model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchEpgPair {
     /// The switch on which the pair's rules should be deployed.
     pub switch: SwitchId,

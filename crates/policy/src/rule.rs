@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ContractId, EpgId, FilterId, ObjectId, SwitchId, VrfId};
 use crate::object::{Action, PortRange, Protocol};
 use crate::pair::EpgPair;
 
 /// The match portion of a TCAM rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RuleMatch {
     /// VRF the traffic belongs to.
     pub vrf: VrfId,
@@ -74,7 +72,7 @@ impl fmt::Display for RuleMatch {
 }
 
 /// A concrete flow (single packet header) used to evaluate rule tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// VRF of the flow.
     pub vrf: VrfId,
@@ -102,7 +100,7 @@ impl FlowKey {
 }
 
 /// A TCAM rule as rendered in a switch's hardware table (T-type rule).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TcamRule {
     /// The match fields.
     pub matcher: RuleMatch,
@@ -175,7 +173,7 @@ pub fn evaluate(rules: &[TcamRule], flow: &FlowKey) -> Action {
 /// Those objects are exactly the shared risks of the EPG pair behind the rule
 /// (§III of the paper): the VRF, both EPGs, the contract, the filter and — once
 /// the rule is assigned to a switch — that switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RuleProvenance {
     /// The VRF scoping the rule.
     pub vrf: VrfId,
@@ -233,7 +231,7 @@ impl RuleProvenance {
 
 /// A logical (L-type) rule: the TCAM rule the controller expects to see in a
 /// given switch, together with its provenance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LogicalRule {
     /// The switch this rule must be rendered on.
     pub switch: SwitchId,

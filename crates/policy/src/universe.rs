@@ -10,17 +10,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::PolicyError;
-use crate::ids::{
-    ContractId, EndpointId, EpgId, FilterId, ObjectId, SwitchId, TenantId, VrfId,
-};
+use crate::ids::{ContractId, EndpointId, EpgId, FilterId, ObjectId, SwitchId, TenantId, VrfId};
 use crate::object::{Contract, ContractBinding, Endpoint, Epg, Filter, Switch, Tenant, Vrf};
 use crate::pair::EpgPair;
 
 /// Aggregate object counts of a universe, handy for experiment reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UniverseStats {
     /// Number of tenants.
     pub tenants: usize,
@@ -43,7 +39,7 @@ pub struct UniverseStats {
 }
 
 /// An immutable, validated snapshot of the network policy and inventory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolicyUniverse {
     tenants: BTreeMap<TenantId, Tenant>,
     vrfs: BTreeMap<VrfId, Vrf>,
@@ -284,7 +280,11 @@ impl PolicyUniverse {
     /// Like [`objects_for_pair`](Self::objects_for_pair) but also includes the
     /// switch the pair is deployed on — the closure used by the controller risk
     /// model.
-    pub fn objects_for_pair_on_switch(&self, pair: EpgPair, switch: SwitchId) -> BTreeSet<ObjectId> {
+    pub fn objects_for_pair_on_switch(
+        &self,
+        pair: EpgPair,
+        switch: SwitchId,
+    ) -> BTreeSet<ObjectId> {
         let mut objs = self.objects_for_pair(pair);
         objs.insert(ObjectId::Switch(switch));
         objs
@@ -512,14 +512,18 @@ impl PolicyBuilder {
                     contract: b.contract,
                 });
             }
-            let consumer = epgs.get(&b.consumer).ok_or(PolicyError::UnknownBindingEpg {
-                contract: b.contract,
-                epg: b.consumer,
-            })?;
-            let provider = epgs.get(&b.provider).ok_or(PolicyError::UnknownBindingEpg {
-                contract: b.contract,
-                epg: b.provider,
-            })?;
+            let consumer = epgs
+                .get(&b.consumer)
+                .ok_or(PolicyError::UnknownBindingEpg {
+                    contract: b.contract,
+                    epg: b.consumer,
+                })?;
+            let provider = epgs
+                .get(&b.provider)
+                .ok_or(PolicyError::UnknownBindingEpg {
+                    contract: b.contract,
+                    epg: b.provider,
+                })?;
             if consumer.vrf != provider.vrf {
                 return Err(PolicyError::CrossVrfBinding {
                     contract: b.contract,
@@ -630,10 +634,7 @@ mod tests {
     fn switches_for_pair_is_union_of_epg_hosts() {
         let u = three_tier();
         let switches = u.switches_for_pair(EpgPair::new(sample::WEB, sample::APP));
-        assert_eq!(
-            switches,
-            BTreeSet::from([sample::S1, sample::S2])
-        );
+        assert_eq!(switches, BTreeSet::from([sample::S1, sample::S2]));
     }
 
     #[test]
@@ -706,7 +707,11 @@ mod tests {
             .epg(Epg::new(EpgId::new(1), "a", VrfId::new(1)))
             .epg(Epg::new(EpgId::new(2), "b", VrfId::new(2)))
             .filter(Filter::tcp_port(FilterId::new(1), "http", 80))
-            .contract(Contract::new(ContractId::new(1), "c", vec![FilterId::new(1)]))
+            .contract(Contract::new(
+                ContractId::new(1),
+                "c",
+                vec![FilterId::new(1)],
+            ))
             .bind(ContractBinding::new(
                 EpgId::new(1),
                 EpgId::new(2),
@@ -727,7 +732,11 @@ mod tests {
                 .epg(Epg::new(EpgId::new(1), "a", VrfId::new(1)))
                 .epg(Epg::new(EpgId::new(2), "b", VrfId::new(1)))
                 .filter(Filter::tcp_port(FilterId::new(1), "http", 80))
-                .contract(Contract::new(ContractId::new(1), "c", vec![FilterId::new(1)]))
+                .contract(Contract::new(
+                    ContractId::new(1),
+                    "c",
+                    vec![FilterId::new(1)],
+                ))
                 .bind(ContractBinding::new(
                     EpgId::new(1),
                     EpgId::new(2),

@@ -172,7 +172,8 @@ impl ClusterSpec {
         // Contracts: a skewed number of filters per contract, filter popularity
         // follows a Zipf-like distribution so a few filters are reused widely.
         let filter_rank: Vec<FilterId> = {
-            let mut ids: Vec<FilterId> = (0..self.filters).map(|f| FilterId::new(f as u32)).collect();
+            let mut ids: Vec<FilterId> =
+                (0..self.filters).map(|f| FilterId::new(f as u32)).collect();
             ids.shuffle(&mut rng);
             ids
         };
@@ -226,7 +227,10 @@ impl ClusterSpec {
             let provider = members[rng.gen_range(0..members.len())];
             let is_hub = rng.gen_bool(self.hub_contract_fraction) && members.len() > 10;
             let fanout = if is_hub {
-                let cap = self.max_hub_fanout.min(members.len().saturating_sub(1)).max(1);
+                let cap = self
+                    .max_hub_fanout
+                    .min(members.len().saturating_sub(1))
+                    .max(1);
                 rng.gen_range(10..=cap.max(10))
             } else {
                 rng.gen_range(1..=9usize)
@@ -269,7 +273,10 @@ mod tests {
         assert_eq!(stats.contracts, 40);
         assert_eq!(stats.filters, 16);
         assert_eq!(stats.switches, 8);
-        assert!(stats.epg_pairs > 40, "expected a reasonable number of pairs");
+        assert!(
+            stats.epg_pairs > 40,
+            "expected a reasonable number of pairs"
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ mod tests {
             .filters
             .contains(&new_id));
         // The other contract is untouched.
-        assert_eq!(updated.contract(sample::C_WEB_APP).unwrap().filters.len(), 1);
+        assert_eq!(
+            updated.contract(sample::C_WEB_APP).unwrap().filters.len(),
+            1
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl ScaleSpec {
         let tenant = TenantId::new(0);
         builder.tenant(Tenant::new(tenant, "scale-tenant"));
         for v in 0..self.vrfs {
-            builder.vrf(Vrf::new(VrfId::new(v as u32), format!("scale-vrf-{v}"), tenant));
+            builder.vrf(Vrf::new(
+                VrfId::new(v as u32),
+                format!("scale-vrf-{v}"),
+                tenant,
+            ));
         }
         for f in 0..self.shared_filters {
             builder.filter(Filter::new(
@@ -163,7 +167,10 @@ mod tests {
             .map(|(_, p)| p.len())
             .max()
             .unwrap();
-        assert!(max_filter_pairs > 3, "filters must be shared across switches");
+        assert!(
+            max_filter_pairs > 3,
+            "filters must be shared across switches"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn main() {
     println!("\n--- SCOUT report ---");
     println!("missing rules          : {}", analysis.missing_rule_count());
     println!("failed (switch, pair)s : {}", analysis.observations.len());
-    println!("suspect objects        : {}", analysis.suspect_objects.len());
+    println!(
+        "suspect objects        : {}",
+        analysis.suspect_objects.len()
+    );
     println!("hypothesis size        : {}", analysis.hypothesis.len());
     println!("suspect-set reduction γ: {:.4}", analysis.gamma());
 

@@ -44,10 +44,7 @@ fn main() {
     println!("missing rules       : {}", analysis.missing_rule_count());
     println!("observations        : {}", analysis.observations.len());
     println!("suspect objects     : {}", analysis.suspect_objects.len());
-    println!(
-        "hypothesis (γ={:.2}) :",
-        analysis.gamma()
-    );
+    println!("hypothesis (γ={:.2}) :", analysis.gamma());
     for (object, evidence) in analysis.hypothesis.iter() {
         let name = fabric
             .universe()
@@ -70,5 +67,8 @@ fn main() {
     assert!(analysis
         .hypothesis
         .contains(ObjectId::Filter(sample::F_700)));
-    println!("\nSCOUT correctly localized {}", ObjectId::Filter(sample::F_700));
+    println!(
+        "\nSCOUT correctly localized {}",
+        ObjectId::Filter(sample::F_700)
+    );
 }

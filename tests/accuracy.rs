@@ -40,11 +40,12 @@ fn synthetic_full_fault_matches_fabric_pipeline() {
     let checker = EquivalenceChecker::new();
     let check = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
     let mut fabric_model = controller_risk_model(&universe);
-    augment_controller_model(&mut fabric_model, &check.missing_rules());
+    augment_controller_model(&mut fabric_model, check.missing_rules());
 
     // Model-level synthesis of the same fault.
     let mut rng = StdRng::seed_from_u64(1);
-    let violations = synthesize_fault_on(&universe, object, ObjectFaultKind::Full, &mut rng).unwrap();
+    let violations =
+        synthesize_fault_on(&universe, object, ObjectFaultKind::Full, &mut rng).unwrap();
     let synthetic = SyntheticFaults {
         objects: BTreeSet::from([object]),
         violations,

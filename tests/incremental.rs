@@ -1,0 +1,116 @@
+//! Regression tests for the incremental equivalence-checking pipeline: an
+//! incremental recheck after mutating k of N switches must return results
+//! byte-identical to a full `check_network`, and the end-to-end incremental
+//! system must agree with the batch system.
+
+use std::collections::BTreeSet;
+
+use scout::core::ScoutSystem;
+use scout::equiv::{EquivalenceChecker, Parallelism};
+use scout::fabric::Fabric;
+use scout::workload::ScaleSpec;
+
+fn deployed_scale_fabric(switches: usize) -> Fabric {
+    let mut fabric = Fabric::new(ScaleSpec::with_switches(switches).generate(7));
+    fabric.deploy();
+    fabric
+}
+
+#[test]
+fn single_switch_mutation_rechecks_identically() {
+    let mut fabric = deployed_scale_fabric(32);
+    let checker = EquivalenceChecker::new();
+    let baseline = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+    assert!(baseline.is_consistent());
+
+    let checkpoint = fabric.epoch();
+    let victim = fabric.universe().switch_ids()[5];
+    let removed = fabric.remove_tcam_rules_where(victim, |r| r.matcher.ports.start % 2 == 0);
+    assert!(!removed.is_empty());
+
+    let dirty = fabric.dirty_switches_since(checkpoint);
+    assert_eq!(dirty, BTreeSet::from([victim]));
+
+    let tcam = fabric.collect_tcam();
+    let full = checker.check_network(fabric.logical_rules(), &tcam);
+    let incremental = checker.recheck_dirty(&baseline, fabric.logical_rules(), &tcam, &dirty);
+    assert_eq!(full, incremental);
+    assert_eq!(incremental.inconsistent_switches(), vec![victim]);
+}
+
+#[test]
+fn multi_switch_mutations_recheck_identically() {
+    let mut fabric = deployed_scale_fabric(16);
+    let checker = EquivalenceChecker::new();
+    let baseline = checker.check_network(fabric.logical_rules(), &fabric.collect_tcam());
+
+    let checkpoint = fabric.epoch();
+    let victims: Vec<_> = fabric.universe().switch_ids().into_iter().take(3).collect();
+    for &victim in &victims {
+        fabric.evict_tcam(victim, 2, false);
+    }
+    let dirty = fabric.dirty_switches_since(checkpoint);
+    assert_eq!(dirty.len(), victims.len());
+
+    let tcam = fabric.collect_tcam();
+    let full = checker.check_network(fabric.logical_rules(), &tcam);
+    let incremental = checker.recheck_dirty(&baseline, fabric.logical_rules(), &tcam, &dirty);
+    assert_eq!(full, incremental);
+}
+
+#[test]
+fn parallel_check_agrees_on_scale_workload() {
+    let mut fabric = deployed_scale_fabric(24);
+    let victim = fabric.universe().switch_ids()[1];
+    fabric.remove_tcam_rules_where(victim, |_| true);
+
+    let logical = fabric.logical_rules();
+    let tcam = fabric.collect_tcam();
+    let sequential =
+        EquivalenceChecker::with_parallelism(Parallelism::Sequential).check_network(logical, &tcam);
+    for threads in [2, 4, 7] {
+        let parallel = EquivalenceChecker::with_parallelism(Parallelism::Fixed(threads))
+            .check_network(logical, &tcam);
+        assert_eq!(sequential, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn removed_switch_leaves_no_ghost_dirty_entry() {
+    let mut fabric = deployed_scale_fabric(4);
+    let removed_switch = fabric.universe().switch_ids()[3];
+    let checkpoint = fabric.epoch();
+
+    // Shrink the policy to 3 switches (same seed: the surviving switches'
+    // rule sets are unchanged, so only the removed switch's rules differ).
+    fabric.update_policy(ScaleSpec::with_switches(3).generate(7));
+    assert!(!fabric.universe().switch_ids().contains(&removed_switch));
+
+    let dirty = fabric.dirty_switches_since(checkpoint);
+    assert!(
+        !dirty.contains(&removed_switch),
+        "a switch that left the network must not stay dirty forever: {dirty:?}"
+    );
+    // And the incremental pipeline agrees with a batch analysis afterwards.
+    let mut system = ScoutSystem::new();
+    let incremental = system.analyze_fabric_incremental(&fabric);
+    assert_eq!(incremental, ScoutSystem::new().analyze_fabric(&fabric));
+    assert!(!incremental.check.per_switch.contains_key(&removed_switch));
+}
+
+#[test]
+fn incremental_system_tracks_successive_mutations() {
+    let mut fabric = deployed_scale_fabric(12);
+    let mut system = ScoutSystem::new();
+    assert!(system.analyze_fabric_incremental(&fabric).is_consistent());
+
+    // Three successive mutation rounds; after each, the incremental report
+    // must match a from-scratch batch analysis.
+    let switch_ids = fabric.universe().switch_ids();
+    for (round, &victim) in switch_ids.iter().take(3).enumerate() {
+        fabric.evict_tcam(victim, 1 + round, false);
+        let incremental = system.analyze_fabric_incremental(&fabric);
+        let batch = ScoutSystem::new().analyze_fabric(&fabric);
+        assert_eq!(incremental, batch, "round {round}");
+    }
+}

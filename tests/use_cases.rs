@@ -36,7 +36,10 @@ fn tcam_overflow_use_case() {
     assert!(added_filters.iter().any(|f| report.hypothesis.contains(*f)));
     // And the dominant root cause is TCAM overflow.
     let most_likely = report.diagnosis.most_likely();
-    assert_eq!(most_likely.first().map(|(k, _)| *k), Some(FaultKind::TcamOverflow));
+    assert_eq!(
+        most_likely.first().map(|(k, _)| *k),
+        Some(FaultKind::TcamOverflow)
+    );
 }
 
 /// §V-B "Unresponsive switch": filters are added while S2 is unreachable. The
@@ -69,7 +72,9 @@ fn unresponsive_switch_use_case() {
         ));
         // The diagnosis for each filter points at the unreachable switch.
         let diagnosis = report.diagnosis.for_object(object).unwrap();
-        assert!(diagnosis.fault_kinds().contains(&FaultKind::SwitchUnreachable));
+        assert!(diagnosis
+            .fault_kinds()
+            .contains(&FaultKind::SwitchUnreachable));
     }
 }
 
@@ -83,7 +88,10 @@ fn too_many_missing_rules_use_case() {
     let mut fabric = Fabric::new(universe);
     fabric.disconnect_switch(victim);
     let push = fabric.deploy();
-    assert!(push.lost_in_channel() > 50, "the victim switch loses its whole rule set");
+    assert!(
+        push.lost_in_channel() > 50,
+        "the victim switch loses its whole rule set"
+    );
 
     let report = ScoutSystem::new().analyze_fabric(&fabric);
     assert!(!report.is_consistent());
