@@ -1,0 +1,133 @@
+//! Campaign-step cost: incremental risk-model reuse vs from-scratch rebuilds.
+//!
+//! This is the benchmark behind the campaign engine's incremental risk-model
+//! maintenance: one scenario of a campaign disturbs a handful of switches of
+//! the cluster workload, so the localization stage must cost time
+//! proportional to the fault — re-derive the failed edges on the cached
+//! pristine model and roll them back — instead of rebuilding the controller
+//! bipartite graph from the policy universe. The run asserts that both
+//! formulations agree exactly and that reuse is at least 3× faster; it also
+//! reports the end-to-end per-scenario cost (check + model + localization)
+//! for both modes.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scout_bench::harness::{fmt_duration, Harness};
+use scout_core::{
+    augment_controller_model, controller_risk_model, scout_localize, ScoutConfig, ScoutSystem,
+};
+use scout_fabric::Fabric;
+use scout_faults::{FaultInjector, ObjectFaultKind};
+use scout_workload::ClusterSpec;
+
+fn main() {
+    // Half the paper's cluster: big enough that rebuilding the controller
+    // model clearly dwarfs a fault-proportional augment/undo cycle, small
+    // enough to keep the bench quick.
+    let spec = ClusterSpec {
+        vrfs: 6,
+        epgs: 300,
+        contracts: 190,
+        filters: 80,
+        switches: 16,
+        ..ClusterSpec::paper()
+    };
+    let universe = spec.generate(7);
+    let mut base = Fabric::new(universe);
+    base.deploy();
+
+    let system = ScoutSystem::new();
+    let mut baseline = system.baseline(&base);
+    assert!(baseline.is_consistent());
+
+    // One representative campaign step: a clone of the base fabric with two
+    // partial faults on filter objects — the bounded-blast-radius disturbance
+    // that makes the "cost proportional to the fault" claim visible (a fault
+    // on a hub VRF legitimately touches most of the model either way).
+    let mut fabric = base.clone();
+    let mut injector = FaultInjector::new(StdRng::seed_from_u64(3));
+    let filters: Vec<_> = FaultInjector::<StdRng>::candidate_objects(&fabric)
+        .into_iter()
+        .filter(|o| matches!(o, scout_policy::ObjectId::Filter(_)))
+        .take(2)
+        .collect();
+    assert_eq!(filters.len(), 2);
+    for object in filters {
+        injector
+            .inject_fault_on(&mut fabric, object, ObjectFaultKind::Partial)
+            .expect("filter objects have deployed rules");
+    }
+    let report = system.analyze_derived(&mut baseline, &fabric);
+    assert!(!report.is_consistent());
+    let check = report.check.clone();
+
+    // The two formulations of the localization stage must agree bit for bit.
+    let scratch_hypothesis = {
+        let mut model = controller_risk_model(fabric.universe());
+        augment_controller_model(&mut model, check.missing_rules());
+        scout_localize(&model, fabric.change_log(), ScoutConfig::default())
+    };
+    let reused_hypothesis = baseline.with_augmented_model(&fabric, &check, |model| {
+        scout_localize(model, fabric.change_log(), ScoutConfig::default())
+    });
+    assert_eq!(scratch_hypothesis, reused_hypothesis);
+
+    let mut h = Harness::new("campaign-step (half-paper cluster, 2 partial filter faults)");
+    let t_scratch = h.bench("risk-model/from-scratch", || {
+        let mut model = controller_risk_model(fabric.universe());
+        augment_controller_model(&mut model, check.missing_rules());
+        let signature = model.failure_signature();
+        let suspects = model.suspect_set(&signature);
+        let hypothesis = scout_localize(&model, fabric.change_log(), ScoutConfig::default());
+        (suspects.len(), hypothesis.len())
+    });
+    let t_reuse = h.bench("risk-model/incremental", || {
+        baseline.with_augmented_model(&fabric, &check, |model| {
+            let signature = model.failure_signature();
+            let suspects = model.suspect_set(&signature);
+            let hypothesis = scout_localize(model, fabric.change_log(), ScoutConfig::default());
+            (suspects.len(), hypothesis.len())
+        })
+    });
+    h.finish();
+
+    // End-to-end scenario analysis, for context (check + model + correlate);
+    // timed once — the BDD check dominates and is too slow to sample.
+    let t_full = {
+        let start = std::time::Instant::now();
+        std::hint::black_box(system.analyze_fabric(&fabric).missing_rule_count());
+        start.elapsed()
+    };
+    let t_derived = {
+        let start = std::time::Instant::now();
+        std::hint::black_box(
+            system
+                .analyze_derived(&mut baseline, &fabric)
+                .missing_rule_count(),
+        );
+        start.elapsed()
+    };
+
+    let speedup = |num: Duration, den: Duration| num.as_secs_f64() / den.as_secs_f64().max(1e-12);
+    println!(
+        "\nrisk-model reuse speedup over rebuild:  {:.1}x ({} -> {})",
+        speedup(t_scratch, t_reuse),
+        fmt_duration(t_scratch),
+        fmt_duration(t_reuse),
+    );
+    println!(
+        "end-to-end derived speedup:             {:.1}x ({} -> {})",
+        speedup(t_full, t_derived),
+        fmt_duration(t_full),
+        fmt_duration(t_derived),
+    );
+
+    assert!(
+        speedup(t_scratch, t_reuse) >= 3.0,
+        "incremental risk-model reuse must be at least 3x faster than a \
+         from-scratch rebuild on the cluster workload"
+    );
+}

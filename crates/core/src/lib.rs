@@ -54,10 +54,11 @@ pub use correlation::{
 };
 pub use localization::{score_localize, scout_localize, Evidence, Hypothesis, ScoutConfig};
 pub use risk::{
-    augment_controller_model, augment_switch_model, controller_risk_model, switch_risk_model,
-    EdgeStatus, RiskModel,
+    augment_controller_model, augment_controller_model_tracked, augment_switch_model,
+    augment_switch_model_tracked, controller_risk_model, switch_risk_model, EdgeStatus,
+    FailureMarks, RiskModel,
 };
-pub use system::{ScoutReport, ScoutSystem, SystemConfig};
+pub use system::{FabricBaseline, ScoutReport, ScoutSystem, SystemConfig};
 
 #[cfg(test)]
 mod proptests {

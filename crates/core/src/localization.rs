@@ -118,6 +118,14 @@ impl Default for ScoutConfig {
 /// element depending on them, and adds them to the hypothesis. Stage 2
 /// attributes any remaining observation to the most recently changed object
 /// among its failed risks, using the controller change log.
+///
+/// The cover stage operates on the model's
+/// [failure subgraph](RiskModel::failure_subgraph) rather than a full working
+/// clone: the stage's candidates are always failed risks of (still
+/// unexplained) observations, and every count it consults — dependents,
+/// failed dependents — involves only those risks, so the projection is
+/// behavior-preserving while keeping the per-run cost proportional to the
+/// failure footprint instead of the policy universe.
 pub fn scout_localize<E: Ord + Copy>(
     model: &RiskModel<E>,
     change_log: &ChangeLog,
@@ -132,7 +140,7 @@ pub fn scout_localize<E: Ord + Copy>(
         return hypothesis;
     }
 
-    let mut work = model.clone();
+    let mut work = model.failure_subgraph();
     let mut unexplained: BTreeSet<E> = signature;
 
     // Stage 1: greedy cover with hit-ratio-1 candidates (Algorithm 2).
@@ -532,5 +540,134 @@ mod tests {
         // Everything is a candidate; greedy cover explains all observations.
         assert_eq!(h.unexplained, 0);
         assert!(h.contains(filter(2)));
+    }
+
+    /// The historical formulation of the cover stage: clone the whole model
+    /// and prune it in place. Kept here as the reference the projected
+    /// (failure-subgraph) implementation must agree with bit for bit.
+    fn reference_scout_localize<E: Ord + Copy>(
+        model: &RiskModel<E>,
+        change_log: &ChangeLog,
+        config: ScoutConfig,
+    ) -> Hypothesis {
+        let signature = model.failure_signature();
+        let mut hypothesis = Hypothesis {
+            observations: signature.len(),
+            ..Hypothesis::default()
+        };
+        if signature.is_empty() {
+            return hypothesis;
+        }
+        let mut work = model.clone();
+        let mut unexplained: BTreeSet<E> = signature;
+        loop {
+            if unexplained.is_empty() {
+                break;
+            }
+            let candidates: BTreeSet<ObjectId> = unexplained
+                .iter()
+                .flat_map(|o| work.failed_risks_of(o))
+                .collect();
+            let hit_set: Vec<ObjectId> = candidates
+                .into_iter()
+                .filter(|&risk| {
+                    let total = work.dependent_count(risk);
+                    total > 0 && work.failed_dependent_count(risk) == total
+                })
+                .collect();
+            if hit_set.is_empty() {
+                break;
+            }
+            let best_coverage = hit_set
+                .iter()
+                .map(|&risk| work.failed_dependent_count(risk))
+                .max()
+                .unwrap_or(0);
+            if best_coverage == 0 {
+                break;
+            }
+            let faulty_set: Vec<ObjectId> = hit_set
+                .into_iter()
+                .filter(|&risk| work.failed_dependent_count(risk) == best_coverage)
+                .collect();
+            let mut affected: BTreeSet<E> = BTreeSet::new();
+            for &risk in &faulty_set {
+                affected.extend(work.dependents_of(risk));
+            }
+            let newly_explained = unexplained.iter().filter(|o| affected.contains(o)).count();
+            hypothesis.explained_by_cover += newly_explained;
+            unexplained.retain(|o| !affected.contains(o));
+            work.prune_elements(&affected);
+            for risk in faulty_set {
+                hypothesis.insert(risk, Evidence::FullCover);
+            }
+        }
+        let mut still_unexplained = 0usize;
+        if !unexplained.is_empty() {
+            for observation in &unexplained {
+                let failed_risks = model.failed_risks_of(observation);
+                let recent = most_recent_changes(&failed_risks, change_log, config.recent_window);
+                if recent.is_empty() {
+                    still_unexplained += 1;
+                } else {
+                    hypothesis.explained_by_changelog += 1;
+                    for (object, changed_at) in recent {
+                        hypothesis.insert(object, Evidence::RecentChange { changed_at });
+                    }
+                }
+            }
+        }
+        hypothesis.unexplained = still_unexplained;
+        hypothesis
+    }
+
+    /// The projected cover stage must agree with the full-clone reference on
+    /// random bipartite models with mixed healthy/failed edges.
+    #[test]
+    fn projected_localize_matches_full_clone_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model: RiskModel<EpgPair> = RiskModel::new();
+            let elements = rng.gen_range(1usize..14);
+            for i in 0..elements {
+                let e = pair(i as u32 * 2, i as u32 * 2 + 1);
+                model.add_element(e);
+                for _ in 0..rng.gen_range(0usize..6) {
+                    let risk = if rng.gen_bool(0.5) {
+                        filter(rng.gen_range(0u32..9))
+                    } else {
+                        contract(rng.gen_range(0u32..9))
+                    };
+                    if rng.gen_bool(0.4) {
+                        model.mark_failed(e, risk);
+                    } else {
+                        model.add_edge(e, risk);
+                    }
+                }
+            }
+            let mut log = ChangeLog::new();
+            for i in 0..rng.gen_range(0usize..6) {
+                let obj = if rng.gen_bool(0.5) {
+                    filter(rng.gen_range(0u32..9))
+                } else {
+                    contract(rng.gen_range(0u32..9))
+                };
+                log.record(
+                    Timestamp::new(i as u64 * 7 + 1),
+                    obj,
+                    ChangeAction::Modify,
+                    None,
+                    "random change",
+                );
+            }
+            let config = ScoutConfig::default();
+            assert_eq!(
+                scout_localize(&model, &log, config),
+                reference_scout_localize(&model, &log, config),
+                "seed {seed}"
+            );
+        }
     }
 }

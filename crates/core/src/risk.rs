@@ -38,6 +38,60 @@ pub struct RiskModel<E> {
     edges: BTreeMap<E, BTreeMap<ObjectId, EdgeStatus>>,
     /// risk -> elements depending on it (reverse index)
     dependents: BTreeMap<ObjectId, BTreeSet<E>>,
+    /// risk -> elements whose edge to it failed (the `O_i` sets).
+    ///
+    /// Kept in lockstep with `edges`, so every failure-side query — the
+    /// failure signature, hit ratios, the failure subgraph — costs time
+    /// proportional to the failure evidence instead of the whole graph. This
+    /// is what makes an augment → analyze → undo cycle on a cached model
+    /// independent of the policy-universe size.
+    failed: BTreeMap<ObjectId, BTreeSet<E>>,
+}
+
+/// One reversible mutation performed by a tracked failure mark.
+#[derive(Debug, Clone, Copy)]
+enum MarkOp<E> {
+    /// The edge did not exist; `new_element` records whether the element entry
+    /// itself was created by this mark.
+    NewEdge {
+        element: E,
+        risk: ObjectId,
+        new_element: bool,
+    },
+    /// The edge existed with [`EdgeStatus::Success`] and was flipped to
+    /// [`EdgeStatus::Fail`].
+    Flipped { element: E, risk: ObjectId },
+}
+
+/// A journal of the mutations performed by a *tracked* augmentation
+/// ([`RiskModel::mark_failed_tracked`]), sufficient to restore the model to
+/// its pristine pre-augmentation state via [`RiskModel::undo_failures`].
+///
+/// This is what makes risk-model reuse cheap: instead of rebuilding (or even
+/// cloning) the bipartite graph for every analysis, a long-lived consumer
+/// keeps one pristine model, applies the failed edges of the current check,
+/// reads the results, and rolls the marks back — total cost proportional to
+/// the failure evidence, not the policy universe.
+#[derive(Debug, Default)]
+pub struct FailureMarks<E> {
+    ops: Vec<MarkOp<E>>,
+}
+
+impl<E> FailureMarks<E> {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self { ops: Vec::new() }
+    }
+
+    /// Number of recorded mutations (no-op marks are not recorded).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the journal holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
 }
 
 impl<E: Ord + Copy> Default for RiskModel<E> {
@@ -52,6 +106,7 @@ impl<E: Ord + Copy> RiskModel<E> {
         Self {
             edges: BTreeMap::new(),
             dependents: BTreeMap::new(),
+            failed: BTreeMap::new(),
         }
     }
 
@@ -80,6 +135,111 @@ impl<E: Ord + Copy> RiskModel<E> {
             .or_default()
             .insert(risk, EdgeStatus::Fail);
         self.dependents.entry(risk).or_default().insert(element);
+        self.failed.entry(risk).or_default().insert(element);
+    }
+
+    /// Like [`RiskModel::mark_failed`], but records the performed mutation in
+    /// `marks` so it can be rolled back with [`RiskModel::undo_failures`].
+    ///
+    /// Marking an edge that is already failed records nothing (the undo must
+    /// not downgrade evidence that predates the journal).
+    pub fn mark_failed_tracked(&mut self, element: E, risk: ObjectId, marks: &mut FailureMarks<E>) {
+        use std::collections::btree_map::Entry;
+        let new_element = !self.edges.contains_key(&element);
+        match self.edges.entry(element).or_default().entry(risk) {
+            Entry::Vacant(slot) => {
+                slot.insert(EdgeStatus::Fail);
+                self.dependents.entry(risk).or_default().insert(element);
+                self.failed.entry(risk).or_default().insert(element);
+                marks.ops.push(MarkOp::NewEdge {
+                    element,
+                    risk,
+                    new_element,
+                });
+            }
+            Entry::Occupied(mut slot) => {
+                if *slot.get() == EdgeStatus::Success {
+                    slot.insert(EdgeStatus::Fail);
+                    self.failed.entry(risk).or_default().insert(element);
+                    marks.ops.push(MarkOp::Flipped { element, risk });
+                }
+            }
+        }
+    }
+
+    /// Rolls back every mutation recorded in `marks`, restoring the model to
+    /// the exact state it had before the corresponding tracked marks.
+    ///
+    /// Marks must be undone on the same model they were recorded against,
+    /// before any other mutation; the journal is consumed so it cannot be
+    /// replayed.
+    pub fn undo_failures(&mut self, marks: FailureMarks<E>) {
+        for op in marks.ops.into_iter().rev() {
+            match op {
+                MarkOp::NewEdge {
+                    element,
+                    risk,
+                    new_element,
+                } => {
+                    if let Some(edge_map) = self.edges.get_mut(&element) {
+                        edge_map.remove(&risk);
+                        if new_element && edge_map.is_empty() {
+                            self.edges.remove(&element);
+                        }
+                    }
+                    if let Some(deps) = self.dependents.get_mut(&risk) {
+                        deps.remove(&element);
+                        if deps.is_empty() {
+                            self.dependents.remove(&risk);
+                        }
+                    }
+                    self.unmark_failed(element, risk);
+                }
+                MarkOp::Flipped { element, risk } => {
+                    if let Some(edge_map) = self.edges.get_mut(&element) {
+                        edge_map.insert(risk, EdgeStatus::Success);
+                    }
+                    self.unmark_failed(element, risk);
+                }
+            }
+        }
+    }
+
+    /// Drops `element` from `risk`'s failed-dependent set, removing the entry
+    /// when it empties.
+    fn unmark_failed(&mut self, element: E, risk: ObjectId) {
+        if let Some(failed) = self.failed.get_mut(&risk) {
+            failed.remove(&element);
+            if failed.is_empty() {
+                self.failed.remove(&risk);
+            }
+        }
+    }
+
+    /// The sub-model induced by the current failure evidence: every risk with
+    /// at least one failed edge, every element depending on such a risk, and
+    /// exactly the edges between them (statuses preserved).
+    ///
+    /// This is the part of the model the SCOUT cover stage can ever inspect —
+    /// its candidate risks are the failed risks of the observations, and both
+    /// hit and coverage ratios of a candidate only involve that candidate's
+    /// dependents. Running the cover stage on the subgraph therefore produces
+    /// bit-identical results at a cost proportional to the failure footprint,
+    /// not the policy universe.
+    pub fn failure_subgraph(&self) -> RiskModel<E> {
+        let mut sub = RiskModel::new();
+        for (&risk, failed) in &self.failed {
+            if let Some(deps) = self.dependents.get(&risk) {
+                for element in deps {
+                    if failed.contains(element) {
+                        sub.mark_failed(*element, risk);
+                    } else {
+                        sub.add_edge(*element, risk);
+                    }
+                }
+            }
+        }
+        sub
     }
 
     /// Number of elements in the model.
@@ -128,18 +288,7 @@ impl<E: Ord + Copy> RiskModel<E> {
     /// Number of elements of `risk` whose edge to it failed (`|O_i|`), without
     /// materializing the set.
     pub fn failed_dependent_count(&self, risk: ObjectId) -> usize {
-        self.dependents.get(&risk).map_or(0, |elements| {
-            elements
-                .iter()
-                .filter(|e| {
-                    self.edges
-                        .get(e)
-                        .and_then(|m| m.get(&risk))
-                        .map(|&s| s == EdgeStatus::Fail)
-                        .unwrap_or(false)
-                })
-                .count()
-        })
+        self.failed.get(&risk).map_or(0, BTreeSet::len)
     }
 
     /// The risks of `element` whose edge is marked failed.
@@ -158,22 +307,7 @@ impl<E: Ord + Copy> RiskModel<E> {
     /// The elements of `risk` whose edge to it is marked failed (the set `O_i`
     /// of the paper).
     pub fn failed_dependents_of(&self, risk: ObjectId) -> BTreeSet<E> {
-        self.dependents
-            .get(&risk)
-            .map(|elements| {
-                elements
-                    .iter()
-                    .filter(|e| {
-                        self.edges
-                            .get(e)
-                            .and_then(|m| m.get(&risk))
-                            .map(|&s| s == EdgeStatus::Fail)
-                            .unwrap_or(false)
-                    })
-                    .copied()
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.failed.get(&risk).cloned().unwrap_or_default()
     }
 
     /// Returns `true` if `element` has at least one failed edge (i.e. it is an
@@ -186,16 +320,19 @@ impl<E: Ord + Copy> RiskModel<E> {
     }
 
     /// The failure signature: every element with at least one failed edge.
+    ///
+    /// Costs time proportional to the failure evidence (it reads the failed
+    /// index), not the number of elements in the model.
     pub fn failure_signature(&self) -> BTreeSet<E> {
-        self.edges
-            .keys()
-            .filter(|e| self.is_failed(e))
-            .copied()
-            .collect()
+        self.failed.values().flatten().copied().collect()
     }
 
     /// The hit ratio of `risk`: the fraction of its dependents whose edge to it
-    /// failed (`|O_i| / |G_i|`, §IV-B). Returns 0 for unknown risks.
+    /// failed (`|O_i| / |G_i|`, §IV-B).
+    ///
+    /// Defined as 0 whenever `|G_i| = 0` — unknown risks, risks on an empty
+    /// model, and risks whose dependents were all pruned — so the ratio is
+    /// total (never a division by zero) and always lies in `[0, 1]`.
     pub fn hit_ratio(&self, risk: ObjectId) -> f64 {
         let total = self.dependent_count(risk);
         if total == 0 {
@@ -206,6 +343,9 @@ impl<E: Ord + Copy> RiskModel<E> {
 
     /// The coverage ratio of `risk` with respect to a failure signature of size
     /// `signature_size` (`|O_i| / |F|`, §IV-B).
+    ///
+    /// Defined as 0 for an empty signature (`|F| = 0`), mirroring
+    /// [`RiskModel::hit_ratio`]'s totality convention.
     pub fn coverage_ratio(&self, risk: ObjectId, signature_size: usize) -> f64 {
         if signature_size == 0 {
             return 0.0;
@@ -215,15 +355,21 @@ impl<E: Ord + Copy> RiskModel<E> {
 
     /// Removes a set of elements from the model (used by the pruning step of
     /// the SCOUT algorithm). Risks left without dependents are removed too.
+    ///
+    /// Elements not present in the model are ignored; pruning an empty set, or
+    /// pruning on an empty model, is a no-op.
     pub fn prune_elements(&mut self, elements: &BTreeSet<E>) {
         for element in elements {
             if let Some(risks) = self.edges.remove(element) {
-                for risk in risks.keys() {
-                    if let Some(deps) = self.dependents.get_mut(risk) {
+                for (risk, status) in risks {
+                    if let Some(deps) = self.dependents.get_mut(&risk) {
                         deps.remove(element);
                         if deps.is_empty() {
-                            self.dependents.remove(risk);
+                            self.dependents.remove(&risk);
                         }
+                    }
+                    if status == EdgeStatus::Fail {
+                        self.unmark_failed(*element, risk);
                     }
                 }
             }
@@ -312,6 +458,48 @@ where
             model.mark_failed(element, risk);
         }
     }
+}
+
+/// Tracked variant of [`augment_switch_model`]: returns the journal needed to
+/// roll the augmentation back with [`RiskModel::undo_failures`], so one
+/// pristine switch model can serve many analyses.
+pub fn augment_switch_model_tracked<I>(
+    model: &mut RiskModel<EpgPair>,
+    switch: SwitchId,
+    missing_rules: I,
+) -> FailureMarks<EpgPair>
+where
+    I: IntoIterator<Item = LogicalRule>,
+{
+    let mut marks = FailureMarks::new();
+    for rule in missing_rules.into_iter().filter(|r| r.switch == switch) {
+        let pair = rule.pair();
+        for risk in rule.provenance.policy_objects() {
+            model.mark_failed_tracked(pair, risk, &mut marks);
+        }
+    }
+    marks
+}
+
+/// Tracked variant of [`augment_controller_model`]: returns the journal needed
+/// to roll the augmentation back with [`RiskModel::undo_failures`], so one
+/// pristine controller model can serve many analyses (the incremental
+/// risk-model maintenance of `ScoutSystem` and the campaign engine).
+pub fn augment_controller_model_tracked<I>(
+    model: &mut RiskModel<SwitchEpgPair>,
+    missing_rules: I,
+) -> FailureMarks<SwitchEpgPair>
+where
+    I: IntoIterator<Item = LogicalRule>,
+{
+    let mut marks = FailureMarks::new();
+    for rule in missing_rules {
+        let element = SwitchEpgPair::new(rule.switch, rule.pair());
+        for risk in rule.provenance.objects_with_switch(rule.switch) {
+            model.mark_failed_tracked(element, risk, &mut marks);
+        }
+    }
+    marks
 }
 
 #[cfg(test)]
@@ -456,5 +644,137 @@ mod tests {
         model.mark_failed(pair, ObjectId::Vrf(sample::VRF));
         model.add_edge(pair, ObjectId::Vrf(sample::VRF));
         assert!(model.is_failed(&pair));
+    }
+
+    #[test]
+    fn ratios_are_total_on_empty_and_pruned_models() {
+        // Empty model: every ratio is defined and zero — no division by zero.
+        let empty: RiskModel<EpgPair> = RiskModel::new();
+        let risk = ObjectId::Vrf(sample::VRF);
+        assert_eq!(empty.hit_ratio(risk), 0.0);
+        assert_eq!(empty.coverage_ratio(risk, 0), 0.0);
+        assert_eq!(empty.coverage_ratio(risk, 5), 0.0);
+        assert_eq!(empty.dependent_count(risk), 0);
+        assert_eq!(empty.failed_dependent_count(risk), 0);
+        assert!(empty.failure_signature().is_empty());
+        assert!(empty.suspect_set(&BTreeSet::new()).is_empty());
+
+        // A model whose only dependent was pruned behaves like the empty one.
+        let u = sample::three_tier();
+        let mut model = switch_risk_model(&u, sample::S2);
+        let all: BTreeSet<EpgPair> = model.elements().copied().collect();
+        model.prune_elements(&all);
+        assert_eq!(model.element_count(), 0);
+        assert_eq!(model.risk_count(), 0);
+        assert_eq!(model.hit_ratio(risk), 0.0);
+        // Empty-signature coverage stays zero for any risk.
+        assert_eq!(
+            model.coverage_ratio(risk, model.failure_signature().len()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn pruning_unknown_or_empty_sets_is_a_noop() {
+        let u = sample::three_tier();
+        let mut model = switch_risk_model(&u, sample::S2);
+        let pristine = model.clone();
+        // Empty set.
+        model.prune_elements(&BTreeSet::new());
+        assert_eq!(model, pristine);
+        // Elements the model has never seen.
+        let stranger = EpgPair::new(scout_policy::EpgId::new(900), scout_policy::EpgId::new(901));
+        model.prune_elements(&BTreeSet::from([stranger]));
+        assert_eq!(model, pristine);
+        // Pruning on an already-empty model.
+        let mut empty: RiskModel<EpgPair> = RiskModel::new();
+        empty.prune_elements(&BTreeSet::from([stranger]));
+        assert_eq!(empty.element_count(), 0);
+    }
+
+    #[test]
+    fn tracked_marks_undo_restores_the_pristine_model() {
+        let u = sample::three_tier();
+        let all_rules = scout_fabric::compile(&u);
+        let pristine = controller_risk_model(&u);
+
+        // Augment with every possible missing-rule subset boundary: none, a
+        // couple, and everything.
+        for take in [0usize, 2, all_rules.len()] {
+            let mut model = pristine.clone();
+            let marks =
+                augment_controller_model_tracked(&mut model, all_rules.iter().take(take).copied());
+            // Tracked augmentation must agree with the untracked one.
+            let mut reference = pristine.clone();
+            augment_controller_model(&mut reference, all_rules.iter().take(take).copied());
+            assert_eq!(model, reference, "take {take}");
+            // Undo restores the pristine graph bit for bit.
+            model.undo_failures(marks);
+            assert_eq!(model, pristine, "take {take}");
+        }
+    }
+
+    #[test]
+    fn tracked_marks_do_not_undo_preexisting_failures() {
+        let mut model: RiskModel<EpgPair> = RiskModel::new();
+        let pair = EpgPair::new(sample::WEB, sample::APP);
+        let risk = ObjectId::Vrf(sample::VRF);
+        model.mark_failed(pair, risk);
+        let before = model.clone();
+        let mut marks = FailureMarks::new();
+        model.mark_failed_tracked(pair, risk, &mut marks);
+        assert!(marks.is_empty());
+        model.undo_failures(marks);
+        assert_eq!(model, before);
+        assert!(model.is_failed(&pair));
+    }
+
+    #[test]
+    fn tracked_marks_on_switch_model_roundtrip() {
+        let u = sample::three_tier();
+        let all_rules = scout_fabric::compile(&u);
+        let missing: Vec<LogicalRule> = all_rules
+            .iter()
+            .filter(|r| r.switch == sample::S2)
+            .copied()
+            .collect();
+        let pristine = switch_risk_model(&u, sample::S2);
+        let mut model = pristine.clone();
+        let marks = augment_switch_model_tracked(&mut model, sample::S2, missing.iter().copied());
+        let mut reference = pristine.clone();
+        augment_switch_model(&mut reference, sample::S2, missing.iter().copied());
+        assert_eq!(model, reference);
+        assert!(!marks.is_empty());
+        model.undo_failures(marks);
+        assert_eq!(model, pristine);
+    }
+
+    #[test]
+    fn failure_subgraph_keeps_exactly_the_relevant_slice() {
+        let u = sample::three_tier();
+        let mut model = switch_risk_model(&u, sample::S2);
+        // Healthy model: the subgraph is empty.
+        assert_eq!(model.failure_subgraph().element_count(), 0);
+
+        let web_app = EpgPair::new(sample::WEB, sample::APP);
+        let app_db = EpgPair::new(sample::APP, sample::DB);
+        model.mark_failed(web_app, ObjectId::Vrf(sample::VRF));
+        let sub = model.failure_subgraph();
+        // The VRF is the only candidate risk; both its dependents are kept
+        // (the healthy App-DB edge included, so hit ratios agree).
+        assert_eq!(sub.risk_count(), 1);
+        assert_eq!(sub.element_count(), 2);
+        assert_eq!(
+            sub.hit_ratio(ObjectId::Vrf(sample::VRF)),
+            model.hit_ratio(ObjectId::Vrf(sample::VRF))
+        );
+        assert_eq!(
+            sub.failed_dependent_count(ObjectId::Vrf(sample::VRF)),
+            model.failed_dependent_count(ObjectId::Vrf(sample::VRF))
+        );
+        assert!(sub.is_failed(&web_app));
+        assert!(!sub.is_failed(&app_db));
+        // Risks with no failed edge are not in the subgraph at all.
+        assert_eq!(sub.dependent_count(ObjectId::Filter(sample::F_HTTP)), 0);
     }
 }

@@ -19,8 +19,8 @@ use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchI
 use crate::correlation::{CorrelationEngine, CorrelationReport};
 use crate::localization::{scout_localize, Hypothesis, ScoutConfig};
 use crate::risk::{
-    augment_controller_model, augment_switch_model, controller_risk_model, switch_risk_model,
-    RiskModel,
+    augment_controller_model, augment_controller_model_tracked, augment_switch_model,
+    controller_risk_model, switch_risk_model, RiskModel,
 };
 
 /// Configuration of the end-to-end system.
@@ -95,6 +95,12 @@ pub struct ScoutSystem {
     /// Cached equivalence check for incremental re-analysis, keyed by fabric
     /// identity and epoch (see [`ScoutSystem::analyze_fabric_incremental`]).
     cache: Option<CheckCache>,
+    /// Cached pristine controller risk model, keyed by the fabric's policy
+    /// universe version (see [`ScoutSystem::analyze_fabric_incremental`]):
+    /// as long as the policy is unchanged, each run only applies (and rolls
+    /// back) the failed edges of the current check instead of rebuilding the
+    /// bipartite graph.
+    model_cache: Option<ModelCache>,
 }
 
 /// The state [`ScoutSystem::analyze_fabric_incremental`] carries between runs.
@@ -103,6 +109,84 @@ struct CheckCache {
     fabric_id: u64,
     epoch: u64,
     check: NetworkCheckResult,
+}
+
+/// The cached pristine (un-augmented) controller risk model.
+#[derive(Debug, Clone)]
+struct ModelCache {
+    universe_version: u64,
+    model: RiskModel<SwitchEpgPair>,
+}
+
+/// A reusable snapshot of a reference fabric: its full equivalence check plus
+/// its pristine controller risk model.
+///
+/// Produced by [`ScoutSystem::baseline`] and consumed by
+/// [`ScoutSystem::analyze_derived`]; clone one per worker thread for parallel
+/// campaigns (the snapshot is immutable apart from the transient augmentation
+/// journal, which is always rolled back before returning).
+#[derive(Debug, Clone)]
+pub struct FabricBaseline {
+    fabric_id: u64,
+    universe_version: u64,
+    epoch: u64,
+    check: NetworkCheckResult,
+    model: RiskModel<SwitchEpgPair>,
+}
+
+impl FabricBaseline {
+    /// The id of the snapshotted fabric.
+    pub fn fabric_id(&self) -> u64 {
+        self.fabric_id
+    }
+
+    /// The fabric epoch at snapshot time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshotted equivalence check.
+    pub fn check(&self) -> &NetworkCheckResult {
+        &self.check
+    }
+
+    /// `true` if the snapshotted fabric was consistent with its policy.
+    pub fn is_consistent(&self) -> bool {
+        self.check.is_consistent()
+    }
+
+    /// Returns `true` if this baseline's check can be reused incrementally
+    /// for `fabric`: the fabric is the snapshotted one itself, or a clone
+    /// taken from it at or after the snapshot epoch (every divergence then
+    /// shows up in [`Fabric::dirty_switches_since`] relative to that epoch).
+    pub fn covers(&self, fabric: &Fabric) -> bool {
+        fabric.id() == self.fabric_id
+            || (fabric.parent_id() == Some(self.fabric_id)
+                && fabric.parent_epoch().is_some_and(|e| e >= self.epoch))
+    }
+
+    /// Runs `f` against the controller risk model augmented with the missing
+    /// rules of `check`, re-deriving only the failed edges when the fabric
+    /// still holds the snapshotted policy (and rebuilding the model from the
+    /// fabric's universe otherwise). The cached model is always restored to
+    /// its pristine state before returning.
+    pub fn with_augmented_model<T>(
+        &mut self,
+        fabric: &Fabric,
+        check: &NetworkCheckResult,
+        f: impl FnOnce(&RiskModel<SwitchEpgPair>) -> T,
+    ) -> T {
+        if fabric.universe_version() == self.universe_version {
+            let marks = augment_controller_model_tracked(&mut self.model, check.missing_rules());
+            let out = f(&self.model);
+            self.model.undo_failures(marks);
+            out
+        } else {
+            let mut model = controller_risk_model(fabric.universe());
+            augment_controller_model(&mut model, check.missing_rules());
+            f(&model)
+        }
+    }
 }
 
 impl ScoutSystem {
@@ -119,6 +203,7 @@ impl ScoutSystem {
             correlation: CorrelationEngine::new(),
             config,
             cache: None,
+            model_cache: None,
         }
     }
 
@@ -130,6 +215,7 @@ impl ScoutSystem {
             correlation,
             config,
             cache: None,
+            model_cache: None,
         }
     }
 
@@ -148,11 +234,15 @@ impl ScoutSystem {
     /// logical rule set changed since this system's previous call are
     /// re-checked; clean switches reuse the cached result.
     ///
-    /// The cache is keyed on [`Fabric::id`] and [`Fabric::epoch`], so the
-    /// first call for a given fabric (or a fabric clone, which gets a fresh
-    /// id) falls back to a full check transparently. The produced report is
-    /// identical to [`ScoutSystem::analyze_fabric`]; only the cost differs —
-    /// proportional to the change, not the network.
+    /// The check cache is keyed on [`Fabric::id`] and [`Fabric::epoch`], so
+    /// the first call for a given fabric (or a fabric clone, which gets a
+    /// fresh id) falls back to a full check transparently. The controller
+    /// risk model is cached too, keyed on [`Fabric::universe_version`]: while
+    /// the policy is unchanged, each run re-derives only the failed edges of
+    /// the current check (and rolls them back afterwards) instead of
+    /// rebuilding the bipartite graph. The produced report is identical to
+    /// [`ScoutSystem::analyze_fabric`]; only the cost differs — proportional
+    /// to the change, not the network or the policy universe.
     pub fn analyze_fabric_incremental(&mut self, fabric: &Fabric) -> ScoutReport {
         let check = match &self.cache {
             Some(cache) if cache.fabric_id == fabric.id() => {
@@ -179,12 +269,28 @@ impl ScoutSystem {
             epoch: fabric.epoch(),
             check: check.clone(),
         });
-        self.report_from_check(
+
+        // Risk-model maintenance: reuse the pristine controller model while
+        // the policy universe is unchanged.
+        let version = fabric.universe_version();
+        let mut cached = match self.model_cache.take() {
+            Some(cached) if cached.universe_version == version => cached,
+            _ => ModelCache {
+                universe_version: version,
+                model: controller_risk_model(fabric.universe()),
+            },
+        };
+        let marks = augment_controller_model_tracked(&mut cached.model, check.missing_rules());
+        let report = self.report_from_model(
             check,
+            &cached.model,
             fabric.universe(),
             fabric.change_log(),
             fabric.fault_log(),
-        )
+        );
+        cached.model.undo_failures(marks);
+        self.model_cache = Some(cached);
+        report
     }
 
     /// Runs the full pipeline from the four raw artifacts: the policy
@@ -213,10 +319,23 @@ impl ScoutSystem {
     ) -> ScoutReport {
         let mut model = controller_risk_model(universe);
         augment_controller_model(&mut model, check.missing_rules());
+        self.report_from_model(check, &model, universe, change_log, fault_log)
+    }
+
+    /// Builds the localization/diagnosis stages of a report from an equivalence
+    /// check and an *already augmented* controller risk model.
+    fn report_from_model(
+        &self,
+        check: NetworkCheckResult,
+        model: &RiskModel<SwitchEpgPair>,
+        universe: &PolicyUniverse,
+        change_log: &ChangeLog,
+        fault_log: &FaultLog,
+    ) -> ScoutReport {
         let observations = model.failure_signature();
         let suspect_objects = model.suspect_set(&observations);
 
-        let hypothesis = scout_localize(&model, change_log, self.config.scout);
+        let hypothesis = scout_localize(model, change_log, self.config.scout);
         let diagnosis = self
             .correlation
             .correlate(&hypothesis, universe, change_log, fault_log);
@@ -228,6 +347,97 @@ impl ScoutSystem {
             hypothesis,
             diagnosis,
         }
+    }
+
+    /// Snapshots a reference fabric for repeated derived analyses: the full
+    /// equivalence check plus the pristine controller risk model.
+    ///
+    /// A baseline is the unit of reuse of the campaign engine: snapshot a
+    /// healthy deployed fabric once, then call
+    /// [`ScoutSystem::analyze_derived`] for every mutated clone — each
+    /// analysis re-checks only the switches the clone actually touched and
+    /// re-derives only the failed edges of its check, instead of rebuilding
+    /// the world per scenario.
+    pub fn baseline(&self, fabric: &Fabric) -> FabricBaseline {
+        FabricBaseline {
+            fabric_id: fabric.id(),
+            universe_version: fabric.universe_version(),
+            epoch: fabric.epoch(),
+            check: self
+                .checker
+                .check_network(fabric.logical_rules(), &fabric.collect_tcam()),
+            model: controller_risk_model(fabric.universe()),
+        }
+    }
+
+    /// Analyzes a fabric against a [`FabricBaseline`], reusing the baseline's
+    /// check for clean switches and its pristine risk model for localization.
+    ///
+    /// The produced report is bit-identical to
+    /// [`ScoutSystem::analyze_fabric`] on the same fabric. The fast paths
+    /// engage when the fabric is the baselined fabric itself or a clone taken
+    /// from it at or after the snapshot (see [`FabricBaseline::covers`]) and,
+    /// for the risk model, when the policy universe is unchanged; otherwise
+    /// the method transparently falls back to the from-scratch pipeline for
+    /// the affected stage.
+    pub fn analyze_derived(&self, baseline: &mut FabricBaseline, fabric: &Fabric) -> ScoutReport {
+        self.analyze_derived_with(baseline, fabric, |_| ()).0
+    }
+
+    /// Like [`ScoutSystem::analyze_derived`], but additionally runs `extra`
+    /// against the same augmented controller risk model — e.g. a baseline
+    /// algorithm being compared on identical evidence — so the model is
+    /// augmented (and rolled back) once per analysis instead of once per
+    /// consumer.
+    pub fn analyze_derived_with<T>(
+        &self,
+        baseline: &mut FabricBaseline,
+        fabric: &Fabric,
+        extra: impl FnOnce(&RiskModel<SwitchEpgPair>) -> T,
+    ) -> (ScoutReport, T) {
+        let check = if baseline.covers(fabric) {
+            let dirty = fabric.dirty_switches_since(baseline.epoch);
+            let current: BTreeSet<SwitchId> = fabric.universe().switch_ids().into_iter().collect();
+            self.checker.recheck_dirty_with(
+                &baseline.check,
+                fabric.logical_rules(),
+                &current,
+                &dirty,
+                |s| fabric.tcam_rules(s),
+            )
+        } else {
+            self.checker
+                .check_network(fabric.logical_rules(), &fabric.collect_tcam())
+        };
+        let (observations, suspect_objects, hypothesis, diagnosis, extra_out) = baseline
+            .with_augmented_model(fabric, &check, |model| {
+                let observations = model.failure_signature();
+                let suspect_objects = model.suspect_set(&observations);
+                let hypothesis = scout_localize(model, fabric.change_log(), self.config.scout);
+                let diagnosis = self.correlation.correlate(
+                    &hypothesis,
+                    fabric.universe(),
+                    fabric.change_log(),
+                    fabric.fault_log(),
+                );
+                (
+                    observations,
+                    suspect_objects,
+                    hypothesis,
+                    diagnosis,
+                    extra(model),
+                )
+            });
+        (
+            ScoutReport {
+                check,
+                observations,
+                suspect_objects,
+                hypothesis,
+                diagnosis,
+            },
+            extra_out,
+        )
     }
 
     /// Runs the equivalence check and localization against the *switch risk
@@ -370,6 +580,111 @@ mod tests {
         let report_b = system.analyze_fabric_incremental(&b);
         assert_eq!(report_b, ScoutSystem::new().analyze_fabric(&b));
         assert!(!report_b.is_consistent());
+    }
+
+    #[test]
+    fn derived_analysis_matches_full_analysis() {
+        let mut base = Fabric::new(sample::three_tier());
+        base.deploy();
+        let system = ScoutSystem::new();
+        let mut baseline = system.baseline(&base);
+        assert!(baseline.is_consistent());
+        assert_eq!(baseline.fabric_id(), base.id());
+        assert_eq!(baseline.check().missing_count(), 0);
+
+        // A mutated clone: only S2/S3 are dirty relative to the baseline.
+        let mut clone = base.clone();
+        assert!(baseline.covers(&clone));
+        for switch in [sample::S2, sample::S3] {
+            clone.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+        }
+        let derived = system.analyze_derived(&mut baseline, &clone);
+        let full = ScoutSystem::new().analyze_fabric(&clone);
+        assert_eq!(derived, full);
+        assert!(derived.hypothesis.contains(ObjectId::Filter(sample::F_700)));
+
+        // The baseline stays reusable: a second, different clone agrees too.
+        let mut other = base.clone();
+        other.disconnect_switch(sample::S2);
+        other.remove_tcam_rules_where(sample::S2, |_| true);
+        let derived = system.analyze_derived(&mut baseline, &other);
+        assert_eq!(derived, ScoutSystem::new().analyze_fabric(&other));
+    }
+
+    #[test]
+    fn derived_analysis_survives_policy_updates() {
+        use scout_policy::{Contract, Filter, FilterEntry, FilterId, PortRange, Protocol};
+        let mut base = Fabric::new(sample::three_tier());
+        base.deploy();
+        let system = ScoutSystem::new();
+        let mut baseline = system.baseline(&base);
+
+        // The clone's policy diverges: the risk-model fast path must yield to
+        // a from-scratch model while the check stays incremental.
+        let mut clone = base.clone();
+        let universe = clone.universe();
+        let mut b = scout_policy::PolicyUniverse::builder();
+        for t in universe.tenants() {
+            b.tenant(t.clone());
+        }
+        for v in universe.vrfs() {
+            b.vrf(v.clone());
+        }
+        for e in universe.epgs() {
+            b.epg(e.clone());
+        }
+        for s in universe.switches() {
+            b.switch(s.clone());
+        }
+        for ep in universe.endpoints() {
+            b.endpoint(ep.clone());
+        }
+        for f in universe.filters() {
+            b.filter(f.clone());
+        }
+        b.filter(Filter::new(
+            FilterId::new(60),
+            "port-9443",
+            vec![FilterEntry::allow(Protocol::Tcp, PortRange::single(9443))],
+        ));
+        for c in universe.contracts() {
+            if c.id == sample::C_APP_DB {
+                let mut filters = c.filters.clone();
+                filters.push(FilterId::new(60));
+                b.contract(Contract::new(c.id, c.name.clone(), filters));
+            } else {
+                b.contract(c.clone());
+            }
+        }
+        for binding in universe.bindings() {
+            b.bind(*binding);
+        }
+        let updated = b.build().unwrap();
+
+        clone.disconnect_switch(sample::S3);
+        clone.update_policy(updated);
+        let derived = system.analyze_derived(&mut baseline, &clone);
+        let full = ScoutSystem::new().analyze_fabric(&clone);
+        assert_eq!(derived, full);
+        assert!(!derived.is_consistent());
+    }
+
+    #[test]
+    fn baseline_does_not_cover_stale_clones() {
+        let mut base = Fabric::new(sample::three_tier());
+        base.deploy();
+        let system = ScoutSystem::new();
+
+        // Clone first, snapshot later: the clone misses the post-clone
+        // mutation, so the baseline must refuse the incremental path…
+        let stale = base.clone();
+        base.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let mut baseline = system.baseline(&base);
+        assert!(!baseline.covers(&stale));
+        // …and still produce the correct (full-check) report for it.
+        let report = system.analyze_derived(&mut baseline, &stale);
+        assert_eq!(report, ScoutSystem::new().analyze_fabric(&stale));
+        assert!(report.is_consistent());
     }
 
     #[test]

@@ -52,10 +52,20 @@ impl DeploymentReport {
 /// Process-wide source of unique fabric identities (see [`Fabric::id`]).
 static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Process-wide source of unique policy-universe versions (see
+/// [`Fabric::universe_version`]).
+static NEXT_UNIVERSE_VERSION: AtomicU64 = AtomicU64::new(1);
+
 /// The simulated fabric: policy universe + controller + switches.
 #[derive(Debug)]
 pub struct Fabric {
     id: u64,
+    /// The fabric this one was cloned from, if any, together with the epoch at
+    /// the moment of cloning (see [`Fabric::parent_id`]).
+    parent: Option<(u64, u64)>,
+    /// Process-unique version of the installed policy universe (see
+    /// [`Fabric::universe_version`]).
+    universe_version: u64,
     universe: PolicyUniverse,
     clock: SimClock,
     agents: BTreeMap<SwitchId, SwitchAgent>,
@@ -81,6 +91,8 @@ impl Clone for Fabric {
     fn clone(&self) -> Self {
         Self {
             id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
+            parent: Some((self.id, self.epoch)),
+            universe_version: self.universe_version,
             universe: self.universe.clone(),
             clock: self.clock.clone(),
             agents: self.agents.clone(),
@@ -107,6 +119,8 @@ impl Fabric {
         }
         Self {
             id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
+            parent: None,
+            universe_version: NEXT_UNIVERSE_VERSION.fetch_add(1, Ordering::Relaxed),
             universe,
             clock: SimClock::new(),
             agents,
@@ -130,6 +144,40 @@ impl Fabric {
     /// evolving network. Incremental consumers key their cached state on this.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The id of the fabric this one was cloned from, if any.
+    ///
+    /// A clone starts as a bit-identical snapshot of its parent (same epoch,
+    /// same per-switch versions), so a consumer holding state computed against
+    /// the parent — e.g. a `FabricBaseline` in `scout-core` — can keep using
+    /// it for the clone: [`Fabric::dirty_switches_since`] with an epoch
+    /// observed on the parent exactly covers the clone's divergence, provided
+    /// the clone was taken at or after that epoch (see
+    /// [`Fabric::parent_epoch`]).
+    pub fn parent_id(&self) -> Option<u64> {
+        self.parent.map(|(id, _)| id)
+    }
+
+    /// The parent's epoch at the moment this fabric was cloned from it.
+    ///
+    /// State computed against the parent at some epoch `e` is valid for this
+    /// clone iff `parent_epoch() >= e`: everything the parent did up to the
+    /// clone point is baked into this fabric's per-switch versions, and
+    /// everything after the clone point never happened here.
+    pub fn parent_epoch(&self) -> Option<u64> {
+        self.parent.map(|(_, epoch)| epoch)
+    }
+
+    /// A process-unique version of the installed policy universe.
+    ///
+    /// Two fabrics with the same universe version are guaranteed to hold the
+    /// same policy (clones share their parent's version until either side
+    /// calls [`Fabric::update_policy`], which assigns a fresh one). Consumers
+    /// deriving state from the universe alone — risk models, compiled object
+    /// closures — key their caches on this.
+    pub fn universe_version(&self) -> u64 {
+        self.universe_version
     }
 
     /// The current change epoch: a monotonic counter bumped whenever a
@@ -331,6 +379,7 @@ impl Fabric {
         }
 
         self.universe = new_universe;
+        self.universe_version = NEXT_UNIVERSE_VERSION.fetch_add(1, Ordering::Relaxed);
         self.logical_rules = new_rules_vec;
         self.push(&instructions)
     }
@@ -904,6 +953,45 @@ mod tests {
         let clone = fabric.clone();
         assert_ne!(fabric.id(), clone.id());
         assert_eq!(fabric.epoch(), clone.epoch());
+    }
+
+    #[test]
+    fn clones_remember_their_parent() {
+        let fabric = deployed_three_tier();
+        assert_eq!(fabric.parent_id(), None);
+        assert_eq!(fabric.parent_epoch(), None);
+        let clone = fabric.clone();
+        assert_eq!(clone.parent_id(), Some(fabric.id()));
+        assert_eq!(clone.parent_epoch(), Some(fabric.epoch()));
+        // A clone of a clone points at the intermediate fabric, not the root.
+        let grandchild = clone.clone();
+        assert_eq!(grandchild.parent_id(), Some(clone.id()));
+        // The clone point survives the clone's own mutations.
+        let mut busy = fabric.clone();
+        let at_clone = busy.parent_epoch().unwrap();
+        busy.remove_tcam_rules_where(sample::S2, |_| true);
+        assert_eq!(busy.parent_epoch(), Some(at_clone));
+        assert!(busy.epoch() > at_clone);
+    }
+
+    #[test]
+    fn universe_version_tracks_policy_changes_only() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        let v0 = fabric.universe_version();
+        // Deployment and TCAM mutations keep the same policy.
+        fabric.deploy();
+        fabric.remove_tcam_rules_where(sample::S2, |_| true);
+        assert_eq!(fabric.universe_version(), v0);
+        // Clones share the parent's version.
+        let clone = fabric.clone();
+        assert_eq!(clone.universe_version(), v0);
+        // A policy update assigns a fresh version; the clone keeps the old one.
+        fabric.update_policy(three_tier_with_extra_filter());
+        assert_ne!(fabric.universe_version(), v0);
+        assert_eq!(clone.universe_version(), v0);
+        // Distinct fresh fabrics never share a version, even for equal policies.
+        let other = Fabric::new(sample::three_tier());
+        assert_ne!(other.universe_version(), v0);
     }
 
     #[test]

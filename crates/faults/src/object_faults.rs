@@ -112,15 +112,39 @@ impl<R: Rng> FaultInjector<R> {
     /// Returns the ground truth. If fewer than `count` candidate objects
     /// exist, every candidate is made faulty.
     pub fn inject_object_faults(&mut self, fabric: &mut Fabric, count: usize) -> GroundTruth {
+        self.inject_object_faults_where(fabric, count, None)
+    }
+
+    /// Like [`FaultInjector::inject_object_faults`], but every injected fault
+    /// has the given kind — the campaign engine uses this to build pure
+    /// full-fault and pure partial-fault scenario populations, matching the
+    /// per-kind accuracy splits of the paper's Figures 7 and 8.
+    pub fn inject_object_faults_of(
+        &mut self,
+        fabric: &mut Fabric,
+        count: usize,
+        kind: ObjectFaultKind,
+    ) -> GroundTruth {
+        self.inject_object_faults_where(fabric, count, Some(kind))
+    }
+
+    fn inject_object_faults_where(
+        &mut self,
+        fabric: &mut Fabric,
+        count: usize,
+        forced: Option<ObjectFaultKind>,
+    ) -> GroundTruth {
         let mut candidates = Self::candidate_objects(fabric);
         candidates.shuffle(&mut self.rng);
         let mut truth = GroundTruth::default();
         for object in candidates.into_iter().take(count) {
-            let kind = if self.rng.gen_bool(0.5) {
-                ObjectFaultKind::Full
-            } else {
-                ObjectFaultKind::Partial
-            };
+            let kind = forced.unwrap_or_else(|| {
+                if self.rng.gen_bool(0.5) {
+                    ObjectFaultKind::Full
+                } else {
+                    ObjectFaultKind::Partial
+                }
+            });
             if let Some(fault) = self.inject_fault_on(fabric, object, kind) {
                 truth.push(fault);
             }
@@ -306,6 +330,27 @@ mod tests {
         assert!(!truth.is_empty());
         // Injected objects are genuine policy objects.
         assert!(truth.objects().iter().all(|o| !o.is_switch()));
+    }
+
+    #[test]
+    fn forced_kind_injection_only_produces_that_kind() {
+        for kind in [ObjectFaultKind::Full, ObjectFaultKind::Partial] {
+            let mut fabric = deployed();
+            let mut inj = injector(13);
+            let truth = inj.inject_object_faults_of(&mut fabric, 3, kind);
+            assert_eq!(truth.len(), 3);
+            assert!(truth.faults().iter().all(|f| f.kind == kind), "{kind:?}");
+        }
+        // Full faults remove every rule of the object; the checker agrees.
+        let mut fabric = deployed();
+        let mut inj = injector(13);
+        let truth = inj.inject_object_faults_of(&mut fabric, 1, ObjectFaultKind::Full);
+        let object = truth.faults()[0].object;
+        let still_there = rules_for_object(fabric.logical_rules(), object)
+            .iter()
+            .filter(|r| fabric.tcam_rules(r.switch).contains(&r.rule))
+            .count();
+        assert_eq!(still_there, 0);
     }
 
     #[test]

@@ -89,6 +89,13 @@ impl Cdf {
         self.sorted[rank - 1]
     }
 
+    /// Summary statistics (mean, stddev, extrema) over the CDF's samples —
+    /// convenient when a distribution is reported both ways, as the campaign
+    /// aggregates do for γ.
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.sorted.iter().copied())
+    }
+
     /// The `(value, fraction ≤ value)` points of the empirical CDF, one per
     /// sample, suitable for plotting or printing.
     pub fn points(&self) -> Vec<(f64, f64)> {
@@ -193,6 +200,14 @@ mod tests {
         let cdf = Cdf::of(std::iter::empty());
         assert!(cdf.is_empty());
         assert_eq!(cdf.fraction_le(1.0), 0.0);
+        assert_eq!(cdf.summary().count, 0);
+    }
+
+    #[test]
+    fn cdf_summary_matches_direct_summary() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let cdf = Cdf::of(samples);
+        assert_eq!(cdf.summary(), Summary::of(samples));
     }
 
     #[test]

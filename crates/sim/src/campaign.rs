@@ -1,0 +1,438 @@
+//! The campaign runner: batches of seeded scenarios, executed in parallel,
+//! aggregated into a deterministic report.
+//!
+//! A [`Campaign`] fixes a workload, a scenario count, a disturbance mix and a
+//! seed; [`Campaign::run`] deploys the reference fabric once, snapshots it
+//! into a [`FabricBaseline`](scout_core::FabricBaseline) per worker thread,
+//! and drives every scenario through the full pipeline. Scenario `i` depends
+//! only on `mix_seed(campaign_seed, i)`, so the outcome vector — and the
+//! aggregate [`CampaignReport`] — is identical regardless of thread count or
+//! analysis mode.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use scout_core::{ScoutConfig, ScoutSystem, SystemConfig};
+use scout_fabric::Fabric;
+use scout_metrics::{fmt3, Cdf, Summary, Table};
+
+use crate::scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};
+
+/// How many worker threads a campaign uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// One worker per available core, capped by the scenario count.
+    #[default]
+    Auto,
+    /// Single-threaded execution.
+    Sequential,
+    /// Exactly this many workers (at least 1).
+    Threads(usize),
+}
+
+/// Whether scenario analyses reuse the per-worker baseline snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Reuse the baseline's equivalence check and pristine risk model;
+    /// per-scenario cost is proportional to the disturbance.
+    #[default]
+    Incremental,
+    /// Rebuild the full check and the risk model for every scenario — the
+    /// reference the incremental mode is validated (and benchmarked) against.
+    FromScratch,
+}
+
+/// Configuration of one fault campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Campaign {
+    /// The policy generator for the reference fabric.
+    pub workload: WorkloadKind,
+    /// Number of scenarios to run.
+    pub scenarios: usize,
+    /// Maximum simultaneous object faults per scenario (at least 1 is used).
+    pub max_faults: usize,
+    /// Relative weights of the disturbance kinds.
+    pub mix: ScenarioMix,
+    /// The campaign seed; scenario `i` derives its own seed from it.
+    pub seed: u64,
+    /// Worker-thread policy.
+    pub concurrency: Concurrency,
+    /// Baseline reuse policy.
+    pub analysis: AnalysisMode,
+    /// Localization configuration forwarded to every scenario.
+    pub scout: ScoutConfig,
+}
+
+impl Campaign {
+    /// A campaign with the default mix, fault bound, parallelism and
+    /// incremental analysis.
+    pub fn new(workload: WorkloadKind, scenarios: usize, seed: u64) -> Self {
+        Self {
+            workload,
+            scenarios,
+            max_faults: 3,
+            mix: ScenarioMix::default(),
+            seed,
+            concurrency: Concurrency::Auto,
+            analysis: AnalysisMode::Incremental,
+            scout: ScoutConfig::default(),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        match self.concurrency {
+            Concurrency::Sequential => 1,
+            Concurrency::Threads(n) => n.max(1),
+            Concurrency::Auto => std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(self.scenarios.max(1)),
+        }
+    }
+
+    /// Deploys the reference fabric and runs every scenario.
+    ///
+    /// The outcome vector is deterministic for a given configuration (thread
+    /// count and analysis mode change only the wall-clock time).
+    pub fn run(&self) -> CampaignRun {
+        let start = Instant::now();
+        let mut base = Fabric::new(self.workload.generate(self.seed));
+        base.deploy();
+
+        let threads = self.thread_count();
+        let outcomes = if threads <= 1 {
+            self.worker(&base, 0, 1)
+                .into_iter()
+                .map(|(_, outcome)| outcome)
+                .collect()
+        } else {
+            let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; self.scenarios];
+            std::thread::scope(|scope| {
+                let base = &base;
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| scope.spawn(move || self.worker(base, worker, threads)))
+                    .collect();
+                for handle in handles {
+                    for (index, outcome) in handle.join().expect("campaign worker panicked") {
+                        slots[index] = Some(outcome);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every scenario index is covered"))
+                .collect()
+        };
+
+        CampaignRun {
+            outcomes,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs the scenario indices `worker, worker + stride, …` on one thread.
+    ///
+    /// Each worker owns a private `ScoutSystem` and baseline snapshot, so the
+    /// warm BDD caches and the pristine risk model are reused across its
+    /// scenarios without any cross-thread synchronization.
+    fn worker(&self, base: &Fabric, worker: usize, stride: usize) -> Vec<(usize, ScenarioOutcome)> {
+        let system = ScoutSystem::with_config(SystemConfig { scout: self.scout });
+        let mut baseline = match self.analysis {
+            AnalysisMode::Incremental => Some(system.baseline(base)),
+            AnalysisMode::FromScratch => None,
+        };
+        (worker..self.scenarios)
+            .step_by(stride.max(1))
+            .map(|index| {
+                let seed = scenario_seed(self.seed, index);
+                let outcome = run_scenario(
+                    &system,
+                    baseline.as_mut(),
+                    base,
+                    index,
+                    seed,
+                    self.max_faults,
+                    &self.mix,
+                );
+                (index, outcome)
+            })
+            .collect()
+    }
+}
+
+/// Derives the private seed of scenario `index` from the campaign seed.
+pub fn scenario_seed(campaign_seed: u64, index: usize) -> u64 {
+    campaign_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((index as u64) << 17)
+        .wrapping_add(index as u64)
+}
+
+/// The raw result of a campaign: per-scenario outcomes plus wall-clock time.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// One outcome per scenario, in scenario order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Total wall-clock time of the run (excluded from [`CampaignRun::report`],
+    /// which must be deterministic).
+    pub elapsed: Duration,
+}
+
+impl CampaignRun {
+    /// Aggregates the outcomes into the deterministic campaign report.
+    pub fn report(&self) -> CampaignReport {
+        CampaignReport::of(&self.outcomes)
+    }
+}
+
+/// Aggregated statistics of the scenarios of one kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindStats {
+    /// Number of scenarios of this kind.
+    pub scenarios: usize,
+    /// Scenarios with a non-empty ground truth.
+    pub faulty: usize,
+    /// Faulty scenarios the pipeline flagged as inconsistent.
+    pub detected: usize,
+    /// Faulty scenarios whose hypothesis intersected the truth.
+    pub attributed: usize,
+    /// SCOUT precision over the faulty scenarios.
+    pub precision: Summary,
+    /// SCOUT recall over the faulty scenarios.
+    pub recall: Summary,
+    /// SCORE-1.0 recall over the faulty scenarios.
+    pub score_recall: Summary,
+    /// γ over the detected scenarios.
+    pub gamma: Summary,
+}
+
+/// The deterministic aggregate of one campaign: identical for identical
+/// configurations, regardless of thread count or analysis mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Total number of scenarios.
+    pub scenarios: usize,
+    /// Per-kind breakdown (only kinds that occurred).
+    pub per_kind: BTreeMap<ScenarioKind, KindStats>,
+    /// SCOUT precision over faulty object-fault scenarios (full + partial).
+    pub object_precision: Summary,
+    /// SCOUT recall over faulty object-fault scenarios.
+    pub object_recall: Summary,
+    /// SCORE-1.0 recall over faulty object-fault scenarios.
+    pub score_object_recall: Summary,
+    /// SCOUT recall over faulty *partial* object-fault scenarios — the
+    /// population where the paper's Figures 7/8 claim SCOUT beats SCORE.
+    pub partial_recall: Summary,
+    /// SCORE-1.0 recall over the same partial-fault population.
+    pub score_partial_recall: Summary,
+    /// Distribution of γ over all detected scenarios.
+    pub gamma: Cdf,
+}
+
+impl CampaignReport {
+    /// Aggregates a slice of outcomes (in scenario order).
+    pub fn of(outcomes: &[ScenarioOutcome]) -> Self {
+        let mut per_kind: BTreeMap<ScenarioKind, Vec<&ScenarioOutcome>> = BTreeMap::new();
+        for outcome in outcomes {
+            per_kind.entry(outcome.kind).or_default().push(outcome);
+        }
+
+        fn faulty<'a>(items: &[&'a ScenarioOutcome]) -> Vec<&'a ScenarioOutcome> {
+            items
+                .iter()
+                .copied()
+                .filter(|o| !o.truth.is_empty())
+                .collect()
+        }
+        let stats = |items: &[&ScenarioOutcome]| -> KindStats {
+            let with_truth = faulty(items);
+            let detected: Vec<&&ScenarioOutcome> =
+                with_truth.iter().filter(|o| !o.consistent).collect();
+            KindStats {
+                scenarios: items.len(),
+                faulty: with_truth.len(),
+                detected: detected.len(),
+                attributed: with_truth.iter().filter(|o| o.attributed).count(),
+                precision: Summary::of(with_truth.iter().map(|o| o.scout.precision)),
+                recall: Summary::of(with_truth.iter().map(|o| o.scout.recall)),
+                score_recall: Summary::of(with_truth.iter().map(|o| o.score.recall)),
+                gamma: Summary::of(detected.iter().map(|o| o.gamma)),
+            }
+        };
+
+        let object_outcomes: Vec<&ScenarioOutcome> = outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    ScenarioKind::FullObject | ScenarioKind::PartialObject
+                ) && !o.truth.is_empty()
+            })
+            .collect();
+        let partial_outcomes: Vec<&ScenarioOutcome> = object_outcomes
+            .iter()
+            .copied()
+            .filter(|o| o.kind == ScenarioKind::PartialObject)
+            .collect();
+
+        CampaignReport {
+            scenarios: outcomes.len(),
+            per_kind: per_kind
+                .into_iter()
+                .map(|(kind, items)| (kind, stats(&items)))
+                .collect(),
+            object_precision: Summary::of(object_outcomes.iter().map(|o| o.scout.precision)),
+            object_recall: Summary::of(object_outcomes.iter().map(|o| o.scout.recall)),
+            score_object_recall: Summary::of(object_outcomes.iter().map(|o| o.score.recall)),
+            partial_recall: Summary::of(partial_outcomes.iter().map(|o| o.scout.recall)),
+            score_partial_recall: Summary::of(partial_outcomes.iter().map(|o| o.score.recall)),
+            gamma: Cdf::of(
+                outcomes
+                    .iter()
+                    .filter(|o| !o.truth.is_empty() && !o.consistent)
+                    .map(|o| o.gamma),
+            ),
+        }
+    }
+
+    /// Renders the per-kind breakdown as an aligned table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "Campaign — SCOUT vs SCORE-1.0 per scenario kind",
+            &[
+                "kind",
+                "runs",
+                "faulty",
+                "detected",
+                "attributed",
+                "P(SCOUT)",
+                "R(SCOUT)",
+                "R(SCORE)",
+                "mean γ",
+            ],
+        );
+        for (kind, stats) in &self.per_kind {
+            table.row([
+                kind.to_string(),
+                stats.scenarios.to_string(),
+                stats.faulty.to_string(),
+                stats.detected.to_string(),
+                stats.attributed.to_string(),
+                fmt3(stats.precision.mean),
+                fmt3(stats.recall.mean),
+                fmt3(stats.score_recall.mean),
+                fmt3(stats.gamma.mean),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the headline aggregates (the quantities the golden regression
+    /// test gates on) as an aligned table.
+    pub fn headline_table(&self) -> Table {
+        let mut table = Table::new(
+            "Campaign — headline aggregates",
+            &["metric", "SCOUT", "SCORE-1.0"],
+        );
+        table.row([
+            "object-fault precision (mean)".to_string(),
+            fmt3(self.object_precision.mean),
+            "-".to_string(),
+        ]);
+        table.row([
+            "object-fault recall (mean)".to_string(),
+            fmt3(self.object_recall.mean),
+            fmt3(self.score_object_recall.mean),
+        ]);
+        table.row([
+            "partial-fault recall (mean)".to_string(),
+            fmt3(self.partial_recall.mean),
+            fmt3(self.score_partial_recall.mean),
+        ]);
+        let gamma_cell = if self.gamma.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{} (p50 {})",
+                fmt3(self.gamma.summary().mean),
+                fmt3(self.gamma.quantile(0.5))
+            )
+        };
+        table.row(["suspect reduction γ".to_string(), gamma_cell, String::new()]);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_workload::TestbedSpec;
+
+    fn small_campaign(seed: u64) -> Campaign {
+        let spec = TestbedSpec {
+            epgs: 12,
+            contracts: 8,
+            filters: 4,
+            target_pairs: 20,
+            switches: 3,
+            tcam_capacity: 1024,
+        };
+        Campaign {
+            scenarios: 16,
+            max_faults: 2,
+            ..Campaign::new(WorkloadKind::Testbed(spec), 16, seed)
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let sequential = Campaign {
+            concurrency: Concurrency::Sequential,
+            ..small_campaign(42)
+        };
+        let threaded = Campaign {
+            concurrency: Concurrency::Threads(4),
+            ..small_campaign(42)
+        };
+        let a = sequential.run();
+        let b = threaded.run();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.report(), b.report());
+        // A different seed produces a different campaign.
+        let c = Campaign {
+            concurrency: Concurrency::Sequential,
+            ..small_campaign(43)
+        }
+        .run();
+        assert_ne!(a.outcomes, c.outcomes);
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_campaigns_agree() {
+        let incremental = small_campaign(7).run();
+        let scratch = Campaign {
+            analysis: AnalysisMode::FromScratch,
+            ..small_campaign(7)
+        }
+        .run();
+        assert_eq!(incremental.outcomes, scratch.outcomes);
+    }
+
+    #[test]
+    fn report_aggregates_cover_every_scenario() {
+        let run = small_campaign(11).run();
+        let report = run.report();
+        assert_eq!(report.scenarios, 16);
+        let counted: usize = report.per_kind.values().map(|s| s.scenarios).sum();
+        assert_eq!(counted, 16);
+        for stats in report.per_kind.values() {
+            assert!(stats.detected <= stats.faulty);
+            assert!(stats.attributed <= stats.faulty);
+        }
+        assert!(!report.table().is_empty());
+        assert_eq!(report.headline_table().len(), 4);
+        // γ samples come from detected scenarios only and lie in (0, 1].
+        for (gamma, _) in report.gamma.points() {
+            assert!(gamma > 0.0 && gamma <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # scout-sim
+//!
+//! The randomized fault-campaign engine of the SCOUT reproduction
+//! (ICDCS 2018).
+//!
+//! The paper's headline claims are statistical — precision and recall near 1
+//! on full-object faults, better recall than SCORE on partial faults, a small
+//! suspect-set reduction ratio γ — so exercising the pipeline on a handful of
+//! hand-written scenarios is not enough. This crate drives *campaigns*:
+//! batches of seeded, randomized fault scenarios executed end to end (sample
+//! a workload, deploy, disturb, localize, correlate, score against ground
+//! truth), in parallel, with the per-seed determinism needed to turn the
+//! paper's accuracy tables into enforceable regression tests.
+//!
+//! Scenarios draw from every disturbance class the repo models
+//! ([`ScenarioKind`]): full and partial object faults, physical switch faults
+//! (TCAM corruption, silent eviction), switch churn racing a policy rollout,
+//! and concurrent policy updates surrounding a fault. Each scenario clones
+//! the campaign's reference fabric and is analyzed against a per-worker
+//! [`FabricBaseline`](scout_core::FabricBaseline), so a campaign step costs
+//! time proportional to the disturbance — the baseline's equivalence check
+//! covers the clean switches and its pristine risk model is re-augmented (and
+//! rolled back) instead of rebuilt.
+//!
+//! # Example
+//!
+//! ```
+//! use scout_sim::{Campaign, Concurrency, WorkloadKind};
+//! use scout_workload::TestbedSpec;
+//!
+//! let campaign = Campaign {
+//!     scenarios: 8,
+//!     concurrency: Concurrency::Sequential,
+//!     ..Campaign::new(WorkloadKind::Testbed(TestbedSpec::paper()), 8, 42)
+//! };
+//! let run = campaign.run();
+//! let report = run.report();
+//! assert_eq!(report.scenarios, 8);
+//! // Same seed, same aggregate — campaigns are deterministic.
+//! assert_eq!(campaign.run().report(), report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod scenario;
+
+pub use campaign::{
+    scenario_seed, AnalysisMode, Campaign, CampaignReport, CampaignRun, Concurrency, KindStats,
+};
+pub use scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};

@@ -35,7 +35,10 @@ pub mod scale;
 pub mod testbed;
 
 pub use cluster::ClusterSpec;
-pub use mutate::{add_filter_to_contract, next_filter_id, remove_filter_from_contract};
+pub use mutate::{
+    add_filter_to_contract, add_random_filter, next_filter_id, random_policy_edit,
+    remove_filter_from_contract, remove_random_filter, PolicyEdit,
+};
 pub use scale::ScaleSpec;
 pub use testbed::TestbedSpec;
 

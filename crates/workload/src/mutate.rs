@@ -6,6 +6,13 @@
 //! is immutable by design, so these helpers rebuild a new universe with one
 //! targeted change applied; the fabric's `update_policy` then derives the
 //! incremental instructions and change-log entries from the difference.
+//!
+//! The seeded [`random_policy_edit`] / [`add_random_filter`] /
+//! [`remove_random_filter`] variants drive the campaign engine's churn and
+//! concurrent-update scenarios, where policy edits race with fault injection.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
 
 use scout_policy::{
     Contract, ContractId, Filter, FilterEntry, FilterId, PolicyUniverse, PortRange, Protocol,
@@ -108,6 +115,74 @@ pub fn next_filter_id(universe: &PolicyUniverse) -> FilterId {
     FilterId::new(max + 1)
 }
 
+/// The outcome of one randomized policy edit: the new universe plus the
+/// contract and filter the edit touched (the objects a change log will
+/// implicate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEdit {
+    /// The universe with the edit applied.
+    pub universe: PolicyUniverse,
+    /// The contract whose filter list changed.
+    pub contract: ContractId,
+    /// The filter that was added to (or removed from) the contract.
+    pub filter: FilterId,
+    /// `true` if the filter was added, `false` if it was removed.
+    pub added: bool,
+}
+
+/// Appends a brand-new single-port TCP filter to a uniformly chosen contract.
+///
+/// Returns `None` only when the universe has no contracts. The port is drawn
+/// from the high, unprivileged range so repeated edits stay distinct from the
+/// generator-assigned service ports.
+pub fn add_random_filter<R: Rng>(universe: &PolicyUniverse, rng: &mut R) -> Option<PolicyEdit> {
+    let contracts: Vec<ContractId> = universe.contracts().map(|c| c.id).collect();
+    let contract = *contracts.choose(rng)?;
+    let filter = next_filter_id(universe);
+    let port = rng.gen_range(20_000u16..60_000);
+    let universe = add_filter_to_contract(universe, contract, filter, port)?;
+    Some(PolicyEdit {
+        universe,
+        contract,
+        filter,
+        added: true,
+    })
+}
+
+/// Removes a uniformly chosen filter from a uniformly chosen contract that
+/// can afford to lose one (at least two filters).
+///
+/// Returns `None` when no contract qualifies.
+pub fn remove_random_filter<R: Rng>(universe: &PolicyUniverse, rng: &mut R) -> Option<PolicyEdit> {
+    let candidates: Vec<ContractId> = universe
+        .contracts()
+        .filter(|c| c.filters.len() >= 2)
+        .map(|c| c.id)
+        .collect();
+    let contract = *candidates.choose(rng)?;
+    let filters = &universe.contract(contract)?.filters;
+    let filter = *filters.choose(rng)?;
+    let universe = remove_filter_from_contract(universe, contract, filter)?;
+    Some(PolicyEdit {
+        universe,
+        contract,
+        filter,
+        added: false,
+    })
+}
+
+/// Applies one random edit — an addition (2/3 of the time) or a removal — to
+/// the universe. Falls back to an addition when no filter can be removed, so
+/// the edit only fails on a contract-less universe.
+pub fn random_policy_edit<R: Rng>(universe: &PolicyUniverse, rng: &mut R) -> Option<PolicyEdit> {
+    if rng.gen_bool(1.0 / 3.0) {
+        if let Some(edit) = remove_random_filter(universe, rng) {
+            return Some(edit);
+        }
+    }
+    add_random_filter(universe, rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +237,44 @@ mod tests {
         let u = sample::three_tier();
         let id = next_filter_id(&u);
         assert!(u.filter(id).is_none());
+    }
+
+    #[test]
+    fn random_edits_are_seeded_and_well_formed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let u = sample::three_tier();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edit = random_policy_edit(&u, &mut rng).unwrap();
+            // Deterministic per seed.
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            assert_eq!(random_policy_edit(&u, &mut rng2), Some(edit.clone()));
+            let contract = edit.universe.contract(edit.contract).unwrap();
+            if edit.added {
+                assert!(contract.filters.contains(&edit.filter), "seed {seed}");
+                assert!(u.filter(edit.filter).is_none(), "seed {seed}");
+            } else {
+                assert!(!contract.filters.contains(&edit.filter), "seed {seed}");
+                assert!(!contract.filters.is_empty(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_random_filter_needs_a_removable_contract() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = sample::three_tier();
+        // Only C_APP_DB has two filters, so any removal must target it.
+        let edit = remove_random_filter(&u, &mut rng).unwrap();
+        assert_eq!(edit.contract, sample::C_APP_DB);
+        assert!(!edit.added);
+        // After the removal no contract has two filters left.
+        assert!(remove_random_filter(&edit.universe, &mut rng).is_none());
+        // Additions still work (and thus so does random_policy_edit).
+        assert!(random_policy_edit(&edit.universe, &mut rng).is_some());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`workload`] | `scout-workload` | cluster / testbed / scaling policy generators |
 //! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, end-to-end system |
 //! | [`metrics`] | `scout-metrics` | precision/recall/γ, CDFs, run statistics |
+//! | [`sim`] | `scout-sim` | randomized fault-campaign engine with deterministic parallel scenarios |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use scout_fabric as fabric;
 pub use scout_faults as faults;
 pub use scout_metrics as metrics;
 pub use scout_policy as policy;
+pub use scout_sim as sim;
 pub use scout_workload as workload;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -70,5 +72,6 @@ pub mod prelude {
     pub use scout_policy::{
         sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
     };
+    pub use scout_sim::{Campaign, CampaignReport, ScenarioKind, ScenarioMix, WorkloadKind};
     pub use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
 }

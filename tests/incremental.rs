@@ -98,6 +98,73 @@ fn removed_switch_leaves_no_ghost_dirty_entry() {
     assert!(!incremental.check.per_switch.contains_key(&removed_switch));
 }
 
+/// The incremental system's cached risk model (and the baseline API's) must
+/// be bit-identical to from-scratch analyses across a randomized sequence of
+/// every mutation class: TCAM removals, corruption, eviction, channel flaps
+/// and policy updates.
+#[test]
+fn cached_risk_models_match_from_scratch_across_random_mutations() {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use scout::fabric::CorruptionKind;
+    use scout::workload::{add_random_filter, TestbedSpec};
+
+    let spec = TestbedSpec {
+        epgs: 12,
+        contracts: 8,
+        filters: 4,
+        target_pairs: 20,
+        switches: 3,
+        tcam_capacity: 1024,
+    };
+    for seed in 0..4u64 {
+        let mut fabric = Fabric::new(spec.generate(seed));
+        fabric.deploy();
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let mut system = ScoutSystem::new();
+        let derived_system = ScoutSystem::new();
+        let mut baseline = derived_system.baseline(&fabric);
+
+        for step in 0..12 {
+            let switch_ids = fabric.universe().switch_ids();
+            let &switch = switch_ids.choose(&mut rng).unwrap();
+            match rng.gen_range(0u32..6) {
+                0 => {
+                    let port = rng.gen_range(0u16..1024);
+                    fabric
+                        .remove_tcam_rules_where(switch, |r| r.matcher.ports.start % 7 == port % 7);
+                }
+                1 => {
+                    let index = rng.gen_range(0usize..8);
+                    fabric.corrupt_tcam(switch, index, CorruptionKind::VrfBit);
+                }
+                2 => {
+                    fabric.evict_tcam(switch, rng.gen_range(1usize..3), false);
+                }
+                3 => {
+                    fabric.disconnect_switch(switch);
+                }
+                4 => {
+                    fabric.reconnect_switch(switch);
+                    fabric.resync();
+                }
+                _ => {
+                    let universe = fabric.universe().clone();
+                    if let Some(edit) = add_random_filter(&universe, &mut rng) {
+                        fabric.update_policy(edit.universe);
+                    }
+                }
+            }
+            let batch = ScoutSystem::new().analyze_fabric(&fabric);
+            let incremental = system.analyze_fabric_incremental(&fabric);
+            assert_eq!(incremental, batch, "seed {seed} step {step} (incremental)");
+            let derived = derived_system.analyze_derived(&mut baseline, &fabric);
+            assert_eq!(derived, batch, "seed {seed} step {step} (derived)");
+        }
+    }
+}
+
 #[test]
 fn incremental_system_tracks_successive_mutations() {
     let mut fabric = deployed_scale_fabric(12);
