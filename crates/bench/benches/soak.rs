@@ -1,0 +1,71 @@
+//! Steady-state soak throughput: the cost of one monitoring epoch,
+//! incremental vs from-scratch.
+//!
+//! A soak timeline keeps one fabric alive and re-analyzes it every epoch, so
+//! the quantity that decides whether continuous monitoring is affordable is
+//! the *steady-state epoch cost* of the incremental path — a recheck of the
+//! few dirty switches plus a journaled augment/undo on the cached risk model —
+//! against the from-scratch analysis the differential oracle performs. This
+//! bench runs a cluster-workload timeline with the oracle on every epoch, so
+//! both costs are measured over the identical epoch sequence, asserts the
+//! reports agreed at every epoch, and requires the incremental mean to beat
+//! the from-scratch mean by a healthy margin.
+
+use scout_bench::harness::fmt_duration;
+use scout_sim::{Timeline, WorkloadKind};
+use scout_workload::ClusterSpec;
+use std::time::Duration;
+
+fn main() {
+    // A quarter-paper cluster: big enough that a from-scratch epoch clearly
+    // costs more than an incremental one, small enough for a quick bench.
+    let spec = ClusterSpec {
+        vrfs: 4,
+        epgs: 150,
+        contracts: 100,
+        filters: 48,
+        switches: 8,
+        ..ClusterSpec::paper()
+    };
+    let timeline = Timeline::new(WorkloadKind::Cluster(spec), 40, 42);
+    let run = timeline.run();
+
+    assert_eq!(run.outcome.epochs.len(), 40);
+    assert!(
+        run.outcome.oracle_disagreements().is_empty(),
+        "incremental and from-scratch reports must agree at every epoch"
+    );
+
+    let report = run.outcome.report();
+    println!("{}", report.table());
+    println!("{}", report.timeline_table(48));
+
+    let inc = run.incremental_cost.summary();
+    let scratch = run.scratch_cost.summary();
+    let inc_mean = Duration::from_nanos(inc.mean as u64);
+    let scratch_mean = Duration::from_nanos(scratch.mean as u64);
+    let epoch_throughput = 1.0 / inc_mean.as_secs_f64().max(1e-12);
+    println!("\n== soak steady state (cluster workload, 40 epochs) ==");
+    println!(
+        "incremental epoch analysis   mean {} (max {})",
+        fmt_duration(inc_mean),
+        fmt_duration(Duration::from_nanos(inc.max as u64)),
+    );
+    println!(
+        "from-scratch epoch analysis  mean {}",
+        fmt_duration(scratch_mean),
+    );
+    println!(
+        "steady-state epoch throughput: {epoch_throughput:.0} epochs/s, \
+         incremental speedup {:.1}x",
+        scratch.mean / inc.mean.max(1.0),
+    );
+
+    assert!(
+        scratch.mean >= inc.mean * 1.5,
+        "incremental epoch analysis must be at least 1.5x faster than \
+         from-scratch in steady state (incremental {} vs from-scratch {})",
+        fmt_duration(inc_mean),
+        fmt_duration(scratch_mean),
+    );
+}

@@ -431,6 +431,192 @@ mod tests {
         }
     }
 
+    /// Every loggable fault kind of the standard signature library, injected
+    /// through its natural scenario, is mapped back to the expected physical
+    /// diagnosis by the engine.
+    #[test]
+    fn every_standard_fault_kind_maps_to_its_diagnosis() {
+        let scenarios: Vec<(FaultKind, Box<dyn Fn() -> Fabric>)> = vec![
+            (
+                FaultKind::TcamOverflow,
+                Box::new(|| {
+                    let mut f = Fabric::new(sample::three_tier_with_capacity(3));
+                    f.deploy();
+                    f
+                }),
+            ),
+            (
+                FaultKind::SwitchUnreachable,
+                Box::new(|| {
+                    let mut f = Fabric::new(sample::three_tier());
+                    f.disconnect_switch(sample::S2);
+                    f.deploy();
+                    f
+                }),
+            ),
+            (
+                FaultKind::AgentCrash,
+                Box::new(|| {
+                    let mut f = Fabric::new(sample::three_tier());
+                    f.crash_agent(sample::S2);
+                    f.deploy();
+                    f
+                }),
+            ),
+            (
+                FaultKind::RuleEviction,
+                Box::new(|| {
+                    let mut f = Fabric::new(sample::three_tier());
+                    f.deploy();
+                    // A *logged* eviction: the agent reports the fault.
+                    f.evict_tcam(sample::S2, 2, true);
+                    f
+                }),
+            ),
+            (
+                FaultKind::ChannelDegraded,
+                Box::new(|| {
+                    let mut f = Fabric::new(sample::three_tier());
+                    // Every second instruction towards S2 is dropped.
+                    f.degrade_channel(sample::S2, 2);
+                    f.deploy();
+                    f
+                }),
+            ),
+        ];
+        for (kind, build) in scenarios {
+            let fabric = build();
+            let hypothesis = hypothesis_for(&fabric);
+            assert!(!hypothesis.is_empty(), "{kind}: nothing localized");
+            let engine = CorrelationEngine::new();
+            let report = engine.correlate(
+                &hypothesis,
+                fabric.universe(),
+                fabric.change_log(),
+                fabric.fault_log(),
+            );
+            assert!(
+                report.causes_by_kind().contains_key(&kind),
+                "{kind}: expected diagnosis missing, got {:?}",
+                report.causes_by_kind().keys().collect::<Vec<_>>()
+            );
+            assert_eq!(report.most_likely()[0].0, kind, "{kind} must rank first");
+        }
+    }
+
+    /// Conflicting logs: two different faults are active on the same switch
+    /// when the divergence appears. The engine must surface *both* candidate
+    /// causes rather than picking one arbitrarily, and rank them by how many
+    /// hypothesis objects each explains.
+    #[test]
+    fn conflicting_logs_surface_every_candidate_cause() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.crash_agent(sample::S2);
+        fabric.disconnect_switch(sample::S2);
+        fabric.deploy();
+        let hypothesis = hypothesis_for(&fabric);
+        assert!(!hypothesis.is_empty());
+
+        let engine = CorrelationEngine::new();
+        let report = engine.correlate(
+            &hypothesis,
+            fabric.universe(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        );
+        let by_kind = report.causes_by_kind();
+        assert!(by_kind.contains_key(&FaultKind::AgentCrash), "{by_kind:?}");
+        assert!(
+            by_kind.contains_key(&FaultKind::SwitchUnreachable),
+            "{by_kind:?}"
+        );
+        // Both faults cover the same switch, so they explain the same objects
+        // and the ranking falls back to the deterministic kind order.
+        let ranked = report.most_likely();
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].1, ranked[1].1, "equal coverage");
+        // No implicated object is left unknown: something explains each.
+        assert!(report.unknown_objects().is_empty());
+    }
+
+    /// The repair audit events emitted by the fabric's repair hooks are
+    /// pre-cleared and must never show up as root causes, even though
+    /// `FaultKind::Repair` entries sit in the same log.
+    #[test]
+    fn repair_audit_events_are_never_root_causes() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        // A repaired-then-rebroken switch: the old repair event must not be
+        // blamed for the new divergence.
+        fabric.evict_tcam(sample::S2, 1, false);
+        fabric.repair_switch(sample::S2);
+        assert!(!fabric
+            .fault_log()
+            .entries_of_kind(FaultKind::Repair)
+            .is_empty());
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let hypothesis = hypothesis_for(&fabric);
+        assert!(!hypothesis.is_empty());
+        let engine = CorrelationEngine::new();
+        let report = engine.correlate(
+            &hypothesis,
+            fabric.universe(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        );
+        assert!(!report.causes_by_kind().contains_key(&FaultKind::Repair));
+        // The silent removal has no log at all: every object is unknown.
+        assert_eq!(report.unknown_objects().len(), hypothesis.len());
+    }
+
+    /// An extended library recognizes a fault kind the standard one treats as
+    /// unknown — the mechanism that lets admins grow the engine's coverage.
+    #[test]
+    fn extended_library_attributes_what_standard_cannot() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric
+            .corrupt_tcam(sample::S2, 0, scout_fabric::CorruptionKind::VrfBit)
+            .unwrap();
+        // Suppose a hardware scrubber *did* log the corruption this time.
+        let t = fabric.now();
+        fabric.fault_log_mut().raise(
+            t,
+            Some(sample::S2),
+            FaultKind::TcamCorruption,
+            scout_fabric::Severity::Warning,
+            "parity error reported by scrubber",
+        );
+        let hypothesis = hypothesis_for(&fabric);
+        assert!(!hypothesis.is_empty());
+
+        // Standard library: the kind has no signature, objects stay unknown.
+        let standard = CorrelationEngine::new().correlate(
+            &hypothesis,
+            fabric.universe(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        );
+        assert!(!standard
+            .causes_by_kind()
+            .contains_key(&FaultKind::TcamCorruption));
+        assert_eq!(standard.unknown_objects().len(), hypothesis.len());
+
+        // Extended library: the same log entry becomes the diagnosis.
+        let mut lib = SignatureLibrary::standard();
+        lib.add(FaultKind::TcamCorruption);
+        let extended = CorrelationEngine::with_signatures(lib).correlate(
+            &hypothesis,
+            fabric.universe(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        );
+        assert!(extended
+            .causes_by_kind()
+            .contains_key(&FaultKind::TcamCorruption));
+        assert!(extended.unknown_objects().is_empty());
+    }
+
     #[test]
     fn signature_library_can_be_extended() {
         let mut lib = SignatureLibrary::empty();

@@ -749,6 +749,156 @@ mod tests {
         assert_eq!(model, pristine);
     }
 
+    mod undo_journal_props {
+        //! Property tests for the undo journal: under random interleavings of
+        //! untracked `mark_failed` evidence and tracked journal episodes, an
+        //! undo must restore the model — including the failed-edge index —
+        //! bit for bit.
+
+        use super::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use scout_policy::EpgId;
+        use scout_policy::FilterId;
+
+        fn element(rng: &mut StdRng) -> EpgPair {
+            EpgPair::new(
+                EpgId::new(rng.gen_range(0..8)),
+                EpgId::new(rng.gen_range(8..16)),
+            )
+        }
+
+        fn risk(rng: &mut StdRng) -> ObjectId {
+            ObjectId::Filter(FilterId::new(rng.gen_range(0..10)))
+        }
+
+        /// A random base model: some success edges, some plain elements.
+        fn random_model(rng: &mut StdRng) -> RiskModel<EpgPair> {
+            let mut model = RiskModel::new();
+            for _ in 0..rng.gen_range(0..40) {
+                let e = element(rng);
+                if rng.gen_bool(0.15) {
+                    model.add_element(e);
+                } else {
+                    model.add_edge(e, risk(rng));
+                }
+            }
+            model
+        }
+
+        /// Recomputes the failed-edge index from the edge statuses and checks
+        /// the indexed views against it — the "pristine index" the issue's
+        /// property targets.
+        fn assert_index_exact(model: &RiskModel<EpgPair>) {
+            let mut signature = BTreeSet::new();
+            let mut failed_by_risk: BTreeMap<ObjectId, BTreeSet<EpgPair>> = BTreeMap::new();
+            let elements: Vec<EpgPair> = model.elements().copied().collect();
+            for e in &elements {
+                for r in model.risks_of(e) {
+                    if model.failed_risks_of(e).contains(&r) {
+                        signature.insert(*e);
+                        failed_by_risk.entry(r).or_default().insert(*e);
+                    }
+                }
+            }
+            assert_eq!(model.failure_signature(), signature);
+            let all_risks: Vec<ObjectId> = model.risks().copied().collect();
+            for r in all_risks {
+                let expected = failed_by_risk.get(&r).cloned().unwrap_or_default();
+                assert_eq!(model.failed_dependents_of(r), expected, "risk {r:?}");
+                assert_eq!(model.failed_dependent_count(r), expected.len());
+            }
+        }
+
+        /// Interleave untracked evidence with tracked journal episodes, in
+        /// random order and length; every undo must restore the exact state
+        /// the journal started from.
+        #[test]
+        fn interleaved_tracked_marks_always_roll_back_exactly() {
+            for seed in 0..60u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut model = random_model(&mut rng);
+                for _round in 0..rng.gen_range(1..4) {
+                    // Permanent evidence lands between journal episodes.
+                    for _ in 0..rng.gen_range(0..6) {
+                        model.mark_failed(element(&mut rng), risk(&mut rng));
+                    }
+                    let snapshot = model.clone();
+
+                    // One tracked episode: a random mix of fresh edges,
+                    // flipped edges, duplicate marks and already-failed hits.
+                    let mut marks = FailureMarks::new();
+                    let ops = rng.gen_range(0..20);
+                    for _ in 0..ops {
+                        let (e, r) = (element(&mut rng), risk(&mut rng));
+                        model.mark_failed_tracked(e, r, &mut marks);
+                        // Tracked marks must behave exactly like untracked
+                        // ones while applied.
+                        assert!(model.is_failed(&e), "seed {seed}");
+                    }
+                    assert_index_exact(&model);
+
+                    model.undo_failures(marks);
+                    assert_eq!(model, snapshot, "seed {seed}: undo must be exact");
+                    assert_index_exact(&model);
+                }
+            }
+        }
+
+        /// Nested journals undone in LIFO order restore the pristine model.
+        #[test]
+        fn nested_journals_roll_back_in_lifo_order() {
+            for seed in 0..40u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut model = random_model(&mut rng);
+                let pristine = model.clone();
+
+                let mut outer = FailureMarks::new();
+                for _ in 0..rng.gen_range(1..10) {
+                    model.mark_failed_tracked(element(&mut rng), risk(&mut rng), &mut outer);
+                }
+                let mid = model.clone();
+                let mut inner = FailureMarks::new();
+                for _ in 0..rng.gen_range(1..10) {
+                    model.mark_failed_tracked(element(&mut rng), risk(&mut rng), &mut inner);
+                }
+
+                model.undo_failures(inner);
+                assert_eq!(model, mid, "seed {seed}");
+                model.undo_failures(outer);
+                assert_eq!(model, pristine, "seed {seed}");
+                assert_index_exact(&model);
+            }
+        }
+
+        /// A tracked augmentation is observationally identical to an
+        /// untracked one — the journal changes rollback ability, not results.
+        #[test]
+        fn tracked_and_untracked_marks_agree_while_applied() {
+            for seed in 0..40u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let base = random_model(&mut rng);
+                let pairs: Vec<(EpgPair, ObjectId)> = (0..rng.gen_range(0..25))
+                    .map(|_| (element(&mut rng), risk(&mut rng)))
+                    .collect();
+
+                let mut tracked = base.clone();
+                let mut marks = FailureMarks::new();
+                for &(e, r) in &pairs {
+                    tracked.mark_failed_tracked(e, r, &mut marks);
+                }
+                let mut untracked = base.clone();
+                for &(e, r) in &pairs {
+                    untracked.mark_failed(e, r);
+                }
+                assert_eq!(tracked, untracked, "seed {seed}");
+
+                tracked.undo_failures(marks);
+                assert_eq!(tracked, base, "seed {seed}");
+            }
+        }
+    }
+
     #[test]
     fn failure_subgraph_keeps_exactly_the_relevant_slice() {
         let u = sample::three_tier();

@@ -49,6 +49,29 @@ impl DeploymentReport {
     }
 }
 
+/// Counters describing the outcome of one repair action (see
+/// [`Fabric::repair_switch`] and [`Fabric::reinstall_rules`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// TCAM entries removed because no compiled rule expects them (corrupted
+    /// or stale garbage).
+    pub garbage_removed: usize,
+    /// Missing rules successfully re-installed into the TCAM.
+    pub reinstalled: usize,
+    /// Re-install instructions that failed (overflow, crash, channel loss).
+    pub failed: usize,
+    /// Active fault-log entries resolved by the repair.
+    pub faults_cleared: usize,
+}
+
+impl RepairReport {
+    /// Returns `true` if the repair changed nothing (nothing was broken, or
+    /// nothing could be fixed).
+    pub fn is_noop(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Process-wide source of unique fabric identities (see [`Fabric::id`]).
 static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -550,6 +573,106 @@ impl Fabric {
         evicted
     }
 
+    // ------------------------------------------------------------------
+    // Repair hooks
+    // ------------------------------------------------------------------
+
+    /// Fully repairs `switch`: reconnects its control channel, restarts a
+    /// crashed agent, resolves the switch's still-active fault-log entries,
+    /// removes TCAM entries no compiled rule expects (corrupted or stale
+    /// garbage) and re-installs the switch's missing logical rules.
+    ///
+    /// A [`FaultKind::Repair`] audit event is recorded (pre-cleared, so it can
+    /// never be mistaken for an active fault by correlation). The change log
+    /// is untouched — a repair restores the deployed state, it is not a policy
+    /// change. Re-installs can still fail (e.g. a genuinely full TCAM); the
+    /// returned [`RepairReport`] says what happened.
+    pub fn repair_switch(&mut self, switch: SwitchId) -> RepairReport {
+        if !self.agents.contains_key(&switch) {
+            return RepairReport::default();
+        }
+        let mut report = RepairReport::default();
+
+        // Control plane first: a repaired switch must be reachable again and
+        // its agent running, or the rule re-installs below would be lost.
+        self.reconnect_switch(switch);
+        if let Some(agent) = self.agents.get_mut(&switch) {
+            agent.restart();
+            agent.reset_overflow_latch();
+        }
+        let t = self.clock.tick();
+        report.faults_cleared = self.fault_log.clear_active_for_switch(switch, t);
+
+        // Data plane: drop garbage, then close the gap to the compiled policy.
+        let expected: BTreeSet<TcamRule> = self
+            .logical_rules
+            .iter()
+            .filter(|r| r.switch == switch)
+            .map(|r| r.rule)
+            .collect();
+        report.garbage_removed = self
+            .remove_tcam_rules_where(switch, |r| !expected.contains(r))
+            .len();
+        let present: BTreeSet<TcamRule> = self.tcam_rules(switch).into_iter().collect();
+        let instructions: Vec<Instruction> = self
+            .logical_rules
+            .iter()
+            .filter(|r| r.switch == switch && !present.contains(&r.rule))
+            .map(|&rule| Instruction::install(rule))
+            .collect();
+        let pushed = self.push(&instructions);
+        report.reinstalled = pushed.rules_applied;
+        report.failed = pushed.instructions_sent - pushed.rules_applied;
+
+        let t = self.clock.tick();
+        self.fault_log.record_repair(
+            t,
+            Some(switch),
+            format!(
+                "repaired {switch}: {} garbage entries removed, {} rules re-installed",
+                report.garbage_removed, report.reinstalled
+            ),
+        );
+        report
+    }
+
+    /// Re-installs a specific set of logical rules — the repair counterpart of
+    /// a silent object-level deployment failure: the controller re-pushes
+    /// exactly the rules that were lost.
+    ///
+    /// Rules no longer in the compiled policy (e.g. removed by a later policy
+    /// edit) are skipped; nothing is removed. A [`FaultKind::Repair`] audit
+    /// event is recorded when any instruction is pushed.
+    pub fn reinstall_rules(&mut self, rules: &[LogicalRule]) -> RepairReport {
+        let current: BTreeSet<LogicalRule> = self.logical_rules.iter().copied().collect();
+        let instructions: Vec<Instruction> = rules
+            .iter()
+            .filter(|r| current.contains(r))
+            .map(|&rule| Instruction::install(rule))
+            .collect();
+        if instructions.is_empty() {
+            return RepairReport::default();
+        }
+        let pushed = self.push(&instructions);
+        let report = RepairReport {
+            garbage_removed: 0,
+            reinstalled: pushed.rules_applied,
+            failed: pushed.instructions_sent - pushed.rules_applied,
+            faults_cleared: 0,
+        };
+        let t = self.clock.tick();
+        self.fault_log.record_repair(
+            t,
+            None,
+            format!(
+                "re-installed {} of {} lost rules",
+                report.reinstalled,
+                rules.len()
+            ),
+        );
+        report
+    }
+
     /// Silently removes every TCAM rule on `switch` matching `predicate`
     /// (no fault log), used to emulate arbitrary object deployment failures.
     pub fn remove_tcam_rules_where<F: FnMut(&TcamRule) -> bool>(
@@ -992,6 +1115,114 @@ mod tests {
         // Distinct fresh fabrics never share a version, even for equal policies.
         let other = Fabric::new(sample::three_tier());
         assert_ne!(other.universe_version(), v0);
+    }
+
+    #[test]
+    fn repair_switch_restores_a_corrupted_and_evicted_tcam() {
+        let mut fabric = deployed_three_tier();
+        let pristine_tcam = fabric.tcam_rules(sample::S2);
+        fabric
+            .corrupt_tcam(sample::S2, 5, CorruptionKind::ActionFlip)
+            .unwrap();
+        fabric.evict_tcam(sample::S2, 2, false);
+        assert_ne!(fabric.tcam_rules(sample::S2), pristine_tcam);
+
+        let checkpoint = fabric.epoch();
+        let report = fabric.repair_switch(sample::S2);
+        // One corrupted garbage entry removed; corrupted + 2 evicted re-added.
+        assert_eq!(report.garbage_removed, 1);
+        assert_eq!(report.reinstalled, 3);
+        assert_eq!(report.failed, 0);
+        let repaired: BTreeSet<TcamRule> = fabric.tcam_rules(sample::S2).into_iter().collect();
+        let expected: BTreeSet<TcamRule> = pristine_tcam.iter().copied().collect();
+        assert_eq!(repaired, expected);
+        // The repair dirtied the switch, so an incremental checker re-examines it.
+        assert!(fabric
+            .dirty_switches_since(checkpoint)
+            .contains(&sample::S2));
+        // An audit event exists and is pre-cleared.
+        let repairs = fabric.fault_log().entries_of_kind(FaultKind::Repair);
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].cleared_at.is_some());
+    }
+
+    #[test]
+    fn repair_switch_heals_control_plane_faults() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.disconnect_switch(sample::S2);
+        fabric.crash_agent(sample::S3);
+        fabric.deploy();
+        assert_eq!(fabric.tcam_rules(sample::S2).len(), 0);
+        assert_eq!(fabric.tcam_rules(sample::S3).len(), 0);
+
+        let r2 = fabric.repair_switch(sample::S2);
+        let r3 = fabric.repair_switch(sample::S3);
+        assert_eq!(fabric.tcam_rules(sample::S2).len(), 6);
+        assert_eq!(fabric.tcam_rules(sample::S3).len(), 4);
+        assert_eq!(r2.reinstalled, 6);
+        assert_eq!(r3.reinstalled, 4);
+        // The disconnect fault was cleared by the reconnect, the crash fault
+        // by the repair's fault sweep; nothing stays active.
+        assert!(r3.faults_cleared >= 1);
+        assert!(!fabric.agent(sample::S3).unwrap().is_crashed());
+        assert!(fabric.fault_log().active_at(fabric.now()).is_empty());
+    }
+
+    #[test]
+    fn repair_of_a_healthy_or_unknown_switch_is_a_noop() {
+        let mut fabric = deployed_three_tier();
+        let tcam_before = fabric.collect_tcam();
+        let report = fabric.repair_switch(sample::S1);
+        assert_eq!(report.garbage_removed, 0);
+        assert_eq!(report.reinstalled, 0);
+        assert_eq!(fabric.collect_tcam(), tcam_before);
+        // Unknown switch: nothing happens, not even an audit event.
+        let log_len = fabric.fault_log().len();
+        let report = fabric.repair_switch(SwitchId::new(999));
+        assert!(report.is_noop());
+        assert_eq!(fabric.fault_log().len(), log_len);
+    }
+
+    #[test]
+    fn reinstall_rules_restores_exactly_the_lost_rules() {
+        let mut fabric = deployed_three_tier();
+        let lost: Vec<LogicalRule> = fabric
+            .logical_rules()
+            .iter()
+            .filter(|r| r.switch == sample::S2 && r.rule.matcher.ports.start == 700)
+            .copied()
+            .collect();
+        assert_eq!(lost.len(), 2);
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        assert_eq!(fabric.tcam_rules(sample::S2).len(), 4);
+
+        let report = fabric.reinstall_rules(&lost);
+        assert_eq!(report.reinstalled, 2);
+        assert_eq!(report.failed, 0);
+        assert_eq!(fabric.tcam_rules(sample::S2).len(), 6);
+        assert_eq!(
+            fabric.fault_log().entries_of_kind(FaultKind::Repair).len(),
+            1
+        );
+        // Rules that left the compiled policy are skipped entirely.
+        let stale = vec![lost[0]];
+        fabric.update_policy(sample::three_tier()); // no-op diff, same rules
+        let mut not_compiled = stale.clone();
+        not_compiled[0].rule.matcher.ports.start = 9999;
+        let report = fabric.reinstall_rules(&not_compiled);
+        assert!(report.is_noop());
+    }
+
+    #[test]
+    fn reinstall_through_a_dead_channel_reports_failure() {
+        let mut fabric = deployed_three_tier();
+        let lost: Vec<LogicalRule> = fabric.logical_rules_for(sample::S3);
+        fabric.remove_tcam_rules_where(sample::S3, |_| true);
+        fabric.disconnect_switch(sample::S3);
+        let report = fabric.reinstall_rules(&lost);
+        assert_eq!(report.reinstalled, 0);
+        assert_eq!(report.failed, lost.len());
+        assert!(fabric.tcam_rules(sample::S3).is_empty());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use agent::{AgentHealth, ApplyOutcome, SwitchAgent};
 pub use channel::{ControlChannel, LinkState};
 pub use clock::{SimClock, Timestamp};
 pub use compiler::{compile, compile_for_switch, rule_count_for_switch};
-pub use fabric::{diff_universes, DeploymentReport, Fabric};
+pub use fabric::{diff_universes, DeploymentReport, Fabric, RepairReport};
 pub use instruction::{Instruction, InstructionOp};
 pub use logs::{
     ChangeAction, ChangeLog, ChangeLogEntry, FaultKind, FaultLog, FaultLogEntry, Severity,

@@ -35,6 +35,7 @@
 pub mod model_faults;
 pub mod object_faults;
 pub mod physical;
+pub mod repair;
 
 pub use model_faults::{
     candidate_objects_on_switch, synthesize_fault_on, synthesize_fault_on_switch,
@@ -48,3 +49,4 @@ pub use physical::{
     agent_crash_mid_update, random_tcam_corruption, silent_rule_eviction, unresponsive_switch,
     PhysicalFault,
 };
+pub use repair::{repair_object_fault, repair_physical_fault};

@@ -41,6 +41,11 @@ pub struct InjectedFault {
     pub switches: BTreeSet<SwitchId>,
     /// Number of TCAM rules removed.
     pub removed_rules: usize,
+    /// The logical rules whose TCAM renderings this fault actually removed —
+    /// the exact restoration set a repair must re-push. Rules already missing
+    /// when the fault landed (e.g. removed by an earlier overlapping fault)
+    /// are *not* listed: they belong to the fault that removed them.
+    pub removed: Vec<LogicalRule>,
 }
 
 /// The ground truth of an experiment run: the set of injected faults.
@@ -184,17 +189,22 @@ impl<R: Rng> FaultInjector<R> {
         record_change(fabric, object);
 
         let mut switches = BTreeSet::new();
-        let mut removed = 0usize;
+        let mut removed = Vec::new();
+        let mut removed_count = 0usize;
         let mut by_switch: BTreeMap<SwitchId, Vec<LogicalRule>> = BTreeMap::new();
         for rule in victims {
             by_switch.entry(rule.switch).or_default().push(rule);
         }
         for (switch, rules) in by_switch {
             let targets: BTreeSet<scout_policy::TcamRule> = rules.iter().map(|r| r.rule).collect();
-            let gone = fabric.remove_tcam_rules_where(switch, |r| targets.contains(r));
+            let gone: BTreeSet<scout_policy::TcamRule> = fabric
+                .remove_tcam_rules_where(switch, |r| targets.contains(r))
+                .into_iter()
+                .collect();
             if !gone.is_empty() {
                 switches.insert(switch);
-                removed += gone.len();
+                removed_count += gone.len();
+                removed.extend(rules.into_iter().filter(|r| gone.contains(&r.rule)));
             }
         }
 
@@ -202,7 +212,8 @@ impl<R: Rng> FaultInjector<R> {
             object,
             kind,
             switches,
-            removed_rules: removed,
+            removed_rules: removed_count,
+            removed,
         })
     }
 }

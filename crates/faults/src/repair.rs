@@ -1,0 +1,182 @@
+//! Repair actions: the inverse of fault injection.
+//!
+//! The paper pitches SCOUT as a *continuous* monitor, which implies a fault
+//! lifecycle: faults are injected, detected, localized and eventually fixed by
+//! an operator, after which the monitor must observe the network converging
+//! back to a consistent state. These helpers close the loop for every fault
+//! class the crate can inject:
+//!
+//! * an **object fault** is repaired by re-pushing exactly the logical rules
+//!   it removed ([`repair_object_fault`]), mirroring an admin re-deploying the
+//!   faulty object;
+//! * a **physical fault** is repaired by restoring the whole switch
+//!   ([`repair_physical_fault`]): reconnect, restart, drop corrupted garbage,
+//!   re-sync the TCAM against the compiled policy.
+//!
+//! Every repair emits a pre-cleared [`scout_fabric::FaultKind::Repair`] audit
+//! event via the fabric, and none of them touches the controller change log —
+//! repairs restore deployed state, they are not policy changes.
+
+use scout_fabric::{Fabric, RepairReport};
+
+use crate::object_faults::InjectedFault;
+use crate::physical::PhysicalFault;
+
+/// Repairs an injected object fault by re-installing the exact logical rules
+/// it removed.
+///
+/// Rules that a later policy edit removed from the compiled policy are
+/// skipped (they are no longer supposed to exist); rules another fault also
+/// lost stay missing until *that* fault is repaired, because
+/// [`InjectedFault::removed`] only lists the rules this fault itself took
+/// out. The repair can fail partially — e.g. if the rule's switch is
+/// disconnected or crashed — in which case the returned report's
+/// [`RepairReport::failed`] is non-zero and the fault is still active.
+pub fn repair_object_fault(fabric: &mut Fabric, fault: &InjectedFault) -> RepairReport {
+    fabric.reinstall_rules(&fault.removed)
+}
+
+/// Repairs a physical fault by fully restoring the switch it hit:
+/// reconnects the control channel, restarts the agent, removes TCAM entries
+/// no compiled rule expects (corruption garbage) and re-installs every
+/// missing rule of the switch.
+///
+/// This is deliberately switch-scoped rather than rule-scoped — a hardware
+/// swap or an agent restart re-syncs the whole device — so it also heals the
+/// local footprint of any *other* fault active on the same switch. Callers
+/// tracking per-fault ground truth should reconcile their bookkeeping against
+/// the fabric afterwards (the soak engine in `scout-sim` does exactly that).
+pub fn repair_physical_fault(fabric: &mut Fabric, fault: &PhysicalFault) -> RepairReport {
+    fabric.repair_switch(fault.switch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_faults::{FaultInjector, ObjectFaultKind};
+    use crate::physical::{random_tcam_corruption, silent_rule_eviction, unresponsive_switch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scout_equiv::EquivalenceChecker;
+    use scout_policy::{sample, ObjectId};
+
+    fn deployed() -> Fabric {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric
+    }
+
+    fn missing_count(fabric: &Fabric) -> usize {
+        EquivalenceChecker::new()
+            .check_network(fabric.logical_rules(), &fabric.collect_tcam())
+            .missing_count()
+    }
+
+    #[test]
+    fn object_fault_repair_restores_consistency() {
+        let mut fabric = deployed();
+        let mut inj = FaultInjector::new(StdRng::seed_from_u64(1));
+        let fault = inj
+            .inject_fault_on(
+                &mut fabric,
+                ObjectId::Filter(sample::F_700),
+                ObjectFaultKind::Full,
+            )
+            .unwrap();
+        assert_eq!(fault.removed.len(), fault.removed_rules);
+        assert_eq!(missing_count(&fabric), 4);
+
+        let report = repair_object_fault(&mut fabric, &fault);
+        assert_eq!(report.reinstalled, 4);
+        assert_eq!(report.failed, 0);
+        assert_eq!(missing_count(&fabric), 0);
+    }
+
+    #[test]
+    fn overlapping_faults_record_disjoint_restoration_sets() {
+        let mut fabric = deployed();
+        let mut inj = FaultInjector::new(StdRng::seed_from_u64(5));
+        // The VRF fault takes every rule; a subsequent full fault on the
+        // port-700 filter finds its rules already gone and records nothing.
+        let vrf_fault = inj
+            .inject_fault_on(
+                &mut fabric,
+                ObjectId::Vrf(sample::VRF),
+                ObjectFaultKind::Full,
+            )
+            .unwrap();
+        let filter_fault = inj
+            .inject_fault_on(
+                &mut fabric,
+                ObjectId::Filter(sample::F_700),
+                ObjectFaultKind::Full,
+            )
+            .unwrap();
+        assert!(
+            filter_fault.removed.is_empty(),
+            "rules already gone belong to the VRF fault"
+        );
+        assert_eq!(filter_fault.removed_rules, 0);
+        assert_eq!(vrf_fault.removed.len(), 12);
+
+        // Repairing the VRF fault therefore restores everything.
+        let report = repair_object_fault(&mut fabric, &vrf_fault);
+        assert_eq!(report.reinstalled, 12);
+        assert_eq!(missing_count(&fabric), 0);
+    }
+
+    #[test]
+    fn partial_overlap_keeps_the_other_faults_rules_missing() {
+        let mut fabric = deployed();
+        let mut inj = FaultInjector::new(StdRng::seed_from_u64(9));
+        // F_700 removes its 4 rules first; the App-DB contract covers those 4
+        // plus the 4 port-80 App-DB rules, so its fault only records the rest.
+        let filter_fault = inj
+            .inject_fault_on(
+                &mut fabric,
+                ObjectId::Filter(sample::F_700),
+                ObjectFaultKind::Full,
+            )
+            .unwrap();
+        let contract_fault = inj
+            .inject_fault_on(
+                &mut fabric,
+                ObjectId::Contract(sample::C_APP_DB),
+                ObjectFaultKind::Full,
+            )
+            .unwrap();
+        assert_eq!(filter_fault.removed.len(), 4);
+        assert_eq!(contract_fault.removed.len(), 4);
+        assert_eq!(missing_count(&fabric), 8);
+
+        // Repairing only the contract fault leaves the filter's rules missing.
+        repair_object_fault(&mut fabric, &contract_fault);
+        assert_eq!(missing_count(&fabric), 4);
+        repair_object_fault(&mut fabric, &filter_fault);
+        assert_eq!(missing_count(&fabric), 0);
+    }
+
+    #[test]
+    fn physical_repairs_restore_corruption_eviction_and_disconnects() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fabric = deployed();
+        let corruption = random_tcam_corruption(&mut fabric, sample::S2, 2, &mut rng);
+        let eviction = silent_rule_eviction(&mut fabric, sample::S3, 2);
+        assert!(missing_count(&fabric) >= 3);
+
+        let report = repair_physical_fault(&mut fabric, &corruption);
+        assert!(report.garbage_removed >= 1);
+        let report = repair_physical_fault(&mut fabric, &eviction);
+        assert_eq!(report.reinstalled, 2);
+        assert_eq!(missing_count(&fabric), 0);
+
+        // An unresponsive switch that missed a re-sync is healed the same way.
+        let flap = unresponsive_switch(&mut fabric, sample::S2);
+        fabric.remove_tcam_rules_where(sample::S2, |_| true);
+        fabric.resync(); // lost: the channel is down
+        assert_eq!(missing_count(&fabric), 6);
+        repair_physical_fault(&mut fabric, &flap);
+        assert_eq!(missing_count(&fabric), 0);
+        assert!(fabric.fault_log().active_at(fabric.now()).is_empty());
+    }
+}

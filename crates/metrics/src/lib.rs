@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod series;
 pub mod stats;
 pub mod table;
 
 pub use accuracy::{gamma, precision, recall, Accuracy};
+pub use series::TimeSeries;
 pub use stats::{Bins, Cdf, Summary};
-pub use table::{fmt3, Table};
+pub use table::{fmt3, fmt_mean, Table};
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,162 @@
+//! Per-epoch time series for long-horizon (soak) runs.
+//!
+//! A soak timeline produces one sample per epoch for each tracked quantity —
+//! missing-rule counts, active faults, incremental vs from-scratch analysis
+//! cost. [`TimeSeries`] keeps the raw samples in epoch order (so runs stay
+//! comparable bit for bit) and derives the aggregate views the reports print:
+//! a [`Summary`], a [`Cdf`], and a compact unicode sparkline for timeline
+//! tables.
+
+use crate::stats::{Cdf, Summary};
+
+/// A named sequence of per-epoch samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a series directly from samples in epoch order.
+    pub fn of<I: IntoIterator<Item = f64>>(name: impl Into<String>, samples: I) -> Self {
+        Self {
+            name: name.into(),
+            values: samples.into_iter().collect(),
+        }
+    }
+
+    /// The display name of the series.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends the sample of the next epoch.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no epoch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw samples in epoch order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Summary statistics over all epochs (zeroed for an empty series).
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.values.iter().copied())
+    }
+
+    /// The empirical distribution of the samples (epoch order discarded).
+    pub fn cdf(&self) -> Cdf {
+        Cdf::of(self.values.iter().copied())
+    }
+
+    /// A compact unicode sparkline of the series, at most `width` characters
+    /// wide (consecutive epochs are averaged into buckets when the series is
+    /// longer than `width`). Returns an empty string for an empty series or
+    /// zero width.
+    pub fn sparkline(&self, width: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.values.is_empty() || width == 0 {
+            return String::new();
+        }
+        let buckets = width.min(self.values.len());
+        let mut means = Vec::with_capacity(buckets);
+        for b in 0..buckets {
+            // Even partition of the epoch range into `buckets` slices.
+            let lo = b * self.values.len() / buckets;
+            let hi = ((b + 1) * self.values.len() / buckets).max(lo + 1);
+            let slice = &self.values[lo..hi];
+            means.push(slice.iter().sum::<f64>() / slice.len() as f64);
+        }
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        means
+            .into_iter()
+            .map(|m| {
+                let level = ((m - min) / span * 7.0).round() as usize;
+                BARS[level.min(7)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_aggregate() {
+        let mut s = TimeSeries::new("missing rules");
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        for v in [0.0, 4.0, 4.0, 0.0] {
+            s.push(v);
+        }
+        assert_eq!(s.name(), "missing rules");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.last(), Some(0.0));
+        assert_eq!(s.summary().mean, 2.0);
+        assert_eq!(s.cdf().quantile(1.0), 4.0);
+        assert_eq!(s.values(), &[0.0, 4.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn of_matches_pushing() {
+        let mut pushed = TimeSeries::new("x");
+        pushed.push(1.0);
+        pushed.push(2.0);
+        assert_eq!(TimeSeries::of("x", [1.0, 2.0]), pushed);
+    }
+
+    #[test]
+    fn empty_series_aggregates_are_total() {
+        let s = TimeSeries::new("empty");
+        assert_eq!(s.summary().count, 0);
+        assert!(s.cdf().is_empty());
+        assert_eq!(s.sparkline(10), "");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = TimeSeries::of("ramp", (0..32).map(f64::from));
+        let line = s.sparkline(8);
+        assert_eq!(line.chars().count(), 8);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        // Wider than the series: one bucket per sample.
+        let short = TimeSeries::of("short", [1.0, 2.0]);
+        assert_eq!(short.sparkline(10).chars().count(), 2);
+        // A flat series renders at a constant level, never NaN-panics.
+        let flat = TimeSeries::of("flat", [3.0; 5]);
+        let line = flat.sparkline(5);
+        assert_eq!(line.chars().count(), 5);
+        let first = line.chars().next().unwrap();
+        assert!(line.chars().all(|c| c == first));
+        // Zero width is an empty render.
+        assert_eq!(s.sparkline(0), "");
+    }
+}

@@ -17,6 +17,14 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// Returns `true` if the summary was built from zero samples — its mean,
+    /// stddev and extrema are then the 0.0 placeholders, not measurements, and
+    /// reports should render it as "no data" rather than as a genuine zero
+    /// (see [`crate::table::fmt_mean`]).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Summarizes an iterator of samples.
     pub fn of<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let values: Vec<f64> = samples.into_iter().collect();
@@ -175,9 +183,39 @@ mod tests {
     #[test]
     fn summary_of_empty_is_zeroed() {
         let s = Summary::of(std::iter::empty());
+        assert!(s.is_empty());
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.stddev, 0.0);
+        // The placeholder extrema are finite zeros, not infinities or NaN, so
+        // downstream arithmetic and Eq-based determinism checks stay total.
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_sample_is_degenerate() {
+        let s = Summary::of([7.5]);
+        assert!(!s.is_empty());
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn cdf_of_single_sample_is_total() {
+        let cdf = Cdf::of([2.5]);
+        assert_eq!(cdf.len(), 1);
+        // Every quantile of a one-point distribution is that point.
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(cdf.quantile(q), 2.5, "q = {q}");
+        }
+        assert_eq!(cdf.fraction_le(2.4), 0.0);
+        assert_eq!(cdf.fraction_le(2.5), 1.0);
+        assert_eq!(cdf.points(), vec![(2.5, 1.0)]);
+        assert_eq!(cdf.summary(), Summary::of([2.5]));
     }
 
     #[test]

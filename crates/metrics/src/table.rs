@@ -93,6 +93,17 @@ pub fn fmt3(value: f64) -> String {
     format!("{value:.3}")
 }
 
+/// Formats the mean of a [`Summary`](crate::stats::Summary) for a report cell:
+/// `"-"` when the summary holds no samples (so a missing population is never
+/// rendered as a fabricated `0.000`), three decimals otherwise.
+pub fn fmt_mean(summary: &crate::stats::Summary) -> String {
+    if summary.is_empty() {
+        "-".to_string()
+    } else {
+        fmt3(summary.mean)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +138,13 @@ mod tests {
     fn fmt3_rounds() {
         assert_eq!(fmt3(0.123456), "0.123");
         assert_eq!(fmt3(1.0), "1.000");
+    }
+
+    #[test]
+    fn fmt_mean_distinguishes_no_data_from_zero() {
+        use crate::stats::Summary;
+        assert_eq!(fmt_mean(&Summary::of(std::iter::empty())), "-");
+        assert_eq!(fmt_mean(&Summary::of([0.0])), "0.000");
+        assert_eq!(fmt_mean(&Summary::of([0.25, 0.75])), "0.500");
     }
 }

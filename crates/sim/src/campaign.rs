@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use scout_core::{ScoutConfig, ScoutSystem, SystemConfig};
 use scout_fabric::Fabric;
-use scout_metrics::{fmt3, Cdf, Summary, Table};
+use scout_metrics::{fmt3, fmt_mean, Cdf, Summary, Table};
 
 use crate::scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};
 
@@ -317,10 +317,12 @@ impl CampaignReport {
                 stats.faulty.to_string(),
                 stats.detected.to_string(),
                 stats.attributed.to_string(),
-                fmt3(stats.precision.mean),
-                fmt3(stats.recall.mean),
-                fmt3(stats.score_recall.mean),
-                fmt3(stats.gamma.mean),
+                // A kind with no faulty (or no detected) scenarios has no
+                // accuracy population; render "-" instead of a fabricated 0.
+                fmt_mean(&stats.precision),
+                fmt_mean(&stats.recall),
+                fmt_mean(&stats.score_recall),
+                fmt_mean(&stats.gamma),
             ]);
         }
         table
@@ -335,18 +337,18 @@ impl CampaignReport {
         );
         table.row([
             "object-fault precision (mean)".to_string(),
-            fmt3(self.object_precision.mean),
+            fmt_mean(&self.object_precision),
             "-".to_string(),
         ]);
         table.row([
             "object-fault recall (mean)".to_string(),
-            fmt3(self.object_recall.mean),
-            fmt3(self.score_object_recall.mean),
+            fmt_mean(&self.object_recall),
+            fmt_mean(&self.score_object_recall),
         ]);
         table.row([
             "partial-fault recall (mean)".to_string(),
-            fmt3(self.partial_recall.mean),
-            fmt3(self.score_partial_recall.mean),
+            fmt_mean(&self.partial_recall),
+            fmt_mean(&self.score_partial_recall),
         ]);
         let gamma_cell = if self.gamma.is_empty() {
             "-".to_string()
@@ -415,6 +417,91 @@ mod tests {
         }
         .run();
         assert_eq!(incremental.outcomes, scratch.outcomes);
+    }
+
+    #[test]
+    fn empty_report_renders_no_data_not_zeros() {
+        let report = CampaignReport::of(&[]);
+        assert_eq!(report.scenarios, 0);
+        assert!(report.per_kind.is_empty());
+        assert!(report.object_precision.is_empty());
+        assert!(report.gamma.is_empty());
+        // Empty populations render as "-", never as a fabricated 0.000.
+        let text = report.headline_table().to_string();
+        assert!(text.contains('-'));
+        assert!(!text.contains("0.000"));
+        assert!(report.table().is_empty());
+    }
+
+    #[test]
+    fn single_scenario_report_is_well_formed() {
+        let campaign = Campaign {
+            scenarios: 1,
+            concurrency: Concurrency::Sequential,
+            mix: ScenarioMix::object_faults_only(),
+            ..small_campaign(3)
+        };
+        let run = campaign.run();
+        let report = run.report();
+        assert_eq!(report.scenarios, 1);
+        let (kind, stats) = report.per_kind.iter().next().unwrap();
+        assert_eq!(stats.scenarios, 1);
+        // A single faulty scenario yields degenerate (stddev 0) but real
+        // summaries for its own kind…
+        if stats.faulty == 1 {
+            assert_eq!(stats.precision.count, 1);
+            assert_eq!(stats.precision.stddev, 0.0);
+        }
+        // …and "-" cells for the kind that never occurred.
+        let other = match kind {
+            ScenarioKind::FullObject => ScenarioKind::PartialObject,
+            _ => ScenarioKind::FullObject,
+        };
+        assert!(!report.per_kind.contains_key(&other));
+        let text = report.table().to_string();
+        assert_eq!(report.table().len(), 1);
+        assert!(text.contains(&kind.to_string()));
+        // γ distribution has at most one point; headline renders without panic.
+        let _ = report.headline_table().to_string();
+        assert!(report.gamma.len() <= 1);
+    }
+
+    #[test]
+    fn kind_stats_with_no_detection_render_dash_gamma() {
+        // Hand-build one undetected faulty outcome: truth exists, pipeline saw
+        // nothing (consistent), so the γ population for the kind is empty.
+        let outcome = ScenarioOutcome {
+            index: 0,
+            seed: 1,
+            kind: ScenarioKind::Physical,
+            fault_count: 1,
+            truth: std::iter::once(scout_policy::ObjectId::Switch(scout_policy::SwitchId::new(
+                1,
+            )))
+            .collect(),
+            hypothesis: Default::default(),
+            suspects: Default::default(),
+            consistent: true,
+            missing_rules: 0,
+            observations: 0,
+            explained_by_cover: 0,
+            explained_by_changelog: 0,
+            unexplained: 0,
+            gamma: 0.0,
+            scout: scout_metrics::Accuracy::of(&Default::default(), &Default::default()),
+            score: scout_metrics::Accuracy::of(&Default::default(), &Default::default()),
+            attributed: false,
+        };
+        let report = CampaignReport::of(&[outcome]);
+        let stats = &report.per_kind[&ScenarioKind::Physical];
+        assert_eq!(stats.faulty, 1);
+        assert_eq!(stats.detected, 0);
+        assert!(stats.gamma.is_empty());
+        let text = report.table().to_string();
+        // The γ column of the row must be "-", not 0.000.
+        assert!(text
+            .lines()
+            .any(|l| l.contains("physical") && l.trim_end().ends_with('-')));
     }
 
     #[test]

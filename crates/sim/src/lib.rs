@@ -22,6 +22,12 @@
 //! covers the clean switches and its pristine risk model is re-augmented (and
 //! rolled back) instead of rebuilt.
 //!
+//! Campaigns are one-shot; the [`soak`] module adds the *continuous* half of
+//! the paper's pitch: a seeded [`Timeline`] keeps one fabric alive for
+//! hundreds of epochs of overlapping faults, online repairs and concurrent
+//! policy edits, analyzed incrementally and checked at every epoch against a
+//! from-scratch differential oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -45,8 +51,13 @@
 
 pub mod campaign;
 pub mod scenario;
+pub mod soak;
 
 pub use campaign::{
     scenario_seed, AnalysisMode, Campaign, CampaignReport, CampaignRun, Concurrency, KindStats,
 };
 pub use scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};
+pub use soak::{
+    EpochRecord, FaultRecord, OracleCadence, SoakFaultKind, SoakOutcome, SoakReport, SoakRun,
+    Timeline,
+};

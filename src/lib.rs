@@ -72,6 +72,9 @@ pub mod prelude {
     pub use scout_policy::{
         sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
     };
-    pub use scout_sim::{Campaign, CampaignReport, ScenarioKind, ScenarioMix, WorkloadKind};
+    pub use scout_sim::{
+        Campaign, CampaignReport, OracleCadence, ScenarioKind, ScenarioMix, SoakReport, Timeline,
+        WorkloadKind,
+    };
     pub use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
 }

@@ -1,0 +1,115 @@
+//! The enforced long-horizon soak regression: a fixed-seed 200-epoch timeline
+//! with overlapping faults, online repairs and concurrent policy edits, with
+//! the differential oracle on at every epoch.
+//!
+//! This is the contract behind the incremental monitoring machinery: across a
+//! whole fault lifecycle — inject, overlap, detect, repair, heal — the
+//! incremental analysis (`analyze_fabric_incremental`, with its check cache
+//! and journaled risk-model reuse) must stay **bit-identical** to a
+//! from-scratch `analyze_fabric` at every single epoch, and repairs must be
+//! *observable*: objects localized before a repair disappear from the report
+//! after it.
+
+use scout::sim::{OracleCadence, SoakFaultKind, Timeline, WorkloadKind};
+use scout::workload::TestbedSpec;
+
+/// The committed soak configuration: 200 epochs, seed 42, oracle every epoch.
+/// CI runs the same timeline in release through `scout-bench --bin soak`.
+fn committed_timeline() -> Timeline {
+    let spec = TestbedSpec {
+        epgs: 12,
+        contracts: 8,
+        filters: 4,
+        target_pairs: 20,
+        switches: 3,
+        tcam_capacity: 1024,
+    };
+    Timeline::new(WorkloadKind::Testbed(spec), 200, 42)
+}
+
+#[test]
+fn soak_200_epochs_oracle_bit_identical_every_epoch() {
+    let timeline = committed_timeline();
+    assert_eq!(timeline.oracle, OracleCadence::EveryEpoch);
+    let run = timeline.run();
+    assert_eq!(run.outcome.epochs.len(), 200);
+    for epoch in &run.outcome.epochs {
+        assert!(
+            epoch.oracle_checked,
+            "oracle must run at epoch {}",
+            epoch.epoch
+        );
+        assert_eq!(
+            epoch.oracle_agrees,
+            Some(true),
+            "incremental report diverged from from-scratch at epoch {}",
+            epoch.epoch
+        );
+    }
+    assert!(run.outcome.oracle_disagreements().is_empty());
+
+    let report = run.outcome.report();
+    // The timeline must actually exercise the lifecycle it claims to: plenty
+    // of faults, overlap between active faults, concurrent policy edits, and
+    // repairs that complete.
+    assert!(report.injections >= 20, "{report:?}");
+    assert!(report.overlap_epochs >= 10, "{report:?}");
+    assert!(report.policy_edits >= 10, "{report:?}");
+    assert!(report.healed_faults >= 10, "{report:?}");
+    assert!(report.detected_faults >= 10, "{report:?}");
+
+    // The acceptance criterion: repairs are observed to clear
+    // previously-localized objects from subsequent reports.
+    assert!(
+        report.repair_clearances >= 5,
+        "repairs must visibly clear localized objects: {report:?}"
+    );
+
+    // Every disturbance class occurred at least once over 200 epochs.
+    for kind in SoakFaultKind::ALL {
+        assert!(
+            run.outcome.faults.iter().any(|f| f.kind == kind),
+            "kind {kind} never injected"
+        );
+    }
+}
+
+#[test]
+fn soak_timeline_is_deterministic() {
+    let timeline = committed_timeline();
+    let a = timeline.run();
+    let b = timeline.run();
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.outcome.report(), b.outcome.report());
+}
+
+#[test]
+fn repaired_faults_leave_the_report_for_good() {
+    let run = committed_timeline().run();
+    // For every healed fault, no later epoch's ground truth may contain a
+    // rule footprint attributed to it — healing is final (a new fault on the
+    // same object is a new record).
+    for fault in &run.outcome.faults {
+        let Some(healed) = fault.healed_epoch else {
+            continue;
+        };
+        assert!(healed >= fault.injected_epoch, "fault {}", fault.id);
+        if let Some(detected) = fault.detected_epoch {
+            let latency = fault.detection_latency().unwrap();
+            assert_eq!(detected - fault.injected_epoch, latency);
+            assert!(detected <= healed, "fault {}", fault.id);
+        }
+    }
+    // Once every fault is healed and none is active, the monitor reports a
+    // consistent network again at least once (the soak reaches steady state
+    // between bursts).
+    let quiet_consistent = run
+        .outcome
+        .epochs
+        .iter()
+        .any(|e| e.active_faults == 0 && e.consistent);
+    assert!(
+        quiet_consistent,
+        "the timeline never returned to consistency"
+    );
+}
