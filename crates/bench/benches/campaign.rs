@@ -17,7 +17,7 @@ use rand::SeedableRng;
 
 use scout_bench::harness::{fmt_duration, Harness};
 use scout_core::{
-    augment_controller_model, controller_risk_model, scout_localize, ScoutConfig, ScoutSystem,
+    augment_controller_model, controller_risk_model, scout_localize, ScoutConfig, ScoutEngine,
 };
 use scout_fabric::Fabric;
 use scout_faults::{FaultInjector, ObjectFaultKind};
@@ -39,9 +39,9 @@ fn main() {
     let mut base = Fabric::new(universe);
     base.deploy();
 
-    let system = ScoutSystem::new();
-    let mut baseline = system.baseline(&base);
-    assert!(baseline.is_consistent());
+    let engine = ScoutEngine::new();
+    let mut session = engine.open_session(&base);
+    assert!(session.is_consistent());
 
     // One representative campaign step: a clone of the base fabric with two
     // partial faults on filter objects — the bounded-blast-radius disturbance
@@ -60,7 +60,7 @@ fn main() {
             .inject_fault_on(&mut fabric, object, ObjectFaultKind::Partial)
             .expect("filter objects have deployed rules");
     }
-    let report = system.analyze_derived(&mut baseline, &fabric);
+    let report = session.analyze_clone(&fabric);
     assert!(!report.is_consistent());
     let check = report.check.clone();
 
@@ -70,7 +70,7 @@ fn main() {
         augment_controller_model(&mut model, check.missing_rules());
         scout_localize(&model, fabric.change_log(), ScoutConfig::default())
     };
-    let reused_hypothesis = baseline.with_augmented_model(&fabric, &check, |model| {
+    let reused_hypothesis = session.with_augmented_model(&fabric, &check, |model| {
         scout_localize(model, fabric.change_log(), ScoutConfig::default())
     });
     assert_eq!(scratch_hypothesis, reused_hypothesis);
@@ -85,7 +85,7 @@ fn main() {
         (suspects.len(), hypothesis.len())
     });
     let t_reuse = h.bench("risk-model/incremental", || {
-        baseline.with_augmented_model(&fabric, &check, |model| {
+        session.with_augmented_model(&fabric, &check, |model| {
             let signature = model.failure_signature();
             let suspects = model.suspect_set(&signature);
             let hypothesis = scout_localize(model, fabric.change_log(), ScoutConfig::default());
@@ -98,16 +98,12 @@ fn main() {
     // timed once — the BDD check dominates and is too slow to sample.
     let t_full = {
         let start = std::time::Instant::now();
-        std::hint::black_box(system.analyze_fabric(&fabric).missing_rule_count());
+        std::hint::black_box(engine.analyze(&fabric).missing_rule_count());
         start.elapsed()
     };
     let t_derived = {
         let start = std::time::Instant::now();
-        std::hint::black_box(
-            system
-                .analyze_derived(&mut baseline, &fabric)
-                .missing_rule_count(),
-        );
+        std::hint::black_box(session.analyze_clone(&fabric).missing_rule_count());
         start.elapsed()
     };
 

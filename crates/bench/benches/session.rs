@@ -1,0 +1,141 @@
+//! Sustained event-ingestion throughput of the session API.
+//!
+//! A production monitor lives on `AnalysisSession::ingest`: every epoch the
+//! fabric's telemetry arrives as a typed delta batch and the session must
+//! absorb it — re-checking only the dirtied switches and re-deriving only the
+//! failed risk-model edges — fast enough to keep up with the change rate.
+//! This bench drives a cluster-workload fabric through a churn loop, feeds
+//! every epoch through a long-lived session, and measures:
+//!
+//! * per-ingest latency and sustained ingestion throughput (events/sec, with
+//!   a `ReportDelta` emitted per batch), and
+//! * the same epoch sequence analyzed from scratch, as the differential
+//!   reference.
+//!
+//! It asserts the reports agree at every epoch and that the mean ingest is at
+//! least 1.5× faster than the mean from-scratch analysis — the margin that
+//! makes continuous delta-driven monitoring affordable.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use scout_bench::harness::fmt_duration;
+use scout_core::ScoutEngine;
+use scout_fabric::{Fabric, FabricProbe};
+use scout_workload::{random_policy_edit, ClusterSpec};
+
+fn main() {
+    // A quarter-paper cluster: big enough that a from-scratch epoch clearly
+    // costs more than an incremental ingest, small enough for a quick bench.
+    let spec = ClusterSpec {
+        vrfs: 4,
+        epgs: 150,
+        contracts: 100,
+        filters: 48,
+        switches: 8,
+        ..ClusterSpec::paper()
+    };
+    let mut fabric = Fabric::new(spec.generate(42));
+    fabric.deploy();
+
+    let engine = ScoutEngine::new();
+    let mut session = engine.open_session(&fabric);
+    let mut probe = FabricProbe::new(&fabric);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    const EPOCHS: usize = 40;
+    let mut scratch_total = Duration::ZERO;
+    let mut deltas_emitted = 0usize;
+    let mut non_noop = 0usize;
+
+    for epoch in 0..EPOCHS {
+        // Churn: silent losses and evictions on one switch, the occasional
+        // repair and concurrent policy edit.
+        let switch_ids = fabric.universe().switch_ids();
+        let &switch = switch_ids.choose(&mut rng).expect("cluster has switches");
+        match epoch % 5 {
+            0 => {
+                let port = rng.gen_range(0u16..7);
+                fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start % 7 == port);
+            }
+            1 => {
+                fabric.evict_tcam(switch, rng.gen_range(1usize..4), true);
+            }
+            2 => {
+                fabric.repair_switch(switch);
+            }
+            3 => {
+                let universe = fabric.universe().clone();
+                if let Some(edit) = random_policy_edit(&universe, &mut rng) {
+                    fabric.update_policy(edit.universe);
+                }
+            }
+            _ => {
+                fabric.evict_tcam(switch, 1, false);
+            }
+        }
+
+        // The monitored path: probe + ingest (timed inside the session).
+        let delta = session
+            .ingest_observation(&mut probe, &fabric)
+            .expect("probe batches are sequential");
+        deltas_emitted += 1;
+        if !delta.is_noop() {
+            non_noop += 1;
+        }
+
+        // The reference path: a from-scratch analysis of the same state.
+        let t0 = std::time::Instant::now();
+        let reference = engine.analyze(&fabric);
+        scratch_total += t0.elapsed();
+        assert_eq!(
+            *session.full_report(),
+            reference,
+            "epoch {epoch}: ingest-driven report must match from-scratch"
+        );
+    }
+
+    let stats = session.stats();
+    let ingest = stats.ingest_latency.summary();
+    let ingest_mean = Duration::from_nanos(ingest.mean as u64);
+    let ingest_total =
+        Duration::from_nanos(stats.ingest_latency.values().iter().sum::<f64>() as u64);
+    let scratch_mean = scratch_total / EPOCHS as u32;
+    let events_per_sec = stats.events as f64 / ingest_total.as_secs_f64().max(1e-12);
+    let batches_per_sec = EPOCHS as f64 / ingest_total.as_secs_f64().max(1e-12);
+
+    println!("== session ingestion (quarter-paper cluster, {EPOCHS} epochs) ==");
+    println!(
+        "events ingested              {} ({} batches, {} report deltas, {} non-noop)",
+        stats.events, stats.ingests, deltas_emitted, non_noop
+    );
+    println!(
+        "ingest latency               mean {} (max {})",
+        fmt_duration(ingest_mean),
+        fmt_duration(Duration::from_nanos(ingest.max as u64)),
+    );
+    println!(
+        "from-scratch epoch analysis  mean {}",
+        fmt_duration(scratch_mean),
+    );
+    println!(
+        "sustained ingestion          {events_per_sec:.0} events/s, {batches_per_sec:.0} batches/s, \
+         speedup {:.1}x over from-scratch",
+        scratch_mean.as_secs_f64() / ingest_mean.as_secs_f64().max(1e-12),
+    );
+
+    assert!(
+        non_noop * 2 >= EPOCHS,
+        "the churn loop must produce visible report deltas"
+    );
+    assert!(
+        scratch_mean.as_secs_f64() >= ingest_mean.as_secs_f64() * 1.5,
+        "delta ingestion must be at least 1.5x faster than per-epoch \
+         from-scratch analysis (ingest {} vs from-scratch {})",
+        fmt_duration(ingest_mean),
+        fmt_duration(scratch_mean),
+    );
+}

@@ -19,6 +19,7 @@
 //! ```
 
 use scout_bench::{arg_value, has_flag};
+use scout_core::EngineConfig;
 use scout_sim::{OracleCadence, Timeline, WorkloadKind};
 use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
 
@@ -46,13 +47,16 @@ fn main() {
         OracleCadence::Stride(stride)
     };
     let timeline = Timeline {
-        oracle,
+        engine: EngineConfig {
+            oracle,
+            ..EngineConfig::default()
+        },
         ..Timeline::new(workload, epochs, seed)
     };
 
     println!(
         "soak: {epochs} epochs on {workload_name}, seed {seed}, oracle {:?}",
-        timeline.oracle
+        timeline.engine.oracle
     );
     let run = timeline.run();
     let report = run.outcome.report();

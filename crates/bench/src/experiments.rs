@@ -28,7 +28,7 @@ use rand::SeedableRng;
 
 use scout_core::{
     augment_controller_model, controller_risk_model, score_localize, scout_localize,
-    switch_risk_model, RiskModel, ScoutConfig, ScoutSystem,
+    switch_risk_model, RiskModel, ScoutConfig, ScoutEngine,
 };
 use scout_fabric::Fabric;
 use scout_faults::{
@@ -319,7 +319,7 @@ pub fn testbed_accuracy(
     let universe = spec.generate(base_seed);
     let mut base_fabric = Fabric::new(universe);
     base_fabric.deploy();
-    let system = ScoutSystem::new();
+    let engine = ScoutEngine::new();
 
     let mut rows = Vec::new();
     for &faults in fault_counts {
@@ -333,7 +333,7 @@ pub fn testbed_accuracy(
                 FaultInjector::new(StdRng::seed_from_u64(mix_seed(base_seed, faults, run)));
             let truth = injector.inject_object_faults(&mut fabric, faults).objects();
 
-            let report = system.analyze_fabric(&fabric);
+            let report = engine.analyze(&fabric);
             let scout_acc = Accuracy::of(&truth, &report.hypothesis.objects());
             scout_p.push(scout_acc.precision);
             scout_r.push(scout_acc.recall);
@@ -482,7 +482,7 @@ pub fn testbed_suspect_reduction(
     let universe = spec.generate(base_seed);
     let mut base_fabric = Fabric::new(universe);
     base_fabric.deploy();
-    let system = ScoutSystem::new();
+    let engine = ScoutEngine::new();
 
     let mut bins = Bins::new(bin_edges);
     for i in 0..num_faults {
@@ -492,7 +492,7 @@ pub fn testbed_suspect_reduction(
         if truth.is_empty() {
             continue;
         }
-        let report = system.analyze_fabric(&fabric);
+        let report = engine.analyze(&fabric);
         bins.add(report.suspect_objects.len() as f64, report.gamma());
     }
     bins

@@ -1,0 +1,590 @@
+//! The SCOUT service facade: a long-lived, multi-fabric analysis engine.
+//!
+//! The paper's SCOUT is a *continuously running* service (Figure 6): the
+//! controller streams policy changes into it, switches stream TCAM and fault
+//! state, and operators consume diagnoses. [`ScoutEngine`] is that front
+//! door:
+//!
+//! * it is configured once through a [`ScoutEngineBuilder`] (parallelism,
+//!   cache budgets, differential-oracle cadence, correlation library) so
+//!   every driver — campaigns, soak timelines, examples, tests — shares one
+//!   configuration surface with one default;
+//! * it owns a registry of [`AnalysisSession`]s, one per monitored fabric;
+//!   a session is opened from a fabric snapshot and thereafter driven by
+//!   typed [`FabricEvent`](scout_fabric::FabricEvent) batches, each returning
+//!   a [`ReportDelta`](crate::ReportDelta);
+//! * for one-shot work it offers [`ScoutEngine::analyze`], the reference
+//!   from-scratch pipeline every incremental path is differentially checked
+//!   against.
+//!
+//! There is exactly one analysis pipeline in the codebase; everything here
+//! and in [`crate::session`] routes through the same stages (equivalence
+//! check → risk model → localization → correlation), so session reports are
+//! bit-identical to from-scratch analyses of the same fabric state.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use scout_equiv::{
+    EquivalenceChecker, NetworkCheckResult, Parallelism, SwitchCheckResult, DEFAULT_NODE_BUDGET,
+};
+use scout_fabric::{ChangeLog, Fabric, FaultLog};
+use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchId, TcamRule};
+
+use crate::correlation::{CorrelationEngine, CorrelationReport};
+use crate::localization::{scout_localize, Hypothesis, ScoutConfig};
+use crate::risk::{
+    augment_controller_model, augment_switch_model, controller_risk_model, switch_risk_model,
+    RiskModel,
+};
+use crate::session::AnalysisSession;
+
+use std::collections::BTreeSet;
+
+/// How often a driver's differential oracle re-analyzes a monitored fabric
+/// from scratch and compares against the incremental session report.
+///
+/// The cadence is part of the engine configuration so every driver (the soak
+/// timeline, CI smoke jobs, ad-hoc experiments) shares one knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleCadence {
+    /// Every epoch — the strongest (and default) setting, used by the
+    /// enforced integration tests and the CI soak job.
+    #[default]
+    EveryEpoch,
+    /// Every `n`-th epoch plus the final one — for long exploratory runs
+    /// where a from-scratch analysis per epoch would dominate the wall time.
+    /// A stride of 0 or 1 behaves like [`OracleCadence::EveryEpoch`].
+    Stride(usize),
+    /// Never — pure throughput mode for benchmarks.
+    Never,
+}
+
+impl OracleCadence {
+    /// Returns `true` if the oracle runs at `epoch` of a run of `total`
+    /// epochs.
+    pub fn checks(&self, epoch: usize, total: usize) -> bool {
+        match *self {
+            OracleCadence::EveryEpoch => true,
+            OracleCadence::Stride(n) => n <= 1 || epoch.is_multiple_of(n) || epoch + 1 == total,
+            OracleCadence::Never => false,
+        }
+    }
+}
+
+/// The plain-data configuration of a [`ScoutEngine`].
+///
+/// This is the one struct drivers embed (campaigns, timelines, bench bins all
+/// carry an `EngineConfig`); the [`ScoutEngineBuilder`] adds the non-`Copy`
+/// correlation library on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker-thread policy of the equivalence checkers.
+    pub parallelism: Parallelism,
+    /// Configuration forwarded to the SCOUT localization algorithm.
+    pub scout: ScoutConfig,
+    /// Per-worker BDD node-table budget of the equivalence checkers (see
+    /// [`EquivalenceChecker::set_node_budget`]).
+    pub node_budget: usize,
+    /// Differential-oracle cadence for drivers that cross-check incremental
+    /// sessions against from-scratch analysis.
+    pub oracle: OracleCadence,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: Parallelism::Auto,
+            scout: ScoutConfig::default(),
+            node_budget: DEFAULT_NODE_BUDGET,
+            oracle: OracleCadence::EveryEpoch,
+        }
+    }
+}
+
+/// Builds a [`ScoutEngine`].
+///
+/// # Example
+///
+/// ```
+/// use scout_core::{OracleCadence, ScoutEngine};
+/// use scout_equiv::Parallelism;
+///
+/// let engine = ScoutEngine::builder()
+///     .parallelism(Parallelism::Sequential)
+///     .oracle(OracleCadence::Stride(10))
+///     .build();
+/// assert_eq!(engine.config().oracle, OracleCadence::Stride(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScoutEngineBuilder {
+    config: EngineConfig,
+    correlation: CorrelationEngine,
+}
+
+impl ScoutEngineBuilder {
+    /// A builder with the default configuration and the standard fault
+    /// signature library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread policy of the equivalence checkers.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the SCOUT localization configuration.
+    pub fn scout(mut self, scout: ScoutConfig) -> Self {
+        self.config.scout = scout;
+        self
+    }
+
+    /// Sets the per-worker BDD node-table budget.
+    pub fn node_budget(mut self, budget: usize) -> Self {
+        self.config.node_budget = budget;
+        self
+    }
+
+    /// Sets the differential-oracle cadence.
+    pub fn oracle(mut self, oracle: OracleCadence) -> Self {
+        self.config.oracle = oracle;
+        self
+    }
+
+    /// Replaces the whole plain-data configuration at once (the path drivers
+    /// carrying an [`EngineConfig`] use).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets a custom correlation engine (e.g. an extended signature library).
+    pub fn correlation(mut self, correlation: CorrelationEngine) -> Self {
+        self.correlation = correlation;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> ScoutEngine {
+        let mut checker = EquivalenceChecker::with_parallelism(self.config.parallelism);
+        checker.set_node_budget(self.config.node_budget);
+        ScoutEngine {
+            shared: Arc::new(EngineShared {
+                config: self.config,
+                correlation: self.correlation,
+                checker,
+                registry: Mutex::new(BTreeMap::new()),
+                next_session: AtomicU64::new(1),
+            }),
+        }
+    }
+}
+
+/// A process-unique handle to an open [`AnalysisSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Registry metadata of one open session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session's id.
+    pub id: SessionId,
+    /// The [`Fabric::id`] of the monitored fabric.
+    pub fabric_id: u64,
+    /// The fabric's change epoch at the moment the session was opened.
+    pub opened_at_epoch: u64,
+}
+
+/// The engine state shared by the facade handle and every session it opened.
+#[derive(Debug)]
+pub(crate) struct EngineShared {
+    pub(crate) config: EngineConfig,
+    pub(crate) correlation: CorrelationEngine,
+    /// The warm checker behind the one-shot [`ScoutEngine::analyze`] path
+    /// (sessions own private checkers so they never contend with it).
+    checker: EquivalenceChecker,
+    pub(crate) registry: Mutex<BTreeMap<SessionId, SessionInfo>>,
+    next_session: AtomicU64,
+}
+
+impl EngineShared {
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, BTreeMap<SessionId, SessionInfo>> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The long-lived SCOUT service facade.
+///
+/// Cloning the handle is cheap and shares the same engine (configuration,
+/// session registry, warm one-shot checker); the handle is `Send + Sync`, so
+/// parallel drivers open one session per worker from a shared engine.
+///
+/// # Example
+///
+/// ```
+/// use scout_core::ScoutEngine;
+/// use scout_fabric::Fabric;
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// // Drop the port-700 rules from S2 behind the controller's back.
+/// fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+///
+/// let engine = ScoutEngine::new();
+/// let report = engine.analyze(&fabric);
+/// assert!(!report.is_consistent());
+/// assert!(report.hypothesis.len() <= report.suspect_objects.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScoutEngine {
+    pub(crate) shared: Arc<EngineShared>,
+}
+
+impl Default for ScoutEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoutEngine {
+    /// An engine with the default configuration and the standard fault
+    /// signature library.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts building an engine.
+    pub fn builder() -> ScoutEngineBuilder {
+        ScoutEngineBuilder::new()
+    }
+
+    /// An engine with the given plain-data configuration and the standard
+    /// signature library.
+    pub fn from_config(config: EngineConfig) -> Self {
+        Self::builder().config(config).build()
+    }
+
+    /// The engine's plain-data configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// The engine's correlation library.
+    pub fn correlation(&self) -> &CorrelationEngine {
+        &self.shared.correlation
+    }
+
+    /// Opens an [`AnalysisSession`] on a snapshot of `fabric`: the session
+    /// runs the full pipeline once, registers itself, and is thereafter
+    /// driven by [`AnalysisSession::ingest`] (event deltas) and/or
+    /// [`AnalysisSession::analyze_clone`] (mutated clones of the snapshot).
+    pub fn open_session(&self, fabric: &Fabric) -> AnalysisSession {
+        let id = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
+        let info = SessionInfo {
+            id,
+            fabric_id: fabric.id(),
+            opened_at_epoch: fabric.epoch(),
+        };
+        self.shared.lock_registry().insert(id, info);
+        AnalysisSession::open(Arc::clone(&self.shared), id, fabric)
+    }
+
+    /// Registry metadata of every currently-open session, in id order.
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        self.shared.lock_registry().values().copied().collect()
+    }
+
+    /// Number of currently-open sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared.lock_registry().len()
+    }
+
+    /// One-shot, from-scratch analysis of a fabric — the reference pipeline
+    /// every incremental session result is differentially checked against.
+    ///
+    /// The engine's internal checker stays warm across calls, so repeated
+    /// one-shot analyses reuse BDD encodings; results never depend on cache
+    /// state.
+    pub fn analyze(&self, fabric: &Fabric) -> ScoutReport {
+        self.analyze_artifacts(
+            fabric.universe(),
+            fabric.logical_rules(),
+            &fabric.collect_tcam(),
+            fabric.change_log(),
+            fabric.fault_log(),
+        )
+    }
+
+    /// One-shot analysis from the four raw artifacts: the policy (universe),
+    /// the logical rules, the collected TCAM rules, and the two logs.
+    pub fn analyze_artifacts(
+        &self,
+        universe: &PolicyUniverse,
+        logical_rules: &[LogicalRule],
+        tcam: &BTreeMap<SwitchId, Vec<TcamRule>>,
+        change_log: &ChangeLog,
+        fault_log: &FaultLog,
+    ) -> ScoutReport {
+        let check = self.shared.checker.check_network(logical_rules, tcam);
+        let mut model = controller_risk_model(universe);
+        augment_controller_model(&mut model, check.missing_rules());
+        report_from_model(
+            check,
+            &model,
+            universe,
+            change_log,
+            fault_log,
+            self.shared.config.scout,
+            &self.shared.correlation,
+        )
+    }
+
+    /// Runs the equivalence check and localization against the *switch risk
+    /// model* of a single switch, as an admin debugging one device would.
+    pub fn analyze_switch(
+        &self,
+        universe: &PolicyUniverse,
+        switch: SwitchId,
+        logical_rules: &[LogicalRule],
+        tcam: &[TcamRule],
+        change_log: &ChangeLog,
+    ) -> (
+        SwitchCheckResult,
+        RiskModel<scout_policy::EpgPair>,
+        Hypothesis,
+    ) {
+        let check = self
+            .shared
+            .checker
+            .check_switch(switch, logical_rules, tcam);
+        let mut model = switch_risk_model(universe, switch);
+        augment_switch_model(&mut model, switch, check.missing_rules.iter().copied());
+        let hypothesis = scout_localize(&model, change_log, self.shared.config.scout);
+        (check, model, hypothesis)
+    }
+}
+
+/// The complete output of one end-to-end analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoutReport {
+    /// The per-switch equivalence check results.
+    pub check: NetworkCheckResult,
+    /// The observations: `(switch, EPG pair)` triplets with missing rules.
+    pub observations: BTreeSet<SwitchEpgPair>,
+    /// Every object the failed elements depend on — what an admin would have
+    /// to examine without fault localization.
+    pub suspect_objects: BTreeSet<ObjectId>,
+    /// The localization output: the suspected faulty objects.
+    pub hypothesis: Hypothesis,
+    /// Physical-level root causes per hypothesis object.
+    pub diagnosis: CorrelationReport,
+}
+
+impl ScoutReport {
+    /// `true` if the deployed state matches the policy everywhere.
+    pub fn is_consistent(&self) -> bool {
+        self.check.is_consistent()
+    }
+
+    /// Total number of missing rules across the network.
+    pub fn missing_rule_count(&self) -> usize {
+        self.check.missing_count()
+    }
+
+    /// The suspect-set reduction ratio γ = |hypothesis| / |suspect objects|
+    /// (§VI of the paper). Returns 0 when there is nothing to suspect.
+    pub fn gamma(&self) -> f64 {
+        if self.suspect_objects.is_empty() {
+            0.0
+        } else {
+            self.hypothesis.len() as f64 / self.suspect_objects.len() as f64
+        }
+    }
+}
+
+/// Builds the localization/diagnosis stages of a report from an equivalence
+/// check and an *already augmented* controller risk model — the single
+/// assembly point shared by the one-shot and session paths.
+pub(crate) fn report_from_model(
+    check: NetworkCheckResult,
+    model: &RiskModel<SwitchEpgPair>,
+    universe: &PolicyUniverse,
+    change_log: &ChangeLog,
+    fault_log: &FaultLog,
+    scout: ScoutConfig,
+    correlation: &CorrelationEngine,
+) -> ScoutReport {
+    let observations = model.failure_signature();
+    let suspect_objects = model.suspect_set(&observations);
+
+    let hypothesis = scout_localize(model, change_log, scout);
+    let diagnosis = correlation.correlate(&hypothesis, universe, change_log, fault_log);
+
+    ScoutReport {
+        check,
+        observations,
+        suspect_objects,
+        hypothesis,
+        diagnosis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_fabric::FaultKind;
+    use scout_policy::{sample, EpgPair};
+
+    #[test]
+    fn consistent_network_produces_empty_report() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        let engine = ScoutEngine::new();
+        let report = engine.analyze(&fabric);
+        assert!(report.is_consistent());
+        assert_eq!(report.missing_rule_count(), 0);
+        assert!(report.observations.is_empty());
+        assert!(report.hypothesis.is_empty());
+        assert_eq!(report.gamma(), 0.0);
+        assert!(report.diagnosis.diagnoses().is_empty());
+    }
+
+    #[test]
+    fn filter_fault_is_localized_and_gamma_is_small() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        // Drop every rule derived from the port-700 filter, on every switch.
+        for switch in [sample::S2, sample::S3] {
+            fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+        }
+        let engine = ScoutEngine::new();
+        let report = engine.analyze(&fabric);
+        assert!(!report.is_consistent());
+        assert_eq!(report.missing_rule_count(), 4);
+        // The App-DB pair on S2 and S3 is observed as failed.
+        assert_eq!(report.observations.len(), 2);
+        assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
+        // Hypothesis is much smaller than the suspect set.
+        assert!(report.hypothesis.len() < report.suspect_objects.len());
+        assert!(report.gamma() > 0.0 && report.gamma() < 1.0);
+    }
+
+    #[test]
+    fn unresponsive_switch_story_matches_paper_use_case() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.disconnect_switch(sample::S2);
+        fabric.deploy();
+        let engine = ScoutEngine::new();
+        let report = engine.analyze(&fabric);
+        assert!(!report.is_consistent());
+        // The switch itself is the most economical explanation.
+        assert!(report.hypothesis.contains(ObjectId::Switch(sample::S2)));
+        // And the correlation engine ties it to the unreachable-switch fault.
+        let by_kind = report.diagnosis.causes_by_kind();
+        assert!(by_kind.contains_key(&FaultKind::SwitchUnreachable));
+    }
+
+    #[test]
+    fn analyze_switch_uses_the_switch_risk_model() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric.remove_tcam_rules_where(sample::S2, |r| {
+            r.pair() == EpgPair::new(sample::WEB, sample::APP)
+        });
+        let engine = ScoutEngine::new();
+        let (check, model, hypothesis) = engine.analyze_switch(
+            fabric.universe(),
+            sample::S2,
+            fabric.logical_rules(),
+            &fabric.tcam_rules(sample::S2),
+            fabric.change_log(),
+        );
+        assert!(!check.equivalent);
+        assert_eq!(model.element_count(), 2);
+        // Per Figure 4(a): EPG:Web and Contract:Web-App explain the failure.
+        assert!(hypothesis.contains(ObjectId::Epg(sample::WEB)));
+        assert!(hypothesis.contains(ObjectId::Contract(sample::C_WEB_APP)));
+        assert!(!hypothesis.contains(ObjectId::Vrf(sample::VRF)));
+        assert!(!hypothesis.contains(ObjectId::Epg(sample::APP)));
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let mut fabric = Fabric::new(sample::three_tier_with_capacity(3));
+        fabric.deploy();
+        let engine = ScoutEngine::from_config(EngineConfig::default());
+        let report = engine.analyze(&fabric);
+        assert_eq!(report.missing_rule_count(), report.check.missing_count());
+        assert_eq!(report.diagnosis.diagnoses().len(), report.hypothesis.len());
+        assert!(report.gamma() <= 1.0);
+    }
+
+    #[test]
+    fn registry_tracks_open_sessions() {
+        let mut a = Fabric::new(sample::three_tier());
+        a.deploy();
+        let mut b = Fabric::new(sample::three_tier());
+        b.deploy();
+
+        let engine = ScoutEngine::new();
+        assert_eq!(engine.session_count(), 0);
+        let sa = engine.open_session(&a);
+        let sb = engine.open_session(&b);
+        assert_eq!(engine.session_count(), 2);
+        let infos = engine.sessions();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].id, sa.id());
+        assert_eq!(infos[0].fabric_id, a.id());
+        assert_eq!(infos[1].id, sb.id());
+        assert_ne!(sa.id(), sb.id());
+        // A cloned handle sees the same registry; dropping a session
+        // deregisters it.
+        let handle = engine.clone();
+        drop(sa);
+        assert_eq!(handle.session_count(), 1);
+        assert_eq!(handle.sessions()[0].fabric_id, b.id());
+        drop(sb);
+        assert_eq!(engine.session_count(), 0);
+    }
+
+    #[test]
+    fn builder_settings_reach_the_engine() {
+        let engine = ScoutEngine::builder()
+            .parallelism(Parallelism::Fixed(2))
+            .node_budget(1 << 10)
+            .oracle(OracleCadence::Never)
+            .scout(ScoutConfig {
+                recent_window: None,
+            })
+            .build();
+        let config = engine.config();
+        assert_eq!(config.parallelism, Parallelism::Fixed(2));
+        assert_eq!(config.node_budget, 1 << 10);
+        assert_eq!(config.oracle, OracleCadence::Never);
+        assert_eq!(config.scout.recent_window, None);
+        // Round-trip through the plain-data config.
+        let copied = ScoutEngine::from_config(*config);
+        assert_eq!(copied.config(), config);
+    }
+
+    #[test]
+    fn oracle_cadence_schedules() {
+        assert!(OracleCadence::EveryEpoch.checks(3, 10));
+        assert!(OracleCadence::Stride(0).checks(3, 10));
+        assert!(OracleCadence::Stride(1).checks(3, 10));
+        assert!(OracleCadence::Stride(4).checks(8, 10));
+        assert!(!OracleCadence::Stride(4).checks(3, 10));
+        assert!(OracleCadence::Stride(4).checks(9, 10), "final epoch");
+        assert!(!OracleCadence::Never.checks(0, 10));
+    }
+}

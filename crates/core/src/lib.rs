@@ -4,8 +4,8 @@
 //! Policy Deployment* (Tammana et al., ICDCS 2018): risk models for network
 //! policies, the SCOUT fault-localization algorithm, the SCORE baseline it is
 //! evaluated against, the event-correlation engine that maps faulty policy
-//! objects to physical-level root causes, and the end-to-end [`ScoutSystem`]
-//! pipeline.
+//! objects to physical-level root causes, and the long-lived [`ScoutEngine`]
+//! service facade with its delta-driven [`AnalysisSession`]s.
 //!
 //! ## Pipeline
 //!
@@ -23,10 +23,20 @@
 //!    device fault logs through a signature library and reports the most
 //!    likely physical root causes (TCAM overflow, unreachable switch, …).
 //!
+//! ## Service API
+//!
+//! [`ScoutEngine`] is the single front door: one-shot analyses go through
+//! [`ScoutEngine::analyze`], continuous monitoring opens an
+//! [`AnalysisSession`] and streams typed
+//! [`FabricEvent`](scout_fabric::FabricEvent) batches into it, receiving a
+//! [`ReportDelta`] per epoch. Both routes share the same four stages, so a
+//! session's [`AnalysisSession::full_report`] is bit-identical to a
+//! from-scratch analysis of the same fabric state.
+//!
 //! # Example
 //!
 //! ```
-//! use scout_core::ScoutSystem;
+//! use scout_core::ScoutEngine;
 //! use scout_fabric::Fabric;
 //! use scout_policy::{sample, ObjectId};
 //!
@@ -37,7 +47,7 @@
 //!     fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
 //! }
 //!
-//! let report = ScoutSystem::new().analyze_fabric(&fabric);
+//! let report = ScoutEngine::new().analyze(&fabric);
 //! assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
 //! ```
 
@@ -45,12 +55,17 @@
 #![warn(missing_docs)]
 
 pub mod correlation;
+pub mod engine;
 pub mod localization;
 pub mod risk;
-pub mod system;
+pub mod session;
 
 pub use correlation::{
     CorrelationEngine, CorrelationReport, ObjectDiagnosis, RootCause, SignatureLibrary,
+};
+pub use engine::{
+    EngineConfig, OracleCadence, ScoutEngine, ScoutEngineBuilder, ScoutReport, SessionId,
+    SessionInfo,
 };
 pub use localization::{score_localize, scout_localize, Evidence, Hypothesis, ScoutConfig};
 pub use risk::{
@@ -58,7 +73,7 @@ pub use risk::{
     augment_switch_model_tracked, controller_risk_model, switch_risk_model, EdgeStatus,
     FailureMarks, RiskModel,
 };
-pub use system::{FabricBaseline, ScoutReport, ScoutSystem, SystemConfig};
+pub use session::{AnalysisSession, ReportDelta, SessionError, SessionStats};
 
 #[cfg(test)]
 mod proptests {

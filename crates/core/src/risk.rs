@@ -484,7 +484,7 @@ where
 /// Tracked variant of [`augment_controller_model`]: returns the journal needed
 /// to roll the augmentation back with [`RiskModel::undo_failures`], so one
 /// pristine controller model can serve many analyses (the incremental
-/// risk-model maintenance of `ScoutSystem` and the campaign engine).
+/// risk-model maintenance of `AnalysisSession` and the campaign engine).
 pub fn augment_controller_model_tracked<I>(
     model: &mut RiskModel<SwitchEpgPair>,
     missing_rules: I,

@@ -1,0 +1,961 @@
+//! Analysis sessions: the incremental, delta-driven half of the service API.
+//!
+//! An [`AnalysisSession`] monitors one fabric. It is opened from a snapshot
+//! ([`ScoutEngine::open_session`](crate::ScoutEngine::open_session)) and
+//! thereafter driven by typed [`EventBatch`]es with explicit epoch
+//! sequencing: each [`AnalysisSession::ingest`] applies the deltas to the
+//! session's [`FabricView`] mirror, re-checks only the switches the batch
+//! dirtied (through the same incremental machinery as everything else in the
+//! codebase), re-derives only the failed edges on the cached pristine risk
+//! model, and returns a [`ReportDelta`] — what changed since the previous
+//! epoch — while [`AnalysisSession::full_report`] stays available on demand.
+//!
+//! The contract: provided the event stream is faithful (e.g. produced by a
+//! [`FabricProbe`]), every `full_report()` is
+//! **bit-identical** to a from-scratch
+//! [`ScoutEngine::analyze`](crate::ScoutEngine::analyze) of the same fabric
+//! state. The enforced root test `tests/session.rs` replays a 200-epoch
+//! soak timeline through `ingest` and asserts exactly that at every epoch.
+//!
+//! Sessions also serve the campaign pattern — many mutated clones of one
+//! snapshot — via [`AnalysisSession::analyze_clone`], which reuses the
+//! session's equivalence check for clean switches and its pristine risk
+//! model for localization.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use scout_equiv::{EquivalenceChecker, NetworkCheckResult};
+use scout_fabric::{ApplyError, EventBatch, Fabric, FabricEvent, FabricProbe, FabricView};
+use scout_metrics::TimeSeries;
+use scout_policy::{LogicalRule, ObjectId, SwitchEpgPair, SwitchId};
+
+use crate::engine::{report_from_model, EngineShared, ScoutReport, SessionId};
+use crate::localization::scout_localize;
+use crate::risk::{
+    augment_controller_model, augment_controller_model_tracked, controller_risk_model, RiskModel,
+};
+
+/// Why an [`AnalysisSession::ingest`] was rejected. A rejected batch leaves
+/// the session completely untouched: the epoch is not consumed and the
+/// mirror, caches and report are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The batch's epoch is not the next expected one — a duplicate, an
+    /// out-of-order delivery, or a gap (lost deltas).
+    EpochOutOfOrder {
+        /// The epoch the session expected next.
+        expected: u64,
+        /// The epoch the batch carried.
+        got: u64,
+    },
+    /// An event referenced a switch the session's policy universe does not
+    /// contain.
+    UnknownSwitch {
+        /// The rejected batch's epoch.
+        epoch: u64,
+        /// The unknown switch id.
+        switch: SwitchId,
+    },
+    /// A fault-clear event referenced an entry beyond the mirrored fault log.
+    FaultIndexOutOfRange {
+        /// The rejected batch's epoch.
+        epoch: u64,
+        /// The offending index.
+        index: usize,
+        /// The mirrored log's length at that point of the batch.
+        len: usize,
+    },
+}
+
+impl SessionError {
+    fn from_apply(epoch: u64, error: ApplyError) -> Self {
+        match error {
+            ApplyError::UnknownSwitch(switch) => SessionError::UnknownSwitch { epoch, switch },
+            ApplyError::FaultIndexOutOfRange { index, len } => {
+                SessionError::FaultIndexOutOfRange { epoch, index, len }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::EpochOutOfOrder { expected, got } => {
+                write!(f, "epoch out of order: expected {expected}, got {got}")
+            }
+            SessionError::UnknownSwitch { epoch, switch } => {
+                write!(f, "epoch {epoch}: event references unknown switch {switch}")
+            }
+            SessionError::FaultIndexOutOfRange { epoch, index, len } => write!(
+                f,
+                "epoch {epoch}: fault clear index {index} out of range (log has {len} entries)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What one [`AnalysisSession::ingest`] changed relative to the previous
+/// epoch's report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportDelta {
+    /// The epoch this delta advanced the session to.
+    pub epoch: u64,
+    /// Switches the batch dirtied (and the session re-checked).
+    pub rechecked: BTreeSet<SwitchId>,
+    /// Logical rules missing now that were not missing before.
+    pub newly_missing: Vec<LogicalRule>,
+    /// Logical rules missing before that are restored (or retired) now.
+    pub restored: Vec<LogicalRule>,
+    /// Objects that entered the hypothesis this epoch.
+    pub hypothesis_added: BTreeSet<ObjectId>,
+    /// Objects that left the hypothesis this epoch.
+    pub hypothesis_removed: BTreeSet<ObjectId>,
+    /// Objects whose physical-root-cause diagnosis appeared, disappeared or
+    /// changed this epoch.
+    pub diagnosis_changed: BTreeSet<ObjectId>,
+    /// Whether the fabric is consistent with the policy after this epoch.
+    pub consistent: bool,
+}
+
+impl ReportDelta {
+    /// A delta reporting "nothing changed" at `epoch`.
+    fn noop(epoch: u64, consistent: bool) -> Self {
+        Self {
+            epoch,
+            consistent,
+            ..Self::default()
+        }
+    }
+
+    fn between(
+        epoch: u64,
+        rechecked: BTreeSet<SwitchId>,
+        prev: &ScoutReport,
+        next: &ScoutReport,
+    ) -> Self {
+        let prev_missing = prev.check.missing_rule_set();
+        let next_missing = next.check.missing_rule_set();
+        let prev_hypothesis = prev.hypothesis.objects();
+        let next_hypothesis = next.hypothesis.objects();
+        let diagnosed: BTreeSet<ObjectId> = prev
+            .diagnosis
+            .diagnoses()
+            .iter()
+            .chain(next.diagnosis.diagnoses())
+            .map(|d| d.object)
+            .collect();
+        Self {
+            epoch,
+            rechecked,
+            newly_missing: next_missing.difference(&prev_missing).copied().collect(),
+            restored: prev_missing.difference(&next_missing).copied().collect(),
+            hypothesis_added: next_hypothesis
+                .difference(&prev_hypothesis)
+                .copied()
+                .collect(),
+            hypothesis_removed: prev_hypothesis
+                .difference(&next_hypothesis)
+                .copied()
+                .collect(),
+            diagnosis_changed: diagnosed
+                .into_iter()
+                .filter(|&o| prev.diagnosis.for_object(o) != next.diagnosis.for_object(o))
+                .collect(),
+            consistent: next.is_consistent(),
+        }
+    }
+
+    /// Returns `true` if the epoch changed nothing the operator can see
+    /// (missing rules, hypothesis and diagnoses are all unchanged).
+    pub fn is_noop(&self) -> bool {
+        self.newly_missing.is_empty()
+            && self.restored.is_empty()
+            && self.hypothesis_added.is_empty()
+            && self.hypothesis_removed.is_empty()
+            && self.diagnosis_changed.is_empty()
+    }
+}
+
+/// Running counters and latency series of one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Successful `ingest` calls (rejected batches are not counted).
+    pub ingests: usize,
+    /// Events applied across all ingests.
+    pub events: usize,
+    /// Ingests of an empty batch (cheap no-ops).
+    pub empty_batches: usize,
+    /// Switches re-checked across all ingests.
+    pub rechecked_switches: usize,
+    /// Per-ingest latency in nanoseconds, one sample per successful ingest.
+    pub ingest_latency: TimeSeries,
+}
+
+impl Default for SessionStats {
+    fn default() -> Self {
+        Self {
+            ingests: 0,
+            events: 0,
+            empty_batches: 0,
+            rechecked_switches: 0,
+            ingest_latency: TimeSeries::new("per-ingest latency (ns)"),
+        }
+    }
+}
+
+/// A long-lived analysis session monitoring one fabric.
+///
+/// # Example
+///
+/// ```
+/// use scout_core::ScoutEngine;
+/// use scout_fabric::{EventBatch, Fabric, FabricProbe};
+/// use scout_policy::{sample, ObjectId};
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+///
+/// let engine = ScoutEngine::new();
+/// let mut session = engine.open_session(&fabric);
+/// let mut probe = FabricProbe::new(&fabric);
+/// assert!(session.full_report().is_consistent());
+///
+/// // The port-700 rules silently vanish; one delta batch catches the
+/// // session up and reports exactly what changed.
+/// fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+/// fabric.remove_tcam_rules_where(sample::S3, |r| r.matcher.ports.start == 700);
+/// let events = probe.observe(&fabric);
+/// let delta = session
+///     .ingest(EventBatch::new(session.next_epoch(), events))
+///     .unwrap();
+/// assert_eq!(delta.newly_missing.len(), 4);
+/// assert!(delta
+///     .hypothesis_added
+///     .contains(&ObjectId::Filter(sample::F_700)));
+/// // The on-demand full report matches a from-scratch analysis exactly.
+/// assert_eq!(*session.full_report(), engine.analyze(&fabric));
+/// ```
+#[derive(Debug)]
+pub struct AnalysisSession {
+    id: SessionId,
+    shared: Arc<EngineShared>,
+    /// The session's private checker: warm across ingests and clone
+    /// analyses, never contended with other sessions.
+    checker: EquivalenceChecker,
+    /// The monitor-side mirror of the fabric's artifacts.
+    view: FabricView,
+    /// Identity of the monitored fabric (for [`AnalysisSession::covers`]).
+    fabric_id: u64,
+    /// The fabric's change epoch at open time; clone analyses derive their
+    /// dirty sets relative to it.
+    open_epoch: u64,
+    /// The session epoch: number of batches ingested so far.
+    epoch: u64,
+    /// The pristine (un-augmented) controller risk model of the mirrored
+    /// universe; each analysis applies and rolls back only the failed edges.
+    model: RiskModel<SwitchEpgPair>,
+    /// The current full report (owns the current equivalence check).
+    report: ScoutReport,
+    stats: SessionStats,
+}
+
+impl AnalysisSession {
+    /// Opens a session: snapshots `fabric` and runs the full pipeline once.
+    pub(crate) fn open(shared: Arc<EngineShared>, id: SessionId, fabric: &Fabric) -> Self {
+        let mut checker = EquivalenceChecker::with_parallelism(shared.config.parallelism);
+        checker.set_node_budget(shared.config.node_budget);
+        let view = FabricView::of(fabric);
+        let check = checker.check_network(view.logical_rules(), view.tcam());
+        let mut model = controller_risk_model(view.universe());
+        let marks = augment_controller_model_tracked(&mut model, check.missing_rules());
+        let report = report_from_model(
+            check,
+            &model,
+            view.universe(),
+            view.change_log(),
+            view.fault_log(),
+            shared.config.scout,
+            &shared.correlation,
+        );
+        model.undo_failures(marks);
+        Self {
+            id,
+            shared,
+            checker,
+            view,
+            fabric_id: fabric.id(),
+            open_epoch: fabric.epoch(),
+            epoch: 0,
+            model,
+            report,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The session's registry id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The last successfully ingested epoch (0 right after open).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch the next [`AnalysisSession::ingest`] must carry.
+    pub fn next_epoch(&self) -> u64 {
+        self.epoch + 1
+    }
+
+    /// The session's mirror of the fabric's artifacts.
+    pub fn view(&self) -> &FabricView {
+        &self.view
+    }
+
+    /// The current full report, maintained incrementally — bit-identical to a
+    /// from-scratch analysis of the mirrored fabric state.
+    pub fn full_report(&self) -> &ScoutReport {
+        &self.report
+    }
+
+    /// `true` if the mirrored deployment currently matches the policy.
+    pub fn is_consistent(&self) -> bool {
+        self.report.is_consistent()
+    }
+
+    /// The session's running counters and per-ingest latency series.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Ingests one epoch of typed deltas.
+    ///
+    /// The batch's epoch must be exactly [`AnalysisSession::next_epoch`];
+    /// duplicates, reordered batches and gaps are rejected with
+    /// [`SessionError::EpochOutOfOrder`]. Events referencing unknown switches
+    /// or out-of-range fault entries are rejected with context. A rejected
+    /// batch leaves the session untouched. An empty batch is a cheap no-op:
+    /// the epoch advances and the previous report is retained without
+    /// re-running any analysis stage.
+    pub fn ingest(&mut self, batch: EventBatch) -> Result<ReportDelta, SessionError> {
+        let expected = self.epoch + 1;
+        if batch.epoch != expected {
+            return Err(SessionError::EpochOutOfOrder {
+                expected,
+                got: batch.epoch,
+            });
+        }
+        let start = Instant::now();
+        if batch.is_empty() {
+            self.epoch = expected;
+            self.stats.ingests += 1;
+            self.stats.empty_batches += 1;
+            self.stats
+                .ingest_latency
+                .push(start.elapsed().as_nanos() as f64);
+            return Ok(ReportDelta::noop(expected, self.report.is_consistent()));
+        }
+
+        // All-or-nothing: validate the whole batch before mutating anything.
+        self.view
+            .validate(&batch.events)
+            .map_err(|e| SessionError::from_apply(expected, e))?;
+
+        let mut dirty: BTreeSet<SwitchId> = BTreeSet::new();
+        let mut policy_changed = false;
+        for event in &batch.events {
+            policy_changed |= matches!(event, FabricEvent::PolicyUpdate { .. });
+            dirty.extend(
+                self.view
+                    .apply(event)
+                    .expect("the batch was validated up front"),
+            );
+        }
+
+        // Equivalence: re-check only what the batch dirtied.
+        let view = &self.view;
+        let check = self.checker.recheck_dirty_with(
+            &self.report.check,
+            view.logical_rules(),
+            view.switch_set(),
+            &dirty,
+            |s| view.tcam_of(s),
+        );
+
+        // Risk model: rebuild only on a policy change, otherwise re-derive
+        // (and roll back) just the failed edges of the new check.
+        if policy_changed {
+            self.model = controller_risk_model(self.view.universe());
+        }
+        let marks = augment_controller_model_tracked(&mut self.model, check.missing_rules());
+        let report = report_from_model(
+            check,
+            &self.model,
+            self.view.universe(),
+            self.view.change_log(),
+            self.view.fault_log(),
+            self.shared.config.scout,
+            &self.shared.correlation,
+        );
+        self.model.undo_failures(marks);
+
+        let delta = ReportDelta::between(expected, dirty, &self.report, &report);
+        self.report = report;
+        self.epoch = expected;
+        self.stats.ingests += 1;
+        self.stats.events += batch.len();
+        self.stats.rechecked_switches += delta.rechecked.len();
+        self.stats
+            .ingest_latency
+            .push(start.elapsed().as_nanos() as f64);
+        Ok(delta)
+    }
+
+    /// Observes `fabric` through `probe` and ingests the resulting events as
+    /// the next epoch — the standard monitoring step (probe diff → sequenced
+    /// batch → [`AnalysisSession::ingest`]) in one call, keeping the epoch
+    /// bookkeeping in one place.
+    pub fn ingest_observation(
+        &mut self,
+        probe: &mut FabricProbe,
+        fabric: &Fabric,
+    ) -> Result<ReportDelta, SessionError> {
+        let events = probe.observe(fabric);
+        self.ingest(EventBatch::new(self.next_epoch(), events))
+    }
+
+    /// Returns `true` if the session's open-time check can be reused
+    /// incrementally for `fabric`: no event batch has been ingested (so the
+    /// session's check still is the open-time one), and the fabric is the
+    /// monitored fabric itself or a clone taken from it at or after the open
+    /// epoch (every divergence then shows up in
+    /// [`Fabric::dirty_switches_since`] relative to that epoch).
+    ///
+    /// Once `ingest` has advanced the session, its check reflects the
+    /// *mirrored* state — drift a pre-drift clone does not carry in its dirty
+    /// set — so clone analyses of an ingesting session always take the full
+    /// check.
+    pub fn covers(&self, fabric: &Fabric) -> bool {
+        self.epoch == 0
+            && (fabric.id() == self.fabric_id
+                || (fabric.parent_id() == Some(self.fabric_id)
+                    && fabric.parent_epoch().is_some_and(|e| e >= self.open_epoch)))
+    }
+
+    /// Analyzes a mutated clone of the monitored fabric, reusing the
+    /// session's check for clean switches and its pristine risk model for
+    /// localization — the campaign pattern: one session per worker, one
+    /// `analyze_clone` per scenario.
+    ///
+    /// The produced report is bit-identical to
+    /// [`ScoutEngine::analyze`](crate::ScoutEngine::analyze) on the same
+    /// fabric. The fast paths engage when the session
+    /// [`covers`](AnalysisSession::covers) the fabric and, for the risk
+    /// model, when the policy universe is unchanged; otherwise the method
+    /// transparently falls back to the from-scratch pipeline for the affected
+    /// stage.
+    pub fn analyze_clone(&mut self, fabric: &Fabric) -> ScoutReport {
+        self.analyze_clone_with(fabric, |_| ()).0
+    }
+
+    /// Like [`AnalysisSession::analyze_clone`], but additionally runs `extra`
+    /// against the same augmented controller risk model — e.g. a baseline
+    /// algorithm being compared on identical evidence — so the model is
+    /// augmented (and rolled back) once per analysis instead of once per
+    /// consumer.
+    pub fn analyze_clone_with<T>(
+        &mut self,
+        fabric: &Fabric,
+        extra: impl FnOnce(&RiskModel<SwitchEpgPair>) -> T,
+    ) -> (ScoutReport, T) {
+        let check = if self.covers(fabric) {
+            let dirty = fabric.dirty_switches_since(self.open_epoch);
+            let current: BTreeSet<SwitchId> = fabric.universe().switch_ids().into_iter().collect();
+            self.checker.recheck_dirty_with(
+                &self.report.check,
+                fabric.logical_rules(),
+                &current,
+                &dirty,
+                |s| fabric.tcam_rules(s),
+            )
+        } else {
+            self.checker
+                .check_network(fabric.logical_rules(), &fabric.collect_tcam())
+        };
+        let scout = self.shared.config.scout;
+        let shared = Arc::clone(&self.shared);
+        let (observations, suspect_objects, hypothesis, diagnosis, extra_out) = self
+            .with_augmented_model(fabric, &check, |model| {
+                let observations = model.failure_signature();
+                let suspect_objects = model.suspect_set(&observations);
+                let hypothesis = scout_localize(model, fabric.change_log(), scout);
+                let diagnosis = shared.correlation.correlate(
+                    &hypothesis,
+                    fabric.universe(),
+                    fabric.change_log(),
+                    fabric.fault_log(),
+                );
+                (
+                    observations,
+                    suspect_objects,
+                    hypothesis,
+                    diagnosis,
+                    extra(model),
+                )
+            });
+        (
+            ScoutReport {
+                check,
+                observations,
+                suspect_objects,
+                hypothesis,
+                diagnosis,
+            },
+            extra_out,
+        )
+    }
+
+    /// The reference from-scratch analysis of a clone, through the session's
+    /// private checker: full network check, fresh risk model. Used by
+    /// differential drivers to validate [`AnalysisSession::analyze_clone`];
+    /// both produce bit-identical reports.
+    pub fn analyze_scratch_with<T>(
+        &mut self,
+        fabric: &Fabric,
+        extra: impl FnOnce(&RiskModel<SwitchEpgPair>) -> T,
+    ) -> (ScoutReport, T) {
+        let check = self
+            .checker
+            .check_network(fabric.logical_rules(), &fabric.collect_tcam());
+        let mut model = controller_risk_model(fabric.universe());
+        augment_controller_model(&mut model, check.missing_rules());
+        let report = report_from_model(
+            check,
+            &model,
+            fabric.universe(),
+            fabric.change_log(),
+            fabric.fault_log(),
+            self.shared.config.scout,
+            &self.shared.correlation,
+        );
+        let extra_out = extra(&model);
+        (report, extra_out)
+    }
+
+    /// Runs `f` against the controller risk model augmented with the missing
+    /// rules of `check`, re-deriving only the failed edges when `fabric`
+    /// still holds the mirrored policy (and rebuilding the model from the
+    /// fabric's universe otherwise). The cached model is always restored to
+    /// its pristine state before returning.
+    pub fn with_augmented_model<T>(
+        &mut self,
+        fabric: &Fabric,
+        check: &NetworkCheckResult,
+        f: impl FnOnce(&RiskModel<SwitchEpgPair>) -> T,
+    ) -> T {
+        if fabric.universe_version() == self.view.universe_version() {
+            let marks = augment_controller_model_tracked(&mut self.model, check.missing_rules());
+            let out = f(&self.model);
+            self.model.undo_failures(marks);
+            out
+        } else {
+            let mut model = controller_risk_model(fabric.universe());
+            augment_controller_model(&mut model, check.missing_rules());
+            f(&model)
+        }
+    }
+}
+
+impl Drop for AnalysisSession {
+    /// Deregisters the session from its engine's registry (recovering from a
+    /// poisoned lock, like every other registry access).
+    fn drop(&mut self) {
+        self.shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScoutEngine;
+    use scout_fabric::FabricProbe;
+    use scout_policy::sample;
+
+    fn deployed() -> Fabric {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric
+    }
+
+    fn ingest_observation(
+        session: &mut AnalysisSession,
+        probe: &mut FabricProbe,
+        fabric: &Fabric,
+    ) -> ReportDelta {
+        session
+            .ingest_observation(probe, fabric)
+            .expect("faithful observations ingest cleanly")
+    }
+
+    #[test]
+    fn ingested_session_matches_full_analysis() {
+        let mut fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+        assert!(session.is_consistent());
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+
+        // Mutate two switches; the delta-driven report must match from
+        // scratch, and the delta must name the change.
+        for switch in [sample::S2, sample::S3] {
+            fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+        }
+        let delta = ingest_observation(&mut session, &mut probe, &fabric);
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+        assert_eq!(delta.rechecked, BTreeSet::from([sample::S2, sample::S3]));
+        assert_eq!(delta.newly_missing.len(), 4);
+        assert!(delta.restored.is_empty());
+        assert!(delta
+            .hypothesis_added
+            .contains(&ObjectId::Filter(sample::F_700)));
+        assert!(delta
+            .diagnosis_changed
+            .contains(&ObjectId::Filter(sample::F_700)));
+        assert!(!delta.consistent);
+        assert!(!delta.is_noop());
+
+        // Repair: the rules come back, and the delta reports the restoration.
+        fabric.repair_switch(sample::S2);
+        fabric.repair_switch(sample::S3);
+        let delta = ingest_observation(&mut session, &mut probe, &fabric);
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+        assert_eq!(delta.restored.len(), 4);
+        assert!(delta
+            .hypothesis_removed
+            .contains(&ObjectId::Filter(sample::F_700)));
+        assert!(delta.consistent);
+        assert_eq!(session.epoch(), 2);
+    }
+
+    #[test]
+    fn empty_batches_are_cheap_noops() {
+        let fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let before = session.full_report().clone();
+        let delta = session.ingest(EventBatch::empty(1)).unwrap();
+        assert!(delta.is_noop());
+        assert!(delta.consistent);
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(*session.full_report(), before);
+        let stats = session.stats();
+        assert_eq!(stats.ingests, 1);
+        assert_eq!(stats.empty_batches, 1);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.rechecked_switches, 0);
+        assert_eq!(stats.ingest_latency.len(), 1);
+    }
+
+    #[test]
+    fn epoch_sequencing_is_strict() {
+        let fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        assert_eq!(session.next_epoch(), 1);
+
+        // A gap, a duplicate of the future, and epoch 0 are all rejected.
+        for bad in [0u64, 2, 7] {
+            assert_eq!(
+                session.ingest(EventBatch::empty(bad)),
+                Err(SessionError::EpochOutOfOrder {
+                    expected: 1,
+                    got: bad
+                })
+            );
+        }
+        assert!(session.ingest(EventBatch::empty(1)).is_ok());
+        // Replaying the consumed epoch is rejected too.
+        let replay = session.ingest(EventBatch::empty(1));
+        assert_eq!(
+            replay,
+            Err(SessionError::EpochOutOfOrder {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(replay.unwrap_err().to_string().contains("out of order"));
+        // Rejected batches consume nothing.
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(session.stats().ingests, 1);
+    }
+
+    #[test]
+    fn unknown_switch_events_are_rejected_with_context() {
+        let fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let before = session.full_report().clone();
+        let stray = SwitchId::new(99);
+        let batch = EventBatch::new(
+            1,
+            vec![FabricEvent::TcamSync {
+                switch: stray,
+                rules: Vec::new(),
+            }],
+        );
+        let err = session.ingest(batch).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::UnknownSwitch {
+                epoch: 1,
+                switch: stray
+            }
+        );
+        assert!(err.to_string().contains("unknown switch"));
+        // The rejected batch left the session untouched: the epoch was not
+        // consumed and the report is unchanged.
+        assert_eq!(session.epoch(), 0);
+        assert_eq!(*session.full_report(), before);
+        assert!(session.ingest(EventBatch::empty(1)).is_ok());
+    }
+
+    #[test]
+    fn bad_fault_indices_are_rejected_atomically() {
+        let mut fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        // A batch whose first event is valid and second is not must apply
+        // neither.
+        fabric.remove_tcam_rules_where(sample::S2, |_| true);
+        let batch = EventBatch::new(
+            1,
+            vec![
+                FabricEvent::TcamSync {
+                    switch: sample::S2,
+                    rules: fabric.tcam_rules(sample::S2),
+                },
+                FabricEvent::FaultEvents {
+                    raised: Vec::new(),
+                    cleared: vec![(42, scout_fabric::Timestamp::new(1))],
+                },
+            ],
+        );
+        let err = session.ingest(batch).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::FaultIndexOutOfRange {
+                epoch: 1,
+                index: 42,
+                ..
+            }
+        ));
+        assert!(
+            session.is_consistent(),
+            "the TcamSync must not have applied"
+        );
+        assert_eq!(session.epoch(), 0);
+    }
+
+    #[test]
+    fn clone_analysis_matches_full_analysis() {
+        let base = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&base);
+        assert!(session.covers(&base));
+
+        // A mutated clone: only S2/S3 are dirty relative to the session.
+        let mut clone = base.clone();
+        assert!(session.covers(&clone));
+        for switch in [sample::S2, sample::S3] {
+            clone.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+        }
+        let derived = session.analyze_clone(&clone);
+        let full = engine.analyze(&clone);
+        assert_eq!(derived, full);
+        assert!(derived.hypothesis.contains(ObjectId::Filter(sample::F_700)));
+
+        // The session stays reusable: a second, different clone agrees too.
+        let mut other = base.clone();
+        other.disconnect_switch(sample::S2);
+        other.remove_tcam_rules_where(sample::S2, |_| true);
+        let derived = session.analyze_clone(&other);
+        assert_eq!(derived, engine.analyze(&other));
+
+        // And the reference from-scratch path through the session agrees.
+        let (scratch, _) = session.analyze_scratch_with(&other, |_| ());
+        assert_eq!(scratch, derived);
+    }
+
+    #[test]
+    fn clone_analysis_survives_policy_updates() {
+        use scout_policy::{Contract, Filter, FilterEntry, FilterId, PortRange, Protocol};
+        let base = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&base);
+
+        // The clone's policy diverges: the risk-model fast path must yield to
+        // a from-scratch model while the check stays incremental.
+        let mut clone = base.clone();
+        let universe = clone.universe();
+        let mut b = scout_policy::PolicyUniverse::builder();
+        for t in universe.tenants() {
+            b.tenant(t.clone());
+        }
+        for v in universe.vrfs() {
+            b.vrf(v.clone());
+        }
+        for e in universe.epgs() {
+            b.epg(e.clone());
+        }
+        for s in universe.switches() {
+            b.switch(s.clone());
+        }
+        for ep in universe.endpoints() {
+            b.endpoint(ep.clone());
+        }
+        for f in universe.filters() {
+            b.filter(f.clone());
+        }
+        b.filter(Filter::new(
+            FilterId::new(60),
+            "port-9443",
+            vec![FilterEntry::allow(Protocol::Tcp, PortRange::single(9443))],
+        ));
+        for c in universe.contracts() {
+            if c.id == sample::C_APP_DB {
+                let mut filters = c.filters.clone();
+                filters.push(FilterId::new(60));
+                b.contract(Contract::new(c.id, c.name.clone(), filters));
+            } else {
+                b.contract(c.clone());
+            }
+        }
+        for binding in universe.bindings() {
+            b.bind(*binding);
+        }
+        let updated = b.build().unwrap();
+
+        clone.disconnect_switch(sample::S3);
+        clone.update_policy(updated);
+        let derived = session.analyze_clone(&clone);
+        let full = engine.analyze(&clone);
+        assert_eq!(derived, full);
+        assert!(!derived.is_consistent());
+    }
+
+    #[test]
+    fn stale_clones_are_not_covered_but_still_analyzed_correctly() {
+        let mut base = deployed();
+        let engine = ScoutEngine::new();
+
+        // Clone first, open the session later: the clone misses the
+        // post-clone mutation, so the session must refuse the incremental
+        // path…
+        let stale = base.clone();
+        base.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let mut session = engine.open_session(&base);
+        assert!(!session.covers(&stale));
+        // …and still produce the correct (full-check) report for it.
+        let report = session.analyze_clone(&stale);
+        assert_eq!(report, engine.analyze(&stale));
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn sessions_on_different_fabrics_are_independent() {
+        let a = deployed();
+        let mut b = a.clone();
+        b.remove_tcam_rules_where(sample::S2, |_| true);
+
+        let engine = ScoutEngine::new();
+        let session_a = engine.open_session(&a);
+        let session_b = engine.open_session(&b);
+        assert!(session_a.is_consistent());
+        assert!(!session_b.is_consistent());
+        assert_eq!(*session_b.full_report(), engine.analyze(&b));
+    }
+
+    #[test]
+    fn interleaved_ingests_and_clone_analyses_agree_with_scratch() {
+        let mut fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+        assert!(session.covers(&fabric), "fresh session covers its fabric");
+
+        // The live fabric drifts and the session follows it…
+        fabric.evict_tcam(sample::S1, 1, true);
+        ingest_observation(&mut session, &mut probe, &fabric);
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+
+        // …after which the incremental clone path retires (the session's
+        // check reflects the mirror, not the open snapshot), but clone
+        // analyses still agree with from-scratch exactly.
+        let mut clone = fabric.clone();
+        clone.remove_tcam_rules_where(sample::S3, |_| true);
+        assert!(!session.covers(&clone));
+        assert_eq!(session.analyze_clone(&clone), engine.analyze(&clone));
+
+        // Another round of drift after the clone analysis.
+        fabric.repair_switch(sample::S1);
+        ingest_observation(&mut session, &mut probe, &fabric);
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+        assert!(session.is_consistent());
+    }
+
+    #[test]
+    fn clones_taken_before_ingested_drift_are_analyzed_correctly() {
+        // Regression: a clone taken *before* drift that the session has
+        // since ingested carries no dirty entry for the drifted switch, so
+        // reusing the post-ingest check incrementally would smuggle the
+        // drift into the clone's report. The clone must be analyzed from a
+        // full check and come out healthy.
+        let mut fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        let clone = fabric.clone();
+        fabric.evict_tcam(sample::S2, 2, true);
+        ingest_observation(&mut session, &mut probe, &fabric);
+        assert!(!session.is_consistent());
+
+        assert!(!session.covers(&clone));
+        let report = session.analyze_clone(&clone);
+        assert_eq!(report, engine.analyze(&clone));
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn stats_track_ingest_activity() {
+        let mut fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        session.ingest(EventBatch::empty(1)).unwrap();
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let delta = ingest_observation(&mut session, &mut probe, &fabric);
+        assert_eq!(delta.rechecked.len(), 1);
+
+        let stats = session.stats();
+        assert_eq!(stats.ingests, 2);
+        assert_eq!(stats.empty_batches, 1);
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.rechecked_switches, 1);
+        assert_eq!(stats.ingest_latency.len(), 2);
+        assert!(stats.ingest_latency.values().iter().all(|&v| v >= 0.0));
+    }
+}

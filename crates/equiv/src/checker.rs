@@ -111,11 +111,19 @@ impl NetworkCheckResult {
             .map(|(&s, _)| s)
             .collect()
     }
+
+    /// All missing rules, materialized as an ordered set — the form delta
+    /// consumers (e.g. a session computing a report delta between two checks)
+    /// need for set difference.
+    pub fn missing_rule_set(&self) -> BTreeSet<LogicalRule> {
+        self.missing_rules().collect()
+    }
 }
 
-/// When the worker's node table exceeds this bound the manager is rebuilt,
-/// keeping the memory of a long-lived checker bounded.
-const WORKER_NODE_LIMIT: usize = 1 << 20;
+/// Default bound on a worker's BDD node table; when exceeded the manager is
+/// rebuilt, keeping the memory of a long-lived checker bounded. Override per
+/// checker with [`EquivalenceChecker::set_node_budget`].
+pub const DEFAULT_NODE_BUDGET: usize = 1 << 20;
 
 /// Networks below this size are checked sequentially even in auto mode; the
 /// per-thread manager warm-up would cost more than it saves.
@@ -215,9 +223,9 @@ impl CheckWorker {
         }
     }
 
-    /// Rebuilds the manager if the node table outgrew the bound.
-    fn maybe_shrink(&mut self, header_space: &HeaderSpace) {
-        if self.manager.node_count() > WORKER_NODE_LIMIT {
+    /// Rebuilds the manager if the node table outgrew `budget`.
+    fn maybe_shrink(&mut self, header_space: &HeaderSpace, budget: usize) {
+        if self.manager.node_count() > budget {
             self.manager = header_space.manager();
             self.rule_cache.clear();
         }
@@ -260,6 +268,9 @@ pub enum Parallelism {
 pub struct EquivalenceChecker {
     header_space: HeaderSpace,
     parallelism: Parallelism,
+    /// Per-worker BDD node-table budget; a worker whose table outgrows it is
+    /// rebuilt (see [`DEFAULT_NODE_BUDGET`]).
+    node_budget: usize,
     /// The sequential worker, warm across calls.
     worker: Mutex<CheckWorker>,
     /// Parallel workers, returned to this pool after every threaded check so
@@ -279,6 +290,7 @@ impl Clone for EquivalenceChecker {
         Self {
             header_space: self.header_space.clone(),
             parallelism: self.parallelism,
+            node_budget: self.node_budget,
             worker: Mutex::new(CheckWorker::new(&self.header_space)),
             pool: Mutex::new(Vec::new()),
         }
@@ -299,6 +311,7 @@ impl EquivalenceChecker {
         Self {
             header_space,
             parallelism,
+            node_budget: DEFAULT_NODE_BUDGET,
             worker,
             pool: Mutex::new(Vec::new()),
         }
@@ -307,6 +320,20 @@ impl EquivalenceChecker {
     /// Changes the parallelism policy.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.parallelism = parallelism;
+    }
+
+    /// Bounds each worker's BDD node table: a worker whose hash-consed table
+    /// outgrows the budget after a check is rebuilt from scratch. Lower
+    /// budgets cap the memory of a long-lived checker at the price of colder
+    /// caches; results never change. A budget of 0 effectively disables cache
+    /// persistence.
+    pub fn set_node_budget(&mut self, budget: usize) {
+        self.node_budget = budget;
+    }
+
+    /// The configured per-worker BDD node-table budget.
+    pub fn node_budget(&self) -> usize {
+        self.node_budget
     }
 
     /// Groups logical rules by destination switch.
@@ -340,7 +367,7 @@ impl EquivalenceChecker {
             .collect();
         let mut worker = self.lock_worker();
         let result = worker.check_switch(&self.header_space, switch, &for_switch, tcam);
-        worker.maybe_shrink(&self.header_space);
+        worker.maybe_shrink(&self.header_space, self.node_budget);
         result
     }
 
@@ -455,7 +482,7 @@ impl EquivalenceChecker {
                     )
                 })
                 .collect();
-            worker.maybe_shrink(&self.header_space);
+            worker.maybe_shrink(&self.header_space, self.node_budget);
             return result;
         }
 
@@ -468,6 +495,7 @@ impl EquivalenceChecker {
         let chunk_size = switches.len().div_ceil(threads);
         let chunk_count = switches.len().div_ceil(chunk_size);
         let header_space = &self.header_space;
+        let node_budget = self.node_budget;
         let mut workers = {
             let mut pool = self.lock_pool();
             while pool.len() < chunk_count {
@@ -494,7 +522,7 @@ impl EquivalenceChecker {
                                 )
                             })
                             .collect::<Vec<_>>();
-                        worker.maybe_shrink(header_space);
+                        worker.maybe_shrink(header_space, node_budget);
                         (worker, results)
                     })
                 })

@@ -41,7 +41,9 @@ pub mod checker;
 pub mod header;
 pub mod naive;
 
-pub use checker::{EquivalenceChecker, NetworkCheckResult, Parallelism, SwitchCheckResult};
+pub use checker::{
+    EquivalenceChecker, NetworkCheckResult, Parallelism, SwitchCheckResult, DEFAULT_NODE_BUDGET,
+};
 pub use header::HeaderSpace;
 pub use naive::{naive_missing_rules, sample_flows};
 

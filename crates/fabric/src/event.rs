@@ -1,0 +1,627 @@
+//! Typed fabric telemetry: the event stream a continuously-running monitor
+//! ingests instead of whole-fabric snapshots.
+//!
+//! The paper describes SCOUT as a *service*: the controller streams policy
+//! changes into it and switches stream their TCAM and fault state, while the
+//! monitor keeps its own view of the deployment current. This module models
+//! that stream:
+//!
+//! * [`FabricEvent`] — one typed delta: a policy-universe installation (which
+//!   also carries switch churn, since switches are universe objects), a TCAM
+//!   snapshot collected from one switch, appended controller change-log
+//!   entries, or raised/cleared device fault-log entries.
+//! * [`EventBatch`] — the unit of ingestion: the events of one epoch, with an
+//!   explicit epoch number so consumers can enforce ordered, gap-free
+//!   delivery.
+//! * [`FabricView`] — the monitor-side mirror: exactly the five artifacts an
+//!   analysis consumes (universe, compiled logical rules, per-switch TCAM,
+//!   change log, fault log), kept current by [`FabricView::apply`].
+//! * [`FabricProbe`] — the telemetry source for a simulated [`Fabric`]: it
+//!   remembers what was last observed and diffs the live fabric into the
+//!   minimal event batch ([`FabricProbe::observe`]).
+//!
+//! The contract tying these together: a view kept current with a probe's
+//! observations holds artifacts bit-identical to the observed fabric's, so an
+//! analysis of the view is bit-identical to an analysis of the fabric.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use scout_policy::{LogicalRule, PolicyUniverse, SwitchId, TcamRule};
+
+use crate::clock::Timestamp;
+use crate::compiler;
+use crate::fabric::Fabric;
+use crate::logs::{ChangeLog, ChangeLogEntry, FaultLog, FaultLogEntry};
+
+/// One typed delta of the fabric-telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricEvent {
+    /// The controller installed a new policy universe (edits, and switch
+    /// churn — switches joining or leaving are universe changes). `version`
+    /// is the controller's universe version (see
+    /// [`Fabric::universe_version`]); consumers key policy-derived caches on
+    /// it.
+    PolicyUpdate {
+        /// The new policy-universe version.
+        version: u64,
+        /// The new policy universe.
+        universe: PolicyUniverse,
+    },
+    /// Telemetry from one switch: the full TCAM contents as collected. Sent
+    /// for every switch whose deployed state may have changed since the last
+    /// batch.
+    TcamSync {
+        /// The reporting switch.
+        switch: SwitchId,
+        /// Its complete TCAM contents, in table order.
+        rules: Vec<TcamRule>,
+    },
+    /// Controller change-log entries appended since the last batch, in log
+    /// order.
+    ChangeEvents(Vec<ChangeLogEntry>),
+    /// Device/controller fault-log activity since the last batch.
+    FaultEvents {
+        /// Entries appended since the last batch (carried verbatim; an entry
+        /// both raised and cleared between batches arrives pre-cleared).
+        raised: Vec<FaultLogEntry>,
+        /// `(index, time)` pairs for previously-delivered entries that have
+        /// since been cleared.
+        cleared: Vec<(usize, Timestamp)>,
+    },
+}
+
+/// The events of one epoch, with an explicit epoch number.
+///
+/// Epoch numbers exist so a consumer can enforce ordered, gap-free delivery:
+/// a delta stream is only meaningful if every batch is applied exactly once,
+/// in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventBatch {
+    /// The epoch this batch advances the consumer to.
+    pub epoch: u64,
+    /// The typed deltas of the epoch, in application order.
+    pub events: Vec<FabricEvent>,
+}
+
+impl EventBatch {
+    /// A batch of `events` for `epoch`.
+    pub fn new(epoch: u64, events: Vec<FabricEvent>) -> Self {
+        Self { epoch, events }
+    }
+
+    /// An empty batch for `epoch` — a heartbeat: nothing changed.
+    pub fn empty(epoch: u64) -> Self {
+        Self::new(epoch, Vec::new())
+    }
+
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the batch carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Why an event could not be applied to a [`FabricView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A [`FabricEvent::TcamSync`] referenced a switch the current policy
+    /// universe does not contain.
+    UnknownSwitch(SwitchId),
+    /// A [`FabricEvent::FaultEvents`] clear referenced an entry index beyond
+    /// the mirrored fault log.
+    FaultIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The mirrored log's length at that point of the batch.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::UnknownSwitch(switch) => {
+                write!(f, "event references unknown switch {switch}")
+            }
+            ApplyError::FaultIndexOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "fault clear index {index} out of range (log has {len} entries)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// The monitor-side mirror of a fabric: the five artifacts an analysis
+/// consumes, kept current by applying [`FabricEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricView {
+    universe_version: u64,
+    universe: PolicyUniverse,
+    /// Switch ids of `universe`, cached for O(log n) membership checks.
+    switches: BTreeSet<SwitchId>,
+    logical_rules: Vec<LogicalRule>,
+    tcam: BTreeMap<SwitchId, Vec<TcamRule>>,
+    change_log: ChangeLog,
+    fault_log: FaultLog,
+}
+
+impl FabricView {
+    /// Snapshots `fabric` into a view (the session-open path: full state once,
+    /// deltas thereafter).
+    pub fn of(fabric: &Fabric) -> Self {
+        Self {
+            universe_version: fabric.universe_version(),
+            universe: fabric.universe().clone(),
+            switches: fabric.universe().switch_ids().into_iter().collect(),
+            logical_rules: fabric.logical_rules().to_vec(),
+            tcam: fabric.collect_tcam(),
+            change_log: fabric.change_log().clone(),
+            fault_log: fabric.fault_log().clone(),
+        }
+    }
+
+    /// The mirrored policy universe.
+    pub fn universe(&self) -> &PolicyUniverse {
+        &self.universe
+    }
+
+    /// The mirrored policy-universe version (see
+    /// [`Fabric::universe_version`]).
+    pub fn universe_version(&self) -> u64 {
+        self.universe_version
+    }
+
+    /// The compiled logical rules of the mirrored universe.
+    pub fn logical_rules(&self) -> &[LogicalRule] {
+        &self.logical_rules
+    }
+
+    /// The switches of the mirrored universe.
+    pub fn switch_set(&self) -> &BTreeSet<SwitchId> {
+        &self.switches
+    }
+
+    /// The mirrored TCAM contents, keyed by switch.
+    pub fn tcam(&self) -> &BTreeMap<SwitchId, Vec<TcamRule>> {
+        &self.tcam
+    }
+
+    /// The mirrored TCAM contents of one switch (empty if never synced).
+    pub fn tcam_of(&self, switch: SwitchId) -> Vec<TcamRule> {
+        self.tcam.get(&switch).cloned().unwrap_or_default()
+    }
+
+    /// The mirrored controller change log.
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.change_log
+    }
+
+    /// The mirrored device/controller fault log.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// Returns `true` if the view's artifacts are bit-identical to `fabric`'s
+    /// — the invariant a faithfully-delivered event stream maintains.
+    pub fn matches(&self, fabric: &Fabric) -> bool {
+        self.universe_version == fabric.universe_version()
+            && self.universe == *fabric.universe()
+            && self.logical_rules == fabric.logical_rules()
+            && self.tcam == fabric.collect_tcam()
+            && self.change_log == *fabric.change_log()
+            && self.fault_log == *fabric.fault_log()
+    }
+
+    /// Checks that every event of `events` would apply cleanly, without
+    /// mutating the view — the all-or-nothing guard: a consumer validates the
+    /// whole batch first so a mid-batch error never leaves a half-applied
+    /// mirror.
+    pub fn validate(&self, events: &[FabricEvent]) -> Result<(), ApplyError> {
+        let mut switches = self.switches.clone();
+        let mut fault_len = self.fault_log.len();
+        for event in events {
+            match event {
+                FabricEvent::PolicyUpdate { universe, .. } => {
+                    switches = universe.switch_ids().into_iter().collect();
+                }
+                FabricEvent::TcamSync { switch, .. } => {
+                    if !switches.contains(switch) {
+                        return Err(ApplyError::UnknownSwitch(*switch));
+                    }
+                }
+                FabricEvent::ChangeEvents(_) => {}
+                FabricEvent::FaultEvents { raised, cleared } => {
+                    fault_len += raised.len();
+                    for &(index, _) in cleared {
+                        if index >= fault_len {
+                            return Err(ApplyError::FaultIndexOutOfRange {
+                                index,
+                                len: fault_len,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one event and returns the switches whose checked state
+    /// (expected rules or TCAM contents) it dirtied.
+    ///
+    /// Callers applying a batch should [`FabricView::validate`] it first;
+    /// `apply` re-checks and fails on the same conditions, but by then earlier
+    /// events of the batch have already mutated the view.
+    pub fn apply(&mut self, event: &FabricEvent) -> Result<BTreeSet<SwitchId>, ApplyError> {
+        let mut dirty = BTreeSet::new();
+        match event {
+            FabricEvent::PolicyUpdate { version, universe } => {
+                let old_rules: BTreeSet<LogicalRule> = self.logical_rules.iter().copied().collect();
+                let new_rules_vec = compiler::compile(universe);
+                let new_rules: BTreeSet<LogicalRule> = new_rules_vec.iter().copied().collect();
+                let new_switches: BTreeSet<SwitchId> = universe.switch_ids().into_iter().collect();
+                // A switch needs re-checking iff its expected rule set
+                // changed; switches that left the network drop out of the
+                // current set instead.
+                dirty = old_rules
+                    .symmetric_difference(&new_rules)
+                    .map(|r| r.switch)
+                    .filter(|s| new_switches.contains(s))
+                    .collect();
+                self.tcam.retain(|s, _| new_switches.contains(s));
+                for &switch in &new_switches {
+                    self.tcam.entry(switch).or_default();
+                }
+                self.universe_version = *version;
+                self.universe = universe.clone();
+                self.switches = new_switches;
+                self.logical_rules = new_rules_vec;
+            }
+            FabricEvent::TcamSync { switch, rules } => {
+                if !self.switches.contains(switch) {
+                    return Err(ApplyError::UnknownSwitch(*switch));
+                }
+                self.tcam.insert(*switch, rules.clone());
+                dirty.insert(*switch);
+            }
+            FabricEvent::ChangeEvents(entries) => {
+                for entry in entries {
+                    self.change_log.push(entry.clone());
+                }
+            }
+            FabricEvent::FaultEvents { raised, cleared } => {
+                for entry in raised {
+                    self.fault_log.push(entry.clone());
+                }
+                for &(index, t) in cleared {
+                    if index >= self.fault_log.len() {
+                        return Err(ApplyError::FaultIndexOutOfRange {
+                            index,
+                            len: self.fault_log.len(),
+                        });
+                    }
+                    self.fault_log.clear(index, t);
+                }
+            }
+        }
+        Ok(dirty)
+    }
+}
+
+/// The telemetry source for a simulated [`Fabric`]: diffs the live fabric
+/// against what was last observed into the minimal [`FabricEvent`] batch.
+///
+/// In production the controller and the switches *push* these deltas; in the
+/// simulator the probe plays both roles by reading the fabric's epoch/dirty
+/// tracking and log cursors.
+///
+/// # Example
+///
+/// ```
+/// use scout_fabric::{Fabric, FabricProbe, FabricView};
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// let mut view = FabricView::of(&fabric);
+/// let mut probe = FabricProbe::new(&fabric);
+///
+/// // The fabric drifts; one observation catches the view up exactly.
+/// fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+/// for event in probe.observe(&fabric) {
+///     view.apply(&event).unwrap();
+/// }
+/// assert!(view.matches(&fabric));
+/// // Nothing further changed: the next observation is empty.
+/// assert!(probe.observe(&fabric).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FabricProbe {
+    fabric_id: u64,
+    epoch: u64,
+    universe_version: u64,
+    change_len: usize,
+    /// Cleared-state of every fault entry at the last observation.
+    fault_cleared: Vec<bool>,
+}
+
+impl FabricProbe {
+    /// Creates a probe that considers the current state of `fabric` already
+    /// observed (pair it with a [`FabricView::of`] snapshot taken at the same
+    /// moment).
+    pub fn new(fabric: &Fabric) -> Self {
+        Self {
+            fabric_id: fabric.id(),
+            epoch: fabric.epoch(),
+            universe_version: fabric.universe_version(),
+            change_len: fabric.change_log().len(),
+            fault_cleared: fabric
+                .fault_log()
+                .entries()
+                .iter()
+                .map(|e| e.cleared_at.is_some())
+                .collect(),
+        }
+    }
+
+    /// Diffs `fabric` against the last observation into an event batch and
+    /// advances the observation cursors. Returns an empty vector when nothing
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fabric` is not the fabric the probe was created on (clones
+    /// have fresh identities and their own histories).
+    pub fn observe(&mut self, fabric: &Fabric) -> Vec<FabricEvent> {
+        assert_eq!(
+            fabric.id(),
+            self.fabric_id,
+            "a probe observes only the fabric it was created on"
+        );
+        let mut events = Vec::new();
+
+        if fabric.universe_version() != self.universe_version {
+            self.universe_version = fabric.universe_version();
+            events.push(FabricEvent::PolicyUpdate {
+                version: self.universe_version,
+                universe: fabric.universe().clone(),
+            });
+        }
+
+        for switch in fabric.dirty_switches_since(self.epoch) {
+            events.push(FabricEvent::TcamSync {
+                switch,
+                rules: fabric.tcam_rules(switch),
+            });
+        }
+        self.epoch = fabric.epoch();
+
+        let changes = fabric.change_log().entries();
+        if changes.len() > self.change_len {
+            events.push(FabricEvent::ChangeEvents(
+                changes[self.change_len..].to_vec(),
+            ));
+            self.change_len = changes.len();
+        }
+
+        let faults = fabric.fault_log().entries();
+        let mut raised = Vec::new();
+        let mut cleared = Vec::new();
+        for (index, entry) in faults.iter().enumerate() {
+            if index >= self.fault_cleared.len() {
+                raised.push(entry.clone());
+            } else if !self.fault_cleared[index] {
+                if let Some(t) = entry.cleared_at {
+                    cleared.push((index, t));
+                }
+            }
+        }
+        self.fault_cleared = faults.iter().map(|e| e.cleared_at.is_some()).collect();
+        if !raised.is_empty() || !cleared.is_empty() {
+            events.push(FabricEvent::FaultEvents { raised, cleared });
+        }
+
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::diff_universes;
+    use crate::logs::{ChangeAction, FaultKind};
+    use crate::tcam::CorruptionKind;
+    use scout_policy::sample;
+
+    fn deployed() -> Fabric {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric
+    }
+
+    fn replay(view: &mut FabricView, probe: &mut FabricProbe, fabric: &Fabric) -> usize {
+        let events = probe.observe(fabric);
+        view.validate(&events).unwrap();
+        let mut dirtied = BTreeSet::new();
+        for event in &events {
+            dirtied.extend(view.apply(event).unwrap());
+        }
+        dirtied.len()
+    }
+
+    #[test]
+    fn view_snapshot_matches_the_fabric() {
+        let fabric = deployed();
+        let view = FabricView::of(&fabric);
+        assert!(view.matches(&fabric));
+        assert_eq!(view.logical_rules().len(), 12);
+        assert_eq!(view.tcam_of(sample::S2).len(), 6);
+        assert_eq!(view.tcam_of(SwitchId::new(999)).len(), 0);
+        assert_eq!(view.switch_set().len(), 3);
+    }
+
+    #[test]
+    fn probe_tracks_every_mutation_class() {
+        let mut fabric = deployed();
+        let mut view = FabricView::of(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        // Silent TCAM loss, corruption, eviction.
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        fabric
+            .corrupt_tcam(sample::S1, 0, CorruptionKind::VrfBit)
+            .unwrap();
+        fabric.evict_tcam(sample::S3, 1, true);
+        assert!(replay(&mut view, &mut probe, &fabric) >= 3);
+        assert!(view.matches(&fabric));
+
+        // Control-plane fault + repair.
+        fabric.disconnect_switch(sample::S2);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+        assert_eq!(
+            view.fault_log()
+                .entries_of_kind(FaultKind::SwitchUnreachable)
+                .len(),
+            1
+        );
+        fabric.repair_switch(sample::S2);
+        fabric.repair_switch(sample::S1);
+        fabric.repair_switch(sample::S3);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+        assert!(view.fault_log().active_at(fabric.now()).is_empty());
+
+        // Nothing changed: empty observation.
+        assert!(probe.observe(&fabric).is_empty());
+    }
+
+    #[test]
+    fn policy_update_recompiles_and_prunes_removed_switches() {
+        use scout_policy::{Contract, Filter, FilterEntry, FilterId, PortRange, Protocol};
+        let mut fabric = deployed();
+        let mut view = FabricView::of(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        // Grow the policy: the App-DB contract gains a port-8443 filter.
+        let base = fabric.universe().clone();
+        let mut b = PolicyUniverse::builder();
+        for t in base.tenants() {
+            b.tenant(t.clone());
+        }
+        for v in base.vrfs() {
+            b.vrf(v.clone());
+        }
+        for e in base.epgs() {
+            b.epg(e.clone());
+        }
+        for s in base.switches() {
+            b.switch(s.clone());
+        }
+        for ep in base.endpoints() {
+            b.endpoint(ep.clone());
+        }
+        for f in base.filters() {
+            b.filter(f.clone());
+        }
+        b.filter(Filter::new(
+            FilterId::new(50),
+            "port-8443",
+            vec![FilterEntry::allow(Protocol::Tcp, PortRange::single(8443))],
+        ));
+        for c in base.contracts() {
+            if c.id == sample::C_APP_DB {
+                let mut filters = c.filters.clone();
+                filters.push(FilterId::new(50));
+                b.contract(Contract::new(c.id, c.name.clone(), filters));
+            } else {
+                b.contract(c.clone());
+            }
+        }
+        for binding in base.bindings() {
+            b.bind(*binding);
+        }
+        let grown = b.build().unwrap();
+        assert!(!diff_universes(&base, &grown).is_empty());
+
+        fabric.update_policy(grown);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+        assert!(view
+            .change_log()
+            .entries()
+            .iter()
+            .any(|e| e.action == ChangeAction::Modify));
+    }
+
+    #[test]
+    fn unknown_switch_and_bad_fault_index_are_rejected() {
+        let fabric = deployed();
+        let mut view = FabricView::of(&fabric);
+        let stray = SwitchId::new(99);
+        let bad_sync = FabricEvent::TcamSync {
+            switch: stray,
+            rules: Vec::new(),
+        };
+        assert_eq!(
+            view.validate(std::slice::from_ref(&bad_sync)),
+            Err(ApplyError::UnknownSwitch(stray))
+        );
+        let before = view.clone();
+        assert_eq!(view.apply(&bad_sync), Err(ApplyError::UnknownSwitch(stray)));
+        assert_eq!(view, before, "a rejected event leaves the view untouched");
+
+        let bad_clear = FabricEvent::FaultEvents {
+            raised: Vec::new(),
+            cleared: vec![(7, Timestamp::new(1))],
+        };
+        assert!(matches!(
+            view.validate(std::slice::from_ref(&bad_clear)),
+            Err(ApplyError::FaultIndexOutOfRange { index: 7, .. })
+        ));
+        // Error rendering is stable enough to grep in logs.
+        let err = view.apply(&bad_clear).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_accounts_for_raises_earlier_in_the_batch() {
+        let fabric = deployed();
+        let view = FabricView::of(&fabric);
+        let t = Timestamp::new(5);
+        let entry = FaultLogEntry {
+            time: t,
+            switch: Some(sample::S1),
+            kind: FaultKind::RuleEviction,
+            severity: crate::logs::Severity::Warning,
+            cleared_at: None,
+            message: "evicted".to_string(),
+        };
+        // The clear targets the entry raised in the same batch: valid.
+        let batch = vec![FabricEvent::FaultEvents {
+            raised: vec![entry],
+            cleared: vec![(view.fault_log().len(), t)],
+        }];
+        assert_eq!(view.validate(&batch), Ok(()));
+    }
+
+    #[test]
+    fn probe_panics_on_a_foreign_fabric() {
+        let fabric = deployed();
+        let clone = fabric.clone();
+        let mut probe = FabricProbe::new(&fabric);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            probe.observe(&clone);
+        }));
+        assert!(result.is_err(), "clones have fresh identities");
+    }
+}

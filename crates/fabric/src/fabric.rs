@@ -173,11 +173,11 @@ impl Fabric {
     ///
     /// A clone starts as a bit-identical snapshot of its parent (same epoch,
     /// same per-switch versions), so a consumer holding state computed against
-    /// the parent — e.g. a `FabricBaseline` in `scout-core` — can keep using
-    /// it for the clone: [`Fabric::dirty_switches_since`] with an epoch
-    /// observed on the parent exactly covers the clone's divergence, provided
-    /// the clone was taken at or after that epoch (see
-    /// [`Fabric::parent_epoch`]).
+    /// the parent — e.g. an `AnalysisSession` in `scout-core` analyzing
+    /// mutated clones — can keep using it for the clone:
+    /// [`Fabric::dirty_switches_since`] with an epoch observed on the parent
+    /// exactly covers the clone's divergence, provided the clone was taken at
+    /// or after that epoch (see [`Fabric::parent_epoch`]).
     pub fn parent_id(&self) -> Option<u64> {
         self.parent.map(|(id, _)| id)
     }

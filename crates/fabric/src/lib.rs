@@ -33,6 +33,7 @@ pub mod agent;
 pub mod channel;
 pub mod clock;
 pub mod compiler;
+pub mod event;
 pub mod fabric;
 pub mod instruction;
 pub mod logs;
@@ -42,6 +43,7 @@ pub use agent::{AgentHealth, ApplyOutcome, SwitchAgent};
 pub use channel::{ControlChannel, LinkState};
 pub use clock::{SimClock, Timestamp};
 pub use compiler::{compile, compile_for_switch, rule_count_for_switch};
+pub use event::{ApplyError, EventBatch, FabricEvent, FabricProbe, FabricView};
 pub use fabric::{diff_universes, DeploymentReport, Fabric, RepairReport};
 pub use instruction::{Instruction, InstructionOp};
 pub use logs::{

@@ -2,8 +2,9 @@
 //! aggregated into a deterministic report.
 //!
 //! A [`Campaign`] fixes a workload, a scenario count, a disturbance mix and a
-//! seed; [`Campaign::run`] deploys the reference fabric once, snapshots it
-//! into a [`FabricBaseline`](scout_core::FabricBaseline) per worker thread,
+//! seed; [`Campaign::run`] builds one [`ScoutEngine`] from the campaign's
+//! [`EngineConfig`], deploys the reference fabric once, opens an
+//! [`AnalysisSession`](scout_core::AnalysisSession) on it per worker thread,
 //! and drives every scenario through the full pipeline. Scenario `i` depends
 //! only on `mix_seed(campaign_seed, i)`, so the outcome vector — and the
 //! aggregate [`CampaignReport`] — is identical regardless of thread count or
@@ -12,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use scout_core::{ScoutConfig, ScoutSystem, SystemConfig};
+use scout_core::{EngineConfig, ScoutEngine};
 use scout_fabric::Fabric;
 use scout_metrics::{fmt3, fmt_mean, Cdf, Summary, Table};
 
@@ -30,10 +31,10 @@ pub enum Concurrency {
     Threads(usize),
 }
 
-/// Whether scenario analyses reuse the per-worker baseline snapshot.
+/// Whether scenario analyses reuse the per-worker session snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AnalysisMode {
-    /// Reuse the baseline's equivalence check and pristine risk model;
+    /// Reuse the session's equivalence check and pristine risk model;
     /// per-scenario cost is proportional to the disturbance.
     #[default]
     Incremental,
@@ -57,15 +58,16 @@ pub struct Campaign {
     pub seed: u64,
     /// Worker-thread policy.
     pub concurrency: Concurrency,
-    /// Baseline reuse policy.
+    /// Session reuse policy.
     pub analysis: AnalysisMode,
-    /// Localization configuration forwarded to every scenario.
-    pub scout: ScoutConfig,
+    /// The analysis-engine configuration (localization knobs, checker
+    /// parallelism, cache budgets) every scenario runs under.
+    pub engine: EngineConfig,
 }
 
 impl Campaign {
-    /// A campaign with the default mix, fault bound, parallelism and
-    /// incremental analysis.
+    /// A campaign with the default mix, fault bound, parallelism, incremental
+    /// analysis and engine configuration.
     pub fn new(workload: WorkloadKind, scenarios: usize, seed: u64) -> Self {
         Self {
             workload,
@@ -75,7 +77,7 @@ impl Campaign {
             seed,
             concurrency: Concurrency::Auto,
             analysis: AnalysisMode::Incremental,
-            scout: ScoutConfig::default(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -95,12 +97,13 @@ impl Campaign {
     /// count and analysis mode change only the wall-clock time).
     pub fn run(&self) -> CampaignRun {
         let start = Instant::now();
+        let engine = ScoutEngine::from_config(self.engine);
         let mut base = Fabric::new(self.workload.generate(self.seed));
         base.deploy();
 
         let threads = self.thread_count();
         let outcomes = if threads <= 1 {
-            self.worker(&base, 0, 1)
+            self.worker(&engine, &base, 0, 1)
                 .into_iter()
                 .map(|(_, outcome)| outcome)
                 .collect()
@@ -108,8 +111,9 @@ impl Campaign {
             let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; self.scenarios];
             std::thread::scope(|scope| {
                 let base = &base;
+                let engine = &engine;
                 let handles: Vec<_> = (0..threads)
-                    .map(|worker| scope.spawn(move || self.worker(base, worker, threads)))
+                    .map(|worker| scope.spawn(move || self.worker(engine, base, worker, threads)))
                     .collect();
                 for handle in handles {
                     for (index, outcome) in handle.join().expect("campaign worker panicked") {
@@ -131,22 +135,25 @@ impl Campaign {
 
     /// Runs the scenario indices `worker, worker + stride, …` on one thread.
     ///
-    /// Each worker owns a private `ScoutSystem` and baseline snapshot, so the
-    /// warm BDD caches and the pristine risk model are reused across its
-    /// scenarios without any cross-thread synchronization.
-    fn worker(&self, base: &Fabric, worker: usize, stride: usize) -> Vec<(usize, ScenarioOutcome)> {
-        let system = ScoutSystem::with_config(SystemConfig { scout: self.scout });
-        let mut baseline = match self.analysis {
-            AnalysisMode::Incremental => Some(system.baseline(base)),
-            AnalysisMode::FromScratch => None,
-        };
+    /// Each worker opens a private [`AnalysisSession`](scout_core::AnalysisSession)
+    /// on the shared engine, so the warm BDD caches and the pristine risk
+    /// model are reused across its scenarios without any cross-thread
+    /// synchronization.
+    fn worker(
+        &self,
+        engine: &ScoutEngine,
+        base: &Fabric,
+        worker: usize,
+        stride: usize,
+    ) -> Vec<(usize, ScenarioOutcome)> {
+        let mut session = engine.open_session(base);
         (worker..self.scenarios)
             .step_by(stride.max(1))
             .map(|index| {
                 let seed = scenario_seed(self.seed, index);
                 let outcome = run_scenario(
-                    &system,
-                    baseline.as_mut(),
+                    &mut session,
+                    self.analysis,
                     base,
                     index,
                     seed,

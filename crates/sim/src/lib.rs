@@ -17,16 +17,22 @@
 //! (TCAM corruption, silent eviction), switch churn racing a policy rollout,
 //! and concurrent policy updates surrounding a fault. Each scenario clones
 //! the campaign's reference fabric and is analyzed against a per-worker
-//! [`FabricBaseline`](scout_core::FabricBaseline), so a campaign step costs
-//! time proportional to the disturbance — the baseline's equivalence check
+//! [`AnalysisSession`](scout_core::AnalysisSession), so a campaign step costs
+//! time proportional to the disturbance — the session's equivalence check
 //! covers the clean switches and its pristine risk model is re-augmented (and
 //! rolled back) instead of rebuilt.
 //!
 //! Campaigns are one-shot; the [`soak`] module adds the *continuous* half of
 //! the paper's pitch: a seeded [`Timeline`] keeps one fabric alive for
 //! hundreds of epochs of overlapping faults, online repairs and concurrent
-//! policy edits, analyzed incrementally and checked at every epoch against a
-//! from-scratch differential oracle.
+//! policy edits, monitored through a long-lived
+//! [`AnalysisSession`](scout_core::AnalysisSession) fed typed event deltas
+//! and checked at every epoch against a from-scratch differential oracle.
+//!
+//! Both engines route all analysis through the
+//! [`ScoutEngine`](scout_core::ScoutEngine) facade; their knobs live in one
+//! [`EngineConfig`](scout_core::EngineConfig) carried by [`Campaign::engine`]
+//! and [`Timeline::engine`].
 //!
 //! # Example
 //!
@@ -58,6 +64,9 @@ pub use campaign::{
 };
 pub use scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};
 pub use soak::{
-    EpochRecord, FaultRecord, OracleCadence, SoakFaultKind, SoakOutcome, SoakReport, SoakRun,
-    Timeline,
+    EpochRecord, FaultRecord, SoakFaultKind, SoakOutcome, SoakReport, SoakRun, Timeline,
 };
+
+// The oracle cadence is engine configuration now; re-exported here because
+// soak drivers are its main consumers.
+pub use scout_core::OracleCadence;

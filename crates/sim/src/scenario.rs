@@ -15,14 +15,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use scout_core::{
-    augment_controller_model, controller_risk_model, score_localize, FabricBaseline, ScoutSystem,
-};
+use scout_core::{score_localize, AnalysisSession};
 use scout_fabric::Fabric;
 use scout_faults::{random_tcam_corruption, silent_rule_eviction, FaultInjector, ObjectFaultKind};
 use scout_metrics::Accuracy;
 use scout_policy::{ObjectId, PolicyUniverse};
 use scout_workload::{add_random_filter, random_policy_edit, ClusterSpec, ScaleSpec, TestbedSpec};
+
+use crate::campaign::AnalysisMode;
 
 /// Which policy generator a campaign samples its reference fabric from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -305,14 +305,18 @@ fn prepare(base: &Fabric, seed: u64, max_faults: usize, mix: &ScenarioMix) -> Pr
     }
 }
 
-/// Runs one scenario end to end.
+/// Runs one scenario end to end through the worker's [`AnalysisSession`].
 ///
-/// With a baseline, the analysis reuses the baseline's equivalence check and
-/// pristine risk model (incremental mode); without one, every stage is rebuilt
-/// from scratch. Both modes produce bit-identical outcomes.
+/// In [`AnalysisMode::Incremental`] the analysis reuses the session's
+/// equivalence check and pristine risk model; in
+/// [`AnalysisMode::FromScratch`] every stage is rebuilt from scratch through
+/// the same session. Both modes produce bit-identical outcomes. SCORE shares
+/// the single augment/rollback cycle of the SCOUT analysis either way (on a
+/// consistent fabric it sees an empty signature and returns an empty
+/// hypothesis immediately).
 pub fn run_scenario(
-    system: &ScoutSystem,
-    baseline: Option<&mut FabricBaseline>,
+    session: &mut AnalysisSession,
+    mode: AnalysisMode,
     base: &Fabric,
     index: usize,
     seed: u64,
@@ -322,27 +326,15 @@ pub fn run_scenario(
     let prepared = prepare(base, seed, max_faults, mix);
     let fabric = &prepared.fabric;
 
-    let (report, score_objects) = match baseline {
-        Some(baseline) => {
-            // SCORE shares the single augment/rollback cycle of the SCOUT
-            // analysis (on a consistent fabric it sees an empty signature and
-            // returns an empty hypothesis immediately).
-            let (report, score) =
-                system.analyze_derived_with(baseline, fabric, |model| score_localize(model, 1.0));
-            (report, score.objects())
+    let (report, score) = match mode {
+        AnalysisMode::Incremental => {
+            session.analyze_clone_with(fabric, |model| score_localize(model, 1.0))
         }
-        None => {
-            let report = system.analyze_fabric(fabric);
-            let score = if report.is_consistent() {
-                BTreeSet::new()
-            } else {
-                let mut model = controller_risk_model(fabric.universe());
-                augment_controller_model(&mut model, report.check.missing_rules());
-                score_localize(&model, 1.0).objects()
-            };
-            (report, score)
+        AnalysisMode::FromScratch => {
+            session.analyze_scratch_with(fabric, |model| score_localize(model, 1.0))
         }
     };
+    let score_objects = score.objects();
 
     let hypothesis = report.hypothesis.objects();
     let truth = prepared.truth;
@@ -375,7 +367,7 @@ pub fn run_scenario(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scout_core::ScoutSystem;
+    use scout_core::ScoutEngine;
 
     fn testbed_base() -> Fabric {
         let spec = TestbedSpec {
@@ -421,26 +413,50 @@ mod tests {
     #[test]
     fn incremental_and_from_scratch_scenarios_agree() {
         let base = testbed_base();
-        let system = ScoutSystem::new();
-        let mut baseline = system.baseline(&base);
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&base);
         let mix = ScenarioMix::default();
         for seed in 0..12u64 {
-            let with_baseline = run_scenario(&system, Some(&mut baseline), &base, 0, seed, 3, &mix);
-            let from_scratch = run_scenario(&system, None, &base, 0, seed, 3, &mix);
-            assert_eq!(with_baseline, from_scratch, "seed {seed}");
+            let incremental = run_scenario(
+                &mut session,
+                AnalysisMode::Incremental,
+                &base,
+                0,
+                seed,
+                3,
+                &mix,
+            );
+            let from_scratch = run_scenario(
+                &mut session,
+                AnalysisMode::FromScratch,
+                &base,
+                0,
+                seed,
+                3,
+                &mix,
+            );
+            assert_eq!(incremental, from_scratch, "seed {seed}");
         }
     }
 
     #[test]
     fn object_scenarios_localize_their_faults() {
         let base = testbed_base();
-        let system = ScoutSystem::new();
-        let mut baseline = system.baseline(&base);
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&base);
         let mix = ScenarioMix::object_faults_only();
         let mut attributed = 0usize;
         let mut faulty = 0usize;
         for seed in 0..10u64 {
-            let outcome = run_scenario(&system, Some(&mut baseline), &base, 0, seed, 2, &mix);
+            let outcome = run_scenario(
+                &mut session,
+                AnalysisMode::Incremental,
+                &base,
+                0,
+                seed,
+                2,
+                &mix,
+            );
             assert!(outcome
                 .hypothesis
                 .iter()

@@ -8,20 +8,21 @@
 //! fabric alive for hundreds of epochs** and, at every tick, possibly injects
 //! a new fault (overlapping with still-active ones), repairs a previously
 //! injected fault through the repair APIs of `scout-faults`/`scout-fabric`,
-//! and lands a concurrent policy edit — then lets the monitor analyze the
-//! epoch through the *incremental* path
-//! ([`ScoutSystem::analyze_fabric_incremental`]).
+//! and lands a concurrent policy edit — then a [`FabricProbe`] diffs the
+//! fabric into typed events and the monitor ingests them through a
+//! long-lived [`AnalysisSession`](scout_core::AnalysisSession).
 //!
-//! Correctness of the incremental machinery over the whole lifecycle is
+//! Correctness of the delta-driven machinery over the whole lifecycle is
 //! enforced by a **differential oracle**: at every epoch (or a stride of
-//! epochs for long runs) a from-scratch [`ScoutSystem::analyze_fabric`] is
-//! run on the same fabric state and the two
-//! [`ScoutReport`](scout_core::ScoutReport)s must be bit-identical. Ground truth evolves with the timeline — each fault owns the
-//! exact logical rules it knocked out, rules are re-claimed or released as
-//! repairs and policy edits land, and a fault is *healed* once its footprint
-//! is gone — which yields lifecycle metrics no single-shot campaign can
-//! produce: detection latency in epochs, repair clearances, and per-epoch
-//! missing-rule/cost time series.
+//! epochs for long runs) a from-scratch
+//! [`ScoutEngine::analyze`](scout_core::ScoutEngine::analyze) is run on the
+//! same fabric state and the two [`ScoutReport`](scout_core::ScoutReport)s
+//! must be bit-identical. Ground truth evolves with the timeline — each fault
+//! owns the exact logical rules it knocked out, rules are re-claimed or
+//! released as repairs and policy edits land, and a fault is *healed* once
+//! its footprint is gone — which yields lifecycle metrics no single-shot
+//! campaign can produce: detection latency in epochs, repair clearances, and
+//! per-epoch missing-rule/cost time series.
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -30,41 +31,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use scout_core::{ScoutConfig, ScoutSystem, SystemConfig};
-use scout_fabric::Fabric;
+use scout_core::{EngineConfig, ScoutEngine, SessionStats};
+use scout_fabric::{Fabric, FabricProbe};
 use scout_faults::{FaultInjector, ObjectFaultKind};
 use scout_metrics::{fmt3, fmt_mean, Cdf, Table, TimeSeries};
 use scout_policy::{LogicalRule, ObjectId, SwitchId, TcamRule};
 use scout_workload::random_policy_edit;
 
 use crate::scenario::WorkloadKind;
-
-/// How often the differential oracle re-analyzes the fabric from scratch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OracleCadence {
-    /// Every epoch — the strongest (and default) setting, used by the
-    /// enforced integration test and the CI soak job.
-    #[default]
-    EveryEpoch,
-    /// Every `n`-th epoch plus the final one — for long exploratory runs
-    /// where a from-scratch analysis per epoch would dominate the wall time.
-    /// A stride of 0 or 1 behaves like [`OracleCadence::EveryEpoch`].
-    Stride(usize),
-    /// Never — pure throughput mode for benchmarks.
-    Never,
-}
-
-impl OracleCadence {
-    /// Returns `true` if the oracle runs at `epoch` of a run of `total`
-    /// epochs.
-    pub fn checks(&self, epoch: usize, total: usize) -> bool {
-        match *self {
-            OracleCadence::EveryEpoch => true,
-            OracleCadence::Stride(n) => n <= 1 || epoch.is_multiple_of(n) || epoch + 1 == total,
-            OracleCadence::Never => false,
-        }
-    }
-}
 
 /// The disturbance classes a soak timeline can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -407,11 +381,15 @@ pub struct SoakRun {
     pub outcome: SoakOutcome,
     /// Total wall-clock time of the run.
     pub elapsed: Duration,
-    /// Nanoseconds spent in the incremental analysis, per epoch.
+    /// Nanoseconds spent monitoring each epoch incrementally (probing the
+    /// fabric into events plus the session ingest).
     pub incremental_cost: TimeSeries,
     /// Nanoseconds spent in the from-scratch oracle analysis, one sample per
-    /// oracle epoch (empty under [`OracleCadence::Never`]).
+    /// oracle epoch (empty under
+    /// [`OracleCadence::Never`](scout_core::OracleCadence::Never)).
     pub scratch_cost: TimeSeries,
+    /// The monitor session's own counters and per-ingest latency series.
+    pub session_stats: SessionStats,
 }
 
 /// A seeded multi-epoch soak timeline.
@@ -419,7 +397,7 @@ pub struct SoakRun {
 /// # Example
 ///
 /// ```
-/// use scout_sim::{OracleCadence, Timeline, WorkloadKind};
+/// use scout_sim::{Timeline, WorkloadKind};
 /// use scout_workload::TestbedSpec;
 ///
 /// let timeline = Timeline::new(WorkloadKind::Testbed(TestbedSpec::paper()), 20, 7);
@@ -448,10 +426,9 @@ pub struct Timeline {
     pub edit_rate: f64,
     /// Upper bound on simultaneously active faults.
     pub max_active: usize,
-    /// How often the differential oracle runs.
-    pub oracle: OracleCadence,
-    /// Localization configuration forwarded to the monitor and the oracle.
-    pub scout: ScoutConfig,
+    /// The analysis-engine configuration shared by the monitor session and
+    /// the differential oracle — including the oracle cadence.
+    pub engine: EngineConfig,
 }
 
 impl Timeline {
@@ -467,21 +444,23 @@ impl Timeline {
             repair_rate: 0.35,
             edit_rate: 0.2,
             max_active: 4,
-            oracle: OracleCadence::EveryEpoch,
-            scout: ScoutConfig::default(),
+            engine: EngineConfig::default(),
         }
     }
 
     /// Runs the timeline.
     pub fn run(&self) -> SoakRun {
         let start = Instant::now();
+        let engine = ScoutEngine::from_config(self.engine);
+        let oracle = self.engine.oracle;
         let mut fabric = Fabric::new(self.workload.generate(self.seed));
         fabric.deploy();
 
-        // The monitor holds the incremental caches across the whole run; the
-        // oracle is stateless per call (analyze_fabric never touches them).
-        let mut monitor = ScoutSystem::with_config(SystemConfig { scout: self.scout });
-        let oracle = ScoutSystem::with_config(SystemConfig { scout: self.scout });
+        // The monitor is a long-lived session fed typed event deltas by a
+        // probe; the oracle is the engine's stateless one-shot path (which
+        // never touches the session's caches).
+        let mut monitor = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
 
         let mut rng = StdRng::seed_from_u64(soak_seed(self.seed));
         let mut injector = FaultInjector::new(StdRng::seed_from_u64(soak_seed(self.seed ^ 0x5357)));
@@ -573,21 +552,26 @@ impl Timeline {
                 }
             }
 
-            // 5. The monitor analyzes the epoch through the incremental path.
+            // 5. The monitor catches up on the epoch: the probe diffs the
+            //    fabric into typed events and the session ingests them,
+            //    re-checking only what changed.
             let t0 = Instant::now();
-            let report = monitor.analyze_fabric_incremental(&fabric);
+            monitor
+                .ingest_observation(&mut probe, &fabric)
+                .expect("probe batches are sequential and reference live switches");
             incremental_cost.push(t0.elapsed().as_nanos() as f64);
+            let report = monitor.full_report();
 
             // 6. Differential oracle: a from-scratch analysis of the same
-            //    fabric state must be bit-identical. `analyze_fabric` is a
-            //    pure read (`&self`, `&Fabric`) on a system distinct from the
-            //    monitor, so no snapshot clone is needed.
-            if self.oracle.checks(epoch, self.epochs) {
+            //    fabric state must be bit-identical. `ScoutEngine::analyze`
+            //    is a pure read (`&self`, `&Fabric`) that never touches the
+            //    session's caches, so no snapshot clone is needed.
+            if oracle.checks(epoch, self.epochs) {
                 let t0 = Instant::now();
-                let reference = oracle.analyze_fabric(&fabric);
+                let reference = engine.analyze(&fabric);
                 scratch_cost.push(t0.elapsed().as_nanos() as f64);
                 record.oracle_checked = true;
-                record.oracle_agrees = Some(reference == report);
+                record.oracle_agrees = Some(reference == *report);
             }
 
             // 7. Lifecycle bookkeeping from the monitor's point of view.
@@ -633,6 +617,7 @@ impl Timeline {
             elapsed: start.elapsed(),
             incremental_cost,
             scratch_cost,
+            session_stats: monitor.stats().clone(),
         }
     }
 
@@ -861,6 +846,7 @@ fn reconcile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scout_core::OracleCadence;
     use scout_workload::TestbedSpec;
 
     fn small_timeline(epochs: usize, seed: u64) -> Timeline {
@@ -897,6 +883,10 @@ mod tests {
         assert!(run.outcome.oracle_disagreements().is_empty());
         assert_eq!(run.incremental_cost.len(), 60);
         assert_eq!(run.scratch_cost.len(), 60);
+        // The monitor session saw exactly one ingest per epoch and recorded
+        // its latency.
+        assert_eq!(run.session_stats.ingests, 60);
+        assert_eq!(run.session_stats.ingest_latency.len(), 60);
     }
 
     #[test]
@@ -922,7 +912,10 @@ mod tests {
     #[test]
     fn oracle_stride_checks_subset_including_last() {
         let timeline = Timeline {
-            oracle: OracleCadence::Stride(7),
+            engine: EngineConfig {
+                oracle: OracleCadence::Stride(7),
+                ..EngineConfig::default()
+            },
             ..small_timeline(30, 5)
         };
         let run = timeline.run();
@@ -941,7 +934,10 @@ mod tests {
         }
         // Never: no checks, no scratch cost samples.
         let silent = Timeline {
-            oracle: OracleCadence::Never,
+            engine: EngineConfig {
+                oracle: OracleCadence::Never,
+                ..EngineConfig::default()
+            },
             ..small_timeline(10, 5)
         }
         .run();

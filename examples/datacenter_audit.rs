@@ -12,7 +12,7 @@
 //! cargo run --release --example datacenter_audit
 //! ```
 
-use scout::core::ScoutSystem;
+use scout::core::ScoutEngine;
 use scout::fabric::{Fabric, FaultKind};
 use scout::policy::ObjectId;
 use scout::workload::ClusterSpec;
@@ -36,7 +36,7 @@ fn main() {
         victim
     );
 
-    let analysis = ScoutSystem::new().analyze_fabric(&fabric);
+    let analysis = ScoutEngine::new().analyze(&fabric);
     println!("\n--- SCOUT report ---");
     println!("missing rules          : {}", analysis.missing_rule_count());
     println!("failed (switch, pair)s : {}", analysis.observations.len());

@@ -11,7 +11,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use scout::core::ScoutSystem;
+use scout::core::ScoutEngine;
 use scout::fabric::Fabric;
 use scout::policy::{sample, ObjectId};
 
@@ -35,9 +35,9 @@ fn main() {
         println!("{}: silently lost {} rules", switch, removed.len());
     }
 
-    // 3. Run SCOUT.
-    let system = ScoutSystem::new();
-    let analysis = system.analyze_fabric(&fabric);
+    // 3. Run SCOUT through the service facade.
+    let engine = ScoutEngine::new();
+    let analysis = engine.analyze(&fabric);
 
     println!("\n--- SCOUT report ---");
     println!("consistent          : {}", analysis.is_consistent());

@@ -63,6 +63,21 @@ fn main() {
     println!("\n{}", report.table());
     println!("{}", report.timeline_table(40));
 
+    // The monitor session's own telemetry: one ingest per epoch, with the
+    // per-ingest latency recorded as a time series.
+    let stats = &run.session_stats;
+    let latency = stats.ingest_latency.summary();
+    println!(
+        "session: {} ingests ({} events, {} empty batches), {} switches re-checked",
+        stats.ingests, stats.events, stats.empty_batches, stats.rechecked_switches
+    );
+    println!(
+        "ingest latency: mean {:.1} µs, max {:.1} µs  {}",
+        latency.mean / 1e3,
+        latency.max / 1e3,
+        stats.ingest_latency.sparkline(40)
+    );
+
     assert!(
         run.outcome.oracle_disagreements().is_empty(),
         "incremental monitoring diverged from from-scratch analysis"

@@ -11,7 +11,7 @@
 //! cargo run --example tcam_overflow
 //! ```
 
-use scout::core::ScoutSystem;
+use scout::core::ScoutEngine;
 use scout::fabric::{Fabric, FaultKind};
 use scout::policy::sample;
 use scout::workload::{add_filter_to_contract, next_filter_id};
@@ -51,7 +51,7 @@ fn main() {
     );
 
     // Run the end-to-end analysis.
-    let analysis = ScoutSystem::new().analyze_fabric(&fabric);
+    let analysis = ScoutEngine::new().analyze(&fabric);
     println!("\n--- SCOUT report ---");
     println!("missing rules   : {}", analysis.missing_rule_count());
     println!("suspect objects : {}", analysis.suspect_objects.len());

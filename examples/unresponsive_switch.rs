@@ -13,7 +13,7 @@
 //! cargo run --example unresponsive_switch
 //! ```
 
-use scout::core::{Evidence, ScoutSystem};
+use scout::core::{Evidence, ScoutEngine};
 use scout::fabric::{Fabric, FaultKind};
 use scout::policy::{sample, ObjectId};
 use scout::workload::{add_filter_to_contract, next_filter_id};
@@ -45,7 +45,7 @@ fn main() {
         added.push(filter);
     }
 
-    let analysis = ScoutSystem::new().analyze_fabric(&fabric);
+    let analysis = ScoutEngine::new().analyze(&fabric);
     println!("\n--- SCOUT report ---");
     println!("missing rules : {}", analysis.missing_rule_count());
     println!("hypothesis    :");

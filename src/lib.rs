@@ -21,14 +21,14 @@
 //! | [`equiv`] | `scout-equiv` | L–T equivalence checker (missing-rule detection) |
 //! | [`faults`] | `scout-faults` | object-level and physical-level fault injection |
 //! | [`workload`] | `scout-workload` | cluster / testbed / scaling policy generators |
-//! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, end-to-end system |
+//! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, service engine & sessions |
 //! | [`metrics`] | `scout-metrics` | precision/recall/γ, CDFs, run statistics |
 //! | [`sim`] | `scout-sim` | randomized fault-campaign engine with deterministic parallel scenarios |
 //!
 //! # Quickstart
 //!
 //! ```
-//! use scout::core::ScoutSystem;
+//! use scout::core::ScoutEngine;
 //! use scout::fabric::Fabric;
 //! use scout::policy::{sample, ObjectId};
 //!
@@ -42,9 +42,14 @@
 //! }
 //!
 //! // SCOUT detects the inconsistency and localizes the faulty object.
-//! let report = ScoutSystem::new().analyze_fabric(&fabric);
+//! let report = ScoutEngine::new().analyze(&fabric);
 //! assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
 //! ```
+//!
+//! For continuous monitoring, open an
+//! [`AnalysisSession`](scout_core::AnalysisSession) on the engine and stream
+//! typed [`FabricEvent`](scout_fabric::FabricEvent) batches into it — see the
+//! `scout_core` crate docs for the service API.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,19 +67,19 @@ pub use scout_workload as workload;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use scout_core::{
-        score_localize, scout_localize, CorrelationEngine, Hypothesis, RiskModel, ScoutConfig,
-        ScoutReport, ScoutSystem,
+        score_localize, scout_localize, AnalysisSession, CorrelationEngine, EngineConfig,
+        Hypothesis, OracleCadence, ReportDelta, RiskModel, ScoutConfig, ScoutEngine,
+        ScoutEngineBuilder, ScoutReport, SessionError,
     };
     pub use scout_equiv::EquivalenceChecker;
-    pub use scout_fabric::{Fabric, FaultKind};
+    pub use scout_fabric::{EventBatch, Fabric, FabricEvent, FabricProbe, FabricView, FaultKind};
     pub use scout_faults::{FaultInjector, ObjectFaultKind};
     pub use scout_metrics::{Accuracy, Cdf, Summary};
     pub use scout_policy::{
         sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
     };
     pub use scout_sim::{
-        Campaign, CampaignReport, OracleCadence, ScenarioKind, ScenarioMix, SoakReport, Timeline,
-        WorkloadKind,
+        Campaign, CampaignReport, ScenarioKind, ScenarioMix, SoakReport, Timeline, WorkloadKind,
     };
     pub use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
 }

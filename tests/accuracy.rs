@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use scout::core::{
     augment_controller_model, controller_risk_model, score_localize, scout_localize, ScoutConfig,
-    ScoutSystem,
+    ScoutEngine,
 };
 use scout::equiv::EquivalenceChecker;
 use scout::fabric::Fabric;
@@ -145,13 +145,13 @@ fn single_faults_are_always_found_on_the_testbed() {
     let universe = TestbedSpec::paper().generate(3);
     let mut base_fabric = Fabric::new(universe);
     base_fabric.deploy();
-    let system = ScoutSystem::new();
+    let engine = ScoutEngine::new();
 
     for seed in 0..5u64 {
         let mut fabric = base_fabric.clone();
         let mut injector = FaultInjector::new(StdRng::seed_from_u64(seed));
         let truth = injector.inject_object_faults(&mut fabric, 1).objects();
-        let report = system.analyze_fabric(&fabric);
+        let report = engine.analyze(&fabric);
         let acc = Accuracy::of(&truth, &report.hypothesis.objects());
         assert_eq!(
             acc.recall, 1.0,
@@ -169,7 +169,7 @@ fn no_faults_no_alarms() {
     let universe = TestbedSpec::paper().generate(9);
     let mut fabric = Fabric::new(universe);
     fabric.deploy();
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(report.is_consistent());
     assert!(report.hypothesis.is_empty());
 }

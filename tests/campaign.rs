@@ -3,7 +3,7 @@
 //! deterministic per seed (regardless of thread count and analysis mode), and
 //! healthy fabrics must always be reported consistent.
 
-use scout::core::ScoutSystem;
+use scout::core::ScoutEngine;
 use scout::fabric::Fabric;
 use scout::sim::{AnalysisMode, Campaign, Concurrency, ScenarioMix, WorkloadKind};
 use scout::workload::{ClusterSpec, ScaleSpec, TestbedSpec};
@@ -144,13 +144,13 @@ fn healthy_fabrics_are_always_consistent() {
         for seed in [1u64, 23] {
             let mut fabric = Fabric::new(workload.generate(seed));
             fabric.deploy();
-            let system = ScoutSystem::new();
-            let report = system.analyze_fabric(&fabric);
+            let engine = ScoutEngine::new();
+            let report = engine.analyze(&fabric);
             assert!(report.is_consistent(), "workload {i} seed {seed}");
             assert!(report.hypothesis.is_empty(), "workload {i} seed {seed}");
             assert_eq!(report.gamma(), 0.0, "workload {i} seed {seed}");
             // The baseline snapshot agrees with the report.
-            assert!(system.baseline(&fabric).is_consistent());
+            assert!(engine.open_session(&fabric).is_consistent());
         }
     }
 }

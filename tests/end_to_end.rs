@@ -2,7 +2,7 @@
 //! break → detect → localize → diagnose) on the 3-tier example policy under
 //! every failure mode the paper lists in §II-B.
 
-use scout::core::{Evidence, ScoutSystem};
+use scout::core::{Evidence, ScoutEngine};
 use scout::fabric::{CorruptionKind, Fabric, FaultKind};
 use scout::policy::{sample, EpgPair, ObjectId};
 
@@ -15,7 +15,7 @@ fn deployed_three_tier() -> Fabric {
 #[test]
 fn healthy_network_is_reported_consistent() {
     let fabric = deployed_three_tier();
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(report.is_consistent());
     assert_eq!(report.missing_rule_count(), 0);
     assert!(report.hypothesis.is_empty());
@@ -28,7 +28,7 @@ fn missing_filter_rules_are_localized_to_the_filter() {
     for switch in [sample::S2, sample::S3] {
         fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
     }
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     assert_eq!(report.missing_rule_count(), 4);
     assert!(report.hypothesis.contains(ObjectId::Filter(sample::F_700)));
@@ -50,7 +50,7 @@ fn tcam_corruption_is_detected_and_localized() {
     fabric
         .corrupt_tcam(sample::S1, 0, CorruptionKind::SrcEpgBit)
         .expect("S1 has rules to corrupt");
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     assert_eq!(report.check.inconsistent_switches(), vec![sample::S1]);
     // Corruption on a single switch is most economically explained by that
@@ -65,7 +65,7 @@ fn rule_eviction_behind_the_controllers_back_is_detected() {
     let mut fabric = deployed_three_tier();
     let evicted = fabric.evict_tcam(sample::S2, 3, true);
     assert_eq!(evicted.len(), 3);
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     assert!(report.missing_rule_count() >= 3);
     assert!(!report.hypothesis.is_empty());
@@ -83,7 +83,7 @@ fn agent_crash_mid_update_yields_partial_state_and_is_diagnosed() {
     fabric.deploy();
     assert_eq!(fabric.tcam_rules(sample::S2).len(), 3);
 
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     assert!(report
         .diagnosis
@@ -96,13 +96,13 @@ fn repairing_the_fabric_clears_the_report() {
     let mut fabric = deployed_three_tier();
     fabric.disconnect_switch(sample::S3);
     fabric.remove_tcam_rules_where(sample::S3, |_| true);
-    let broken = ScoutSystem::new().analyze_fabric(&fabric);
+    let broken = ScoutEngine::new().analyze(&fabric);
     assert!(!broken.is_consistent());
 
     // Operator repairs: reconnect and resync.
     fabric.reconnect_switch(sample::S3);
     fabric.resync();
-    let fixed = ScoutSystem::new().analyze_fabric(&fabric);
+    let fixed = ScoutEngine::new().analyze(&fabric);
     assert!(fixed.is_consistent());
     assert!(fixed.hypothesis.is_empty());
 }
@@ -114,8 +114,8 @@ fn switch_level_analysis_matches_figure_4a_reasoning() {
     fabric.remove_tcam_rules_where(sample::S2, |r| {
         r.pair() == EpgPair::new(sample::WEB, sample::APP)
     });
-    let system = ScoutSystem::new();
-    let (check, model, hypothesis) = system.analyze_switch(
+    let engine = ScoutEngine::new();
+    let (check, model, hypothesis) = engine.analyze_switch(
         fabric.universe(),
         sample::S2,
         fabric.logical_rules(),
@@ -142,6 +142,6 @@ fn facade_prelude_exposes_the_common_types() {
     let universe: PolicyUniverse = sample::three_tier();
     let mut fabric = Fabric::new(universe);
     fabric.deploy();
-    let report: ScoutReport = ScoutSystem::new().analyze_fabric(&fabric);
+    let report: ScoutReport = ScoutEngine::new().analyze(&fabric);
     assert!(report.is_consistent());
 }

@@ -1,14 +1,25 @@
 //! Regression tests for the incremental equivalence-checking pipeline: an
 //! incremental recheck after mutating k of N switches must return results
-//! byte-identical to a full `check_network`, and the end-to-end incremental
-//! system must agree with the batch system.
+//! byte-identical to a full `check_network`, and the end-to-end delta-driven
+//! session must agree with the one-shot engine analysis.
 
 use std::collections::BTreeSet;
 
-use scout::core::ScoutSystem;
+use scout::core::ScoutEngine;
 use scout::equiv::{EquivalenceChecker, Parallelism};
-use scout::fabric::Fabric;
+use scout::fabric::{Fabric, FabricProbe};
 use scout::workload::ScaleSpec;
+
+/// Feeds one observation of `fabric` into `session` as the next epoch.
+fn ingest_observation(
+    session: &mut scout::core::AnalysisSession,
+    probe: &mut FabricProbe,
+    fabric: &Fabric,
+) {
+    session
+        .ingest_observation(probe, fabric)
+        .expect("observations of a live fabric ingest cleanly");
+}
 
 fn deployed_scale_fabric(switches: usize) -> Fabric {
     let mut fabric = Fabric::new(ScaleSpec::with_switches(switches).generate(7));
@@ -80,6 +91,9 @@ fn removed_switch_leaves_no_ghost_dirty_entry() {
     let mut fabric = deployed_scale_fabric(4);
     let removed_switch = fabric.universe().switch_ids()[3];
     let checkpoint = fabric.epoch();
+    let engine = ScoutEngine::new();
+    let mut session = engine.open_session(&fabric);
+    let mut probe = FabricProbe::new(&fabric);
 
     // Shrink the policy to 3 switches (same seed: the surviving switches'
     // rule sets are unchanged, so only the removed switch's rules differ).
@@ -91,17 +105,17 @@ fn removed_switch_leaves_no_ghost_dirty_entry() {
         !dirty.contains(&removed_switch),
         "a switch that left the network must not stay dirty forever: {dirty:?}"
     );
-    // And the incremental pipeline agrees with a batch analysis afterwards.
-    let mut system = ScoutSystem::new();
-    let incremental = system.analyze_fabric_incremental(&fabric);
-    assert_eq!(incremental, ScoutSystem::new().analyze_fabric(&fabric));
+    // And the delta-driven session agrees with a one-shot analysis afterwards.
+    ingest_observation(&mut session, &mut probe, &fabric);
+    let incremental = session.full_report();
+    assert_eq!(*incremental, engine.analyze(&fabric));
     assert!(!incremental.check.per_switch.contains_key(&removed_switch));
 }
 
-/// The incremental system's cached risk model (and the baseline API's) must
-/// be bit-identical to from-scratch analyses across a randomized sequence of
-/// every mutation class: TCAM removals, corruption, eviction, channel flaps
-/// and policy updates.
+/// The ingest-driven session's cached risk model (and the clone-analysis
+/// path's) must be bit-identical to from-scratch analyses across a randomized
+/// sequence of every mutation class: TCAM removals, corruption, eviction,
+/// channel flaps and policy updates.
 #[test]
 fn cached_risk_models_match_from_scratch_across_random_mutations() {
     use rand::rngs::StdRng;
@@ -122,9 +136,10 @@ fn cached_risk_models_match_from_scratch_across_random_mutations() {
         let mut fabric = Fabric::new(spec.generate(seed));
         fabric.deploy();
         let mut rng = StdRng::seed_from_u64(1000 + seed);
-        let mut system = ScoutSystem::new();
-        let derived_system = ScoutSystem::new();
-        let mut baseline = derived_system.baseline(&fabric);
+        let engine = ScoutEngine::new();
+        let mut monitor = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+        let mut clone_session = engine.open_session(&fabric);
 
         for step in 0..12 {
             let switch_ids = fabric.universe().switch_ids();
@@ -156,28 +171,35 @@ fn cached_risk_models_match_from_scratch_across_random_mutations() {
                     }
                 }
             }
-            let batch = ScoutSystem::new().analyze_fabric(&fabric);
-            let incremental = system.analyze_fabric_incremental(&fabric);
-            assert_eq!(incremental, batch, "seed {seed} step {step} (incremental)");
-            let derived = derived_system.analyze_derived(&mut baseline, &fabric);
-            assert_eq!(derived, batch, "seed {seed} step {step} (derived)");
+            let batch = ScoutEngine::new().analyze(&fabric);
+            ingest_observation(&mut monitor, &mut probe, &fabric);
+            assert_eq!(
+                *monitor.full_report(),
+                batch,
+                "seed {seed} step {step} (ingest)"
+            );
+            let derived = clone_session.analyze_clone(&fabric);
+            assert_eq!(derived, batch, "seed {seed} step {step} (clone)");
         }
     }
 }
 
 #[test]
-fn incremental_system_tracks_successive_mutations() {
+fn incremental_session_tracks_successive_mutations() {
     let mut fabric = deployed_scale_fabric(12);
-    let mut system = ScoutSystem::new();
-    assert!(system.analyze_fabric_incremental(&fabric).is_consistent());
+    let engine = ScoutEngine::new();
+    let mut session = engine.open_session(&fabric);
+    let mut probe = FabricProbe::new(&fabric);
+    assert!(session.is_consistent());
 
-    // Three successive mutation rounds; after each, the incremental report
-    // must match a from-scratch batch analysis.
+    // Three successive mutation rounds; after each, the session report must
+    // match a from-scratch one-shot analysis.
     let switch_ids = fabric.universe().switch_ids();
     for (round, &victim) in switch_ids.iter().take(3).enumerate() {
         fabric.evict_tcam(victim, 1 + round, false);
-        let incremental = system.analyze_fabric_incremental(&fabric);
-        let batch = ScoutSystem::new().analyze_fabric(&fabric);
-        assert_eq!(incremental, batch, "round {round}");
+        ingest_observation(&mut session, &mut probe, &fabric);
+        let batch = engine.analyze(&fabric);
+        assert_eq!(*session.full_report(), batch, "round {round}");
     }
+    assert_eq!(session.epoch(), 3);
 }

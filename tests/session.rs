@@ -1,0 +1,218 @@
+//! The enforced session contract: a 200-epoch, seed-42 soak-style timeline
+//! replayed through `AnalysisSession::ingest`, with every epoch's
+//! `full_report()` asserted **bit-identical** to a from-scratch
+//! `ScoutEngine::analyze` of the same fabric state — plus the typed-error
+//! edge cases of the ingestion API at the facade level.
+//!
+//! This is the differential guarantee behind the service API: a monitor that
+//! only ever sees typed event deltas (policy updates, TCAM syncs, change-log
+//! and fault-log events) must reach exactly the conclusions a batch analysis
+//! of the whole fabric would.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use scout::core::{ScoutEngine, SessionError};
+use scout::fabric::{CorruptionKind, EventBatch, Fabric, FabricEvent, FabricProbe};
+use scout::policy::{LogicalRule, SwitchId};
+use scout::workload::{add_random_filter, random_policy_edit, TestbedSpec};
+
+use std::collections::BTreeSet;
+
+fn testbed_fabric(seed: u64) -> Fabric {
+    let spec = TestbedSpec {
+        epgs: 12,
+        contracts: 8,
+        filters: 4,
+        target_pairs: 20,
+        switches: 3,
+        tcam_capacity: 1024,
+    };
+    let mut fabric = Fabric::new(spec.generate(seed));
+    fabric.deploy();
+    fabric
+}
+
+/// One epoch of soak-style churn: faults, repairs and concurrent policy
+/// edits, all decided by the seeded rng.
+fn disturb(fabric: &mut Fabric, rng: &mut StdRng) {
+    let switch_ids = fabric.universe().switch_ids();
+    let &switch = switch_ids.choose(rng).expect("workloads have switches");
+    match rng.gen_range(0u32..8) {
+        0 => {
+            let port = rng.gen_range(0u16..7);
+            fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start % 7 == port);
+        }
+        1 => {
+            let kind = *[
+                CorruptionKind::VrfBit,
+                CorruptionKind::SrcEpgBit,
+                CorruptionKind::ActionFlip,
+            ]
+            .choose(rng)
+            .unwrap();
+            fabric.corrupt_tcam(switch, rng.gen_range(0usize..8), kind);
+        }
+        2 => {
+            fabric.evict_tcam(switch, rng.gen_range(1usize..3), rng.gen_bool(0.5));
+        }
+        3 => {
+            fabric.disconnect_switch(switch);
+        }
+        4 => {
+            fabric.crash_agent(switch);
+        }
+        5 => {
+            fabric.repair_switch(switch);
+        }
+        6 => {
+            let universe = fabric.universe().clone();
+            if let Some(edit) = add_random_filter(&universe, rng) {
+                fabric.update_policy(edit.universe);
+            }
+        }
+        _ => {
+            let universe = fabric.universe().clone();
+            if let Some(edit) = random_policy_edit(&universe, rng) {
+                fabric.update_policy(edit.universe);
+            }
+        }
+    }
+}
+
+/// The committed differential replay: 200 epochs, seed 42. At every epoch the
+/// session ingests the probe's delta batch and its on-demand full report must
+/// be bit-identical to a from-scratch analysis; the emitted `ReportDelta`s
+/// must also *compose*: folding them over the open-time report reproduces the
+/// current missing-rule set and hypothesis exactly.
+#[test]
+fn session_replay_of_200_epoch_soak_timeline_is_bit_identical() {
+    let mut fabric = testbed_fabric(42);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let engine = ScoutEngine::new();
+    let mut session = engine.open_session(&fabric);
+    let mut probe = FabricProbe::new(&fabric);
+
+    // Delta-folding state, seeded from the open-time report.
+    let mut folded_missing: BTreeSet<LogicalRule> = session.full_report().check.missing_rule_set();
+    let mut folded_hypothesis = session.full_report().hypothesis.objects();
+    let mut non_noop_deltas = 0usize;
+
+    for epoch in 0..200usize {
+        disturb(&mut fabric, &mut rng);
+
+        let delta = session
+            .ingest_observation(&mut probe, &fabric)
+            .expect("faithful observations ingest cleanly");
+
+        // The headline contract: bit-identical to from-scratch analysis.
+        let reference = engine.analyze(&fabric);
+        assert_eq!(
+            *session.full_report(),
+            reference,
+            "epoch {epoch}: session report diverged from from-scratch analysis"
+        );
+        // The session's mirror tracks the fabric's artifacts exactly.
+        assert!(
+            session.view().matches(&fabric),
+            "epoch {epoch}: the session view drifted from the fabric"
+        );
+
+        // Deltas compose: the folded missing set and hypothesis reproduce the
+        // full report.
+        for rule in &delta.restored {
+            assert!(folded_missing.remove(rule), "epoch {epoch}: bad restore");
+        }
+        for rule in &delta.newly_missing {
+            assert!(folded_missing.insert(*rule), "epoch {epoch}: bad missing");
+        }
+        for object in &delta.hypothesis_removed {
+            assert!(folded_hypothesis.remove(object), "epoch {epoch}");
+        }
+        for object in &delta.hypothesis_added {
+            assert!(folded_hypothesis.insert(*object), "epoch {epoch}");
+        }
+        assert_eq!(folded_missing, reference.check.missing_rule_set());
+        assert_eq!(folded_hypothesis, reference.hypothesis.objects());
+        assert_eq!(delta.consistent, reference.is_consistent());
+        if !delta.is_noop() {
+            non_noop_deltas += 1;
+        }
+    }
+
+    assert_eq!(session.epoch(), 200);
+    let stats = session.stats();
+    assert_eq!(stats.ingests, 200);
+    assert_eq!(stats.ingest_latency.len(), 200);
+    // The timeline actually exercised the machinery: most epochs carried
+    // events, and plenty of deltas were visible to the operator.
+    assert!(stats.events >= 200, "events: {}", stats.events);
+    assert!(non_noop_deltas >= 50, "non-noop deltas: {non_noop_deltas}");
+}
+
+/// Ingestion is epoch-sequenced end to end: duplicates, reordering and gaps
+/// are typed errors that consume nothing, and an empty batch is a cheap
+/// no-op that still advances the epoch.
+#[test]
+fn facade_ingest_edge_cases() {
+    let mut fabric = testbed_fabric(7);
+    let engine = ScoutEngine::new();
+    let mut session = engine.open_session(&fabric);
+    let mut probe = FabricProbe::new(&fabric);
+    let baseline_report = session.full_report().clone();
+
+    // Empty batch: cheap no-op, epoch advances, report untouched.
+    let delta = session.ingest(EventBatch::empty(1)).unwrap();
+    assert!(delta.is_noop());
+    assert_eq!(session.epoch(), 1);
+    assert_eq!(*session.full_report(), baseline_report);
+
+    // Duplicate epoch.
+    assert_eq!(
+        session.ingest(EventBatch::empty(1)),
+        Err(SessionError::EpochOutOfOrder {
+            expected: 2,
+            got: 1
+        })
+    );
+    // Gap (lost deltas).
+    assert_eq!(
+        session.ingest(EventBatch::empty(5)),
+        Err(SessionError::EpochOutOfOrder {
+            expected: 2,
+            got: 5
+        })
+    );
+
+    // Unknown switch id, rejected with context and without consuming the
+    // epoch.
+    let stray = SwitchId::new(404);
+    let err = session
+        .ingest(EventBatch::new(
+            2,
+            vec![FabricEvent::TcamSync {
+                switch: stray,
+                rules: Vec::new(),
+            }],
+        ))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SessionError::UnknownSwitch {
+            epoch: 2,
+            switch: stray
+        }
+    );
+    assert_eq!(session.epoch(), 1);
+
+    // The session recovers seamlessly: a real observation ingests as epoch 2
+    // and the report matches from scratch.
+    let victim = fabric.universe().switch_ids()[0];
+    fabric.remove_tcam_rules_where(victim, |_| true);
+    let events = probe.observe(&fabric);
+    let delta = session.ingest(EventBatch::new(2, events)).unwrap();
+    assert!(!delta.consistent);
+    assert_eq!(*session.full_report(), engine.analyze(&fabric));
+}

@@ -4,11 +4,11 @@
 //!
 //! This is the contract behind the incremental monitoring machinery: across a
 //! whole fault lifecycle — inject, overlap, detect, repair, heal — the
-//! incremental analysis (`analyze_fabric_incremental`, with its check cache
-//! and journaled risk-model reuse) must stay **bit-identical** to a
-//! from-scratch `analyze_fabric` at every single epoch, and repairs must be
-//! *observable*: objects localized before a repair disappear from the report
-//! after it.
+//! delta-driven session analysis (`AnalysisSession::ingest`, with its
+//! incremental recheck and journaled risk-model reuse) must stay
+//! **bit-identical** to a from-scratch `ScoutEngine::analyze` at every single
+//! epoch, and repairs must be *observable*: objects localized before a repair
+//! disappear from the report after it.
 
 use scout::sim::{OracleCadence, SoakFaultKind, Timeline, WorkloadKind};
 use scout::workload::TestbedSpec;
@@ -30,7 +30,7 @@ fn committed_timeline() -> Timeline {
 #[test]
 fn soak_200_epochs_oracle_bit_identical_every_epoch() {
     let timeline = committed_timeline();
-    assert_eq!(timeline.oracle, OracleCadence::EveryEpoch);
+    assert_eq!(timeline.engine.oracle, OracleCadence::EveryEpoch);
     let run = timeline.run();
     assert_eq!(run.outcome.epochs.len(), 200);
     for epoch in &run.outcome.epochs {

@@ -2,7 +2,7 @@
 //! TCAM overflow, an unresponsive switch during policy updates, and the
 //! "too many missing rules" scenario on a large policy.
 
-use scout::core::{Evidence, ScoutSystem};
+use scout::core::{Evidence, ScoutEngine};
 use scout::fabric::{Fabric, FaultKind};
 use scout::policy::{sample, ObjectId};
 use scout::workload::{add_filter_to_contract, next_filter_id, ClusterSpec};
@@ -29,7 +29,7 @@ fn tcam_overflow_use_case() {
         .entries_of_kind(FaultKind::TcamOverflow)
         .is_empty());
 
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     // At least one of the added filters is in the hypothesis.
     let added_filters: Vec<ObjectId> = (3..9).map(|i| ObjectId::Filter(i.into())).collect();
@@ -61,7 +61,7 @@ fn unresponsive_switch_use_case() {
         added.push(filter);
     }
 
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     for filter in &added {
         let object = ObjectId::Filter(*filter);
@@ -93,7 +93,7 @@ fn too_many_missing_rules_use_case() {
         "the victim switch loses its whole rule set"
     );
 
-    let report = ScoutSystem::new().analyze_fabric(&fabric);
+    let report = ScoutEngine::new().analyze(&fabric);
     assert!(!report.is_consistent());
     assert!(report.missing_rule_count() > 50);
     // Far fewer hypothesis objects than suspects, and the switch is blamed.
