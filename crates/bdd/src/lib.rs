@@ -1,5 +1,9 @@
 //! # scout-bdd
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! A small, dependency-free reduced ordered binary decision diagram (ROBDD)
 //! engine. The SCOUT paper's "in-house equivalence checker" compares the
 //! logical policy (L-type rules) against deployed TCAM rules (T-type rules) by

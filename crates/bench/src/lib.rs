@@ -1,5 +1,9 @@
 //! # scout-bench
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! The benchmark harness of the SCOUT reproduction: one binary per table and
 //! figure of the paper's evaluation (§VI), plus micro-benchmarks for
 //! the core data structures.

@@ -128,7 +128,9 @@ impl ObjectDiagnosis {
 /// The full correlation report for one hypothesis.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CorrelationReport {
-    diagnoses: Vec<ObjectDiagnosis>,
+    /// Per-object diagnoses, in hypothesis order (crate-visible so the
+    /// snapshot codec can rebuild a report).
+    pub(crate) diagnoses: Vec<ObjectDiagnosis>,
 }
 
 impl CorrelationReport {

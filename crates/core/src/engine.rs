@@ -73,23 +73,51 @@ impl OracleCadence {
     }
 }
 
+/// Number of lock-striped session-registry shards an engine uses by default.
+///
+/// Sessions register in the shard of their fabric id, so concurrent drivers
+/// monitoring different fabrics contend on different locks. 16 stripes keep
+/// contention negligible well past the thread counts the benches exercise
+/// while costing a few hundred bytes per engine.
+pub const DEFAULT_REGISTRY_SHARDS: usize = 16;
+
 /// The plain-data configuration of a [`ScoutEngine`].
 ///
 /// This is the one struct drivers embed (campaigns, timelines, bench bins all
 /// carry an `EngineConfig`); the [`ScoutEngineBuilder`] adds the non-`Copy`
 /// correlation library on top.
+///
+/// # Valid ranges
+///
+/// [`ScoutEngineBuilder::build`] rejects degenerate configurations with a
+/// typed [`EngineBuildError`] instead of silently producing a crippled
+/// engine:
+///
+/// * `node_budget` must be at least 1 (a budget of 0 would rebuild every BDD
+///   worker after every check, silently discarding the caches the whole
+///   incremental design depends on);
+/// * `parallelism` must not be [`Parallelism::Fixed`]`(0)` — ask for
+///   [`Parallelism::Sequential`] explicitly instead of a zero-thread pool;
+/// * `registry_shards` must be at least 1.
+///
+/// Use [`EngineConfig::validate`] to check a configuration up front.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Worker-thread policy of the equivalence checkers.
+    /// Worker-thread policy of the equivalence checkers. Must not be
+    /// `Fixed(0)`.
     pub parallelism: Parallelism,
     /// Configuration forwarded to the SCOUT localization algorithm.
     pub scout: ScoutConfig,
     /// Per-worker BDD node-table budget of the equivalence checkers (see
-    /// [`EquivalenceChecker::set_node_budget`]).
+    /// [`EquivalenceChecker::set_node_budget`]). Must be at least 1.
     pub node_budget: usize,
     /// Differential-oracle cadence for drivers that cross-check incremental
     /// sessions against from-scratch analysis.
     pub oracle: OracleCadence,
+    /// Number of lock stripes in the engine's session registry (sessions are
+    /// sharded by fabric id). Must be at least 1; defaults to
+    /// [`DEFAULT_REGISTRY_SHARDS`].
+    pub registry_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -99,11 +127,85 @@ impl Default for EngineConfig {
             scout: ScoutConfig::default(),
             node_budget: DEFAULT_NODE_BUDGET,
             oracle: OracleCadence::EveryEpoch,
+            registry_shards: DEFAULT_REGISTRY_SHARDS,
         }
     }
 }
 
+impl EngineConfig {
+    /// Checks the configuration against the documented valid ranges.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scout_core::{EngineBuildError, EngineConfig};
+    /// use scout_equiv::Parallelism;
+    ///
+    /// assert!(EngineConfig::default().validate().is_ok());
+    ///
+    /// let degenerate = EngineConfig {
+    ///     parallelism: Parallelism::Fixed(0),
+    ///     ..EngineConfig::default()
+    /// };
+    /// assert_eq!(
+    ///     degenerate.validate(),
+    ///     Err(EngineBuildError::ZeroWorkerThreads)
+    /// );
+    /// ```
+    pub fn validate(&self) -> Result<(), EngineBuildError> {
+        if self.node_budget == 0 {
+            return Err(EngineBuildError::ZeroNodeBudget);
+        }
+        if self.parallelism == Parallelism::Fixed(0) {
+            return Err(EngineBuildError::ZeroWorkerThreads);
+        }
+        if self.registry_shards == 0 {
+            return Err(EngineBuildError::ZeroRegistryShards);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`ScoutEngineBuilder`] refused to build an engine.
+///
+/// Each variant names the degenerate setting; see the field docs on
+/// [`EngineConfig`] for the valid ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineBuildError {
+    /// `node_budget` was 0, which would disable BDD cache persistence
+    /// entirely (every worker rebuilt after every check).
+    ZeroNodeBudget,
+    /// `parallelism` was [`Parallelism::Fixed`]`(0)` — a zero-thread worker
+    /// pool. Use [`Parallelism::Sequential`] for single-threaded checking.
+    ZeroWorkerThreads,
+    /// `registry_shards` was 0 — the session registry needs at least one
+    /// stripe.
+    ZeroRegistryShards,
+}
+
+impl std::fmt::Display for EngineBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineBuildError::ZeroNodeBudget => {
+                f.write_str("node_budget must be at least 1 (0 disables BDD cache persistence)")
+            }
+            EngineBuildError::ZeroWorkerThreads => f.write_str(
+                "parallelism Fixed(0) is a zero-thread pool; use Parallelism::Sequential",
+            ),
+            EngineBuildError::ZeroRegistryShards => {
+                f.write_str("registry_shards must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineBuildError {}
+
 /// Builds a [`ScoutEngine`].
+///
+/// [`ScoutEngineBuilder::build`] validates the configuration and returns a
+/// typed [`EngineBuildError`] for degenerate settings (see the valid ranges
+/// on [`EngineConfig`]).
 ///
 /// # Example
 ///
@@ -114,8 +216,14 @@ impl Default for EngineConfig {
 /// let engine = ScoutEngine::builder()
 ///     .parallelism(Parallelism::Sequential)
 ///     .oracle(OracleCadence::Stride(10))
-///     .build();
+///     .build()
+///     .expect("a sequential engine is a valid configuration");
 /// assert_eq!(engine.config().oracle, OracleCadence::Stride(10));
+///
+/// // Degenerate settings are rejected, not silently accepted:
+/// use scout_core::EngineBuildError;
+/// let err = ScoutEngine::builder().node_budget(0).build().unwrap_err();
+/// assert_eq!(err, EngineBuildError::ZeroNodeBudget);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ScoutEngineBuilder {
@@ -142,9 +250,17 @@ impl ScoutEngineBuilder {
         self
     }
 
-    /// Sets the per-worker BDD node-table budget.
+    /// Sets the per-worker BDD node-table budget (must be at least 1; see
+    /// [`EngineConfig::node_budget`]).
     pub fn node_budget(mut self, budget: usize) -> Self {
         self.config.node_budget = budget;
+        self
+    }
+
+    /// Sets the number of lock stripes of the session registry (must be at
+    /// least 1; see [`EngineConfig::registry_shards`]).
+    pub fn registry_shards(mut self, shards: usize) -> Self {
+        self.config.registry_shards = shards;
         self
     }
 
@@ -167,19 +283,24 @@ impl ScoutEngineBuilder {
         self
     }
 
-    /// Builds the engine.
-    pub fn build(self) -> ScoutEngine {
+    /// Builds the engine, rejecting degenerate configurations with a typed
+    /// error (see the valid ranges on [`EngineConfig`]).
+    pub fn build(self) -> Result<ScoutEngine, EngineBuildError> {
+        self.config.validate()?;
         let mut checker = EquivalenceChecker::with_parallelism(self.config.parallelism);
         checker.set_node_budget(self.config.node_budget);
-        ScoutEngine {
+        let shards: Vec<RegistryShard> = (0..self.config.registry_shards)
+            .map(|_| Mutex::new(BTreeMap::new()))
+            .collect();
+        Ok(ScoutEngine {
             shared: Arc::new(EngineShared {
                 config: self.config,
                 correlation: self.correlation,
                 checker,
-                registry: Mutex::new(BTreeMap::new()),
+                shards: shards.into_boxed_slice(),
                 next_session: AtomicU64::new(1),
             }),
-        }
+        })
     }
 }
 
@@ -204,6 +325,9 @@ pub struct SessionInfo {
     pub opened_at_epoch: u64,
 }
 
+/// One lock stripe of the sharded session registry.
+type RegistryShard = Mutex<BTreeMap<SessionId, SessionInfo>>;
+
 /// The engine state shared by the facade handle and every session it opened.
 #[derive(Debug)]
 pub(crate) struct EngineShared {
@@ -212,21 +336,55 @@ pub(crate) struct EngineShared {
     /// The warm checker behind the one-shot [`ScoutEngine::analyze`] path
     /// (sessions own private checkers so they never contend with it).
     checker: EquivalenceChecker,
-    pub(crate) registry: Mutex<BTreeMap<SessionId, SessionInfo>>,
+    /// The session registry, lock-striped by fabric id: concurrent drivers
+    /// monitoring different fabrics register and deregister on different
+    /// locks.
+    shards: Box<[RegistryShard]>,
     next_session: AtomicU64,
 }
 
 impl EngineShared {
-    fn lock_registry(&self) -> std::sync::MutexGuard<'_, BTreeMap<SessionId, SessionInfo>> {
-        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    /// The registry stripe responsible for `fabric_id`.
+    fn lock_shard(
+        &self,
+        fabric_id: u64,
+    ) -> std::sync::MutexGuard<'_, BTreeMap<SessionId, SessionInfo>> {
+        let index = (fabric_id % self.shards.len() as u64) as usize;
+        self.shards[index].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register(&self, info: SessionInfo) {
+        self.lock_shard(info.fabric_id).insert(info.id, info);
+    }
+
+    /// Removes a session from its fabric's stripe (recovering from a
+    /// poisoned lock, like every other registry access).
+    pub(crate) fn deregister(&self, fabric_id: u64, id: SessionId) {
+        self.lock_shard(fabric_id).remove(&id);
     }
 }
+
+// The whole point of the sharded engine: one `Arc<ScoutEngine>` (or cheap
+// clones of the handle) can be driven from many threads at once. Compile-time
+// proof, so a non-Sync field can never sneak in unnoticed.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScoutEngine>();
+    assert_send_sync::<EngineShared>();
+    assert_send_sync::<crate::session::AnalysisSession>();
+};
 
 /// The long-lived SCOUT service facade.
 ///
 /// Cloning the handle is cheap and shares the same engine (configuration,
-/// session registry, warm one-shot checker); the handle is `Send + Sync`, so
-/// parallel drivers open one session per worker from a shared engine.
+/// session registry, warm one-shot checker); the handle is `Send + Sync`
+/// (checked at compile time), so an `Arc<ScoutEngine>` — or plain clones of
+/// the handle — can be driven from many threads at once. The session
+/// registry is lock-striped by fabric id ([`EngineConfig::registry_shards`]),
+/// so multi-tenant drivers that open, drop and restore sessions for
+/// different fabrics concurrently contend on different locks; per-session
+/// ingestion itself stays serialized (a session is `&mut self`-driven) and
+/// bit-identical to the sequential path.
 ///
 /// # Example
 ///
@@ -260,7 +418,9 @@ impl ScoutEngine {
     /// An engine with the default configuration and the standard fault
     /// signature library.
     pub fn new() -> Self {
-        Self::builder().build()
+        Self::builder()
+            .build()
+            .expect("the default engine configuration is valid")
     }
 
     /// Starts building an engine.
@@ -269,8 +429,9 @@ impl ScoutEngine {
     }
 
     /// An engine with the given plain-data configuration and the standard
-    /// signature library.
-    pub fn from_config(config: EngineConfig) -> Self {
+    /// signature library. Degenerate configurations are rejected (see
+    /// [`EngineConfig::validate`]).
+    pub fn from_config(config: EngineConfig) -> Result<Self, EngineBuildError> {
         Self::builder().config(config).build()
     }
 
@@ -295,18 +456,86 @@ impl ScoutEngine {
             fabric_id: fabric.id(),
             opened_at_epoch: fabric.epoch(),
         };
-        self.shared.lock_registry().insert(id, info);
+        self.shared.register(info);
         AnalysisSession::open(Arc::clone(&self.shared), id, fabric)
     }
 
+    /// Restores an [`AnalysisSession`] from a checkpoint: rebuilds the
+    /// session around the snapshot's fabric-view mirror and report, registers
+    /// it under a fresh [`SessionId`], and replays the snapshot's tail of
+    /// post-checkpoint [`EventBatch`](scout_fabric::EventBatch)es through the
+    /// ordinary ingest path.
+    ///
+    /// The restored session is bit-identical to one that never stopped —
+    /// same `full_report()`, same future [`ReportDelta`](crate::ReportDelta)s
+    /// for the same batches. A tail batch that fails to ingest (e.g. a
+    /// sequencing gap introduced by a buggy producer) aborts the restore with
+    /// the session error; no session is left registered.
+    pub fn restore(
+        &self,
+        snapshot: &crate::snapshot::Snapshot,
+    ) -> Result<AnalysisSession, crate::session::SessionError> {
+        let id = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
+        let info = SessionInfo {
+            id,
+            fabric_id: snapshot.fabric_id(),
+            opened_at_epoch: snapshot.open_epoch(),
+        };
+        self.shared.register(info);
+        let mut session = AnalysisSession::resume(Arc::clone(&self.shared), id, snapshot);
+        for batch in snapshot.tail() {
+            session.ingest(batch.clone())?;
+        }
+        Ok(session)
+    }
+
     /// Registry metadata of every currently-open session, in id order.
+    ///
+    /// Shards are visited one at a time (never holding two stripe locks), so
+    /// a snapshot taken while sessions open and close concurrently is a
+    /// consistent-per-shard, possibly slightly stale union — fine for the
+    /// observability purpose it serves.
     pub fn sessions(&self) -> Vec<SessionInfo> {
-        self.shared.lock_registry().values().copied().collect()
+        let mut infos: Vec<SessionInfo> = self
+            .shared
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        infos.sort_by_key(|info| info.id);
+        infos
+    }
+
+    /// Registry metadata of the open sessions monitoring `fabric_id`, in id
+    /// order — a single-stripe read.
+    pub fn sessions_for_fabric(&self, fabric_id: u64) -> Vec<SessionInfo> {
+        self.shared
+            .lock_shard(fabric_id)
+            .values()
+            .copied()
+            .filter(|info| info.fabric_id == fabric_id)
+            .collect()
     }
 
     /// Number of currently-open sessions.
     pub fn session_count(&self) -> usize {
-        self.shared.lock_registry().len()
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| shard.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Number of lock stripes in the session registry.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// One-shot, from-scratch analysis of a fabric — the reference pipeline
@@ -522,7 +751,7 @@ mod tests {
     fn report_accessors_are_consistent() {
         let mut fabric = Fabric::new(sample::three_tier_with_capacity(3));
         fabric.deploy();
-        let engine = ScoutEngine::from_config(EngineConfig::default());
+        let engine = ScoutEngine::from_config(EngineConfig::default()).unwrap();
         let report = engine.analyze(&fabric);
         assert_eq!(report.missing_rule_count(), report.check.missing_count());
         assert_eq!(report.diagnosis.diagnoses().len(), report.hypothesis.len());
@@ -563,18 +792,87 @@ mod tests {
             .parallelism(Parallelism::Fixed(2))
             .node_budget(1 << 10)
             .oracle(OracleCadence::Never)
+            .registry_shards(4)
             .scout(ScoutConfig {
                 recent_window: None,
             })
-            .build();
+            .build()
+            .unwrap();
         let config = engine.config();
         assert_eq!(config.parallelism, Parallelism::Fixed(2));
         assert_eq!(config.node_budget, 1 << 10);
         assert_eq!(config.oracle, OracleCadence::Never);
         assert_eq!(config.scout.recent_window, None);
+        assert_eq!(config.registry_shards, 4);
+        assert_eq!(engine.shard_count(), 4);
         // Round-trip through the plain-data config.
-        let copied = ScoutEngine::from_config(*config);
+        let copied = ScoutEngine::from_config(*config).unwrap();
         assert_eq!(copied.config(), config);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        assert_eq!(
+            ScoutEngine::builder().node_budget(0).build().unwrap_err(),
+            EngineBuildError::ZeroNodeBudget
+        );
+        assert_eq!(
+            ScoutEngine::builder()
+                .parallelism(Parallelism::Fixed(0))
+                .build()
+                .unwrap_err(),
+            EngineBuildError::ZeroWorkerThreads
+        );
+        assert_eq!(
+            ScoutEngine::builder()
+                .registry_shards(0)
+                .build()
+                .unwrap_err(),
+            EngineBuildError::ZeroRegistryShards
+        );
+        // The errors render actionable messages.
+        assert!(EngineBuildError::ZeroNodeBudget
+            .to_string()
+            .contains("node_budget"));
+        assert!(EngineBuildError::ZeroWorkerThreads
+            .to_string()
+            .contains("Sequential"));
+        assert!(EngineBuildError::ZeroRegistryShards
+            .to_string()
+            .contains("shard"));
+        // Fixed(1) and Sequential remain valid single-threaded settings.
+        assert!(ScoutEngine::builder()
+            .parallelism(Parallelism::Fixed(1))
+            .build()
+            .is_ok());
+        assert!(ScoutEngine::builder()
+            .parallelism(Parallelism::Sequential)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn sessions_land_in_fabric_shards() {
+        let mut a = Fabric::new(sample::three_tier());
+        a.deploy();
+        let b = a.clone();
+        let engine = ScoutEngine::builder().registry_shards(2).build().unwrap();
+        let sa = engine.open_session(&a);
+        let sb = engine.open_session(&b);
+        let sa2 = engine.open_session(&a);
+        assert_eq!(engine.session_count(), 3);
+        let for_a = engine.sessions_for_fabric(a.id());
+        assert_eq!(for_a.len(), 2);
+        assert!(for_a.iter().all(|info| info.fabric_id == a.id()));
+        assert_eq!(engine.sessions_for_fabric(b.id()).len(), 1);
+        assert_eq!(engine.sessions_for_fabric(0xDEAD_BEEF).len(), 0);
+        // The global listing is id-ordered across shards.
+        let ids: Vec<SessionId> = engine.sessions().iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec![sa.id(), sb.id(), sa2.id()]);
+        drop(sa);
+        drop(sb);
+        drop(sa2);
+        assert_eq!(engine.session_count(), 0);
     }
 
     #[test]

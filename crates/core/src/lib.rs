@@ -1,5 +1,9 @@
 //! # scout-core
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! The primary contribution of *Fault Localization in Large-Scale Network
 //! Policy Deployment* (Tammana et al., ICDCS 2018): risk models for network
 //! policies, the SCOUT fault-localization algorithm, the SCORE baseline it is
@@ -59,13 +63,14 @@ pub mod engine;
 pub mod localization;
 pub mod risk;
 pub mod session;
+pub mod snapshot;
 
 pub use correlation::{
     CorrelationEngine, CorrelationReport, ObjectDiagnosis, RootCause, SignatureLibrary,
 };
 pub use engine::{
-    EngineConfig, OracleCadence, ScoutEngine, ScoutEngineBuilder, ScoutReport, SessionId,
-    SessionInfo,
+    EngineBuildError, EngineConfig, OracleCadence, ScoutEngine, ScoutEngineBuilder, ScoutReport,
+    SessionId, SessionInfo, DEFAULT_REGISTRY_SHARDS,
 };
 pub use localization::{score_localize, scout_localize, Evidence, Hypothesis, ScoutConfig};
 pub use risk::{
@@ -74,6 +79,7 @@ pub use risk::{
     FailureMarks, RiskModel,
 };
 pub use session::{AnalysisSession, ReportDelta, SessionError, SessionStats};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 
 #[cfg(test)]
 mod proptests {

@@ -36,7 +36,9 @@ pub enum Evidence {
 /// plus bookkeeping about how well it explains the failure signature.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Hypothesis {
-    objects: BTreeMap<ObjectId, Evidence>,
+    /// The suspected objects and the evidence that put them here
+    /// (crate-visible so the snapshot codec can rebuild a hypothesis).
+    pub(crate) objects: BTreeMap<ObjectId, Evidence>,
     /// Number of observations in the failure signature.
     pub observations: usize,
     /// Number of observations explained by the cover stage.

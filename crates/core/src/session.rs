@@ -41,6 +41,25 @@ use crate::risk::{
 /// Why an [`AnalysisSession::ingest`] was rejected. A rejected batch leaves
 /// the session completely untouched: the epoch is not consumed and the
 /// mirror, caches and report are unchanged.
+///
+/// # Example
+///
+/// ```
+/// use scout_core::{ScoutEngine, SessionError};
+/// use scout_fabric::{EventBatch, Fabric};
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// let engine = ScoutEngine::new();
+/// let mut session = engine.open_session(&fabric);
+///
+/// // Epoch 3 arrives when 1 was expected: a typed, recoverable rejection.
+/// let err = session.ingest(EventBatch::empty(3)).unwrap_err();
+/// assert_eq!(err, SessionError::EpochOutOfOrder { expected: 1, got: 3 });
+/// assert_eq!(session.epoch(), 0, "nothing was consumed");
+/// assert!(session.ingest(EventBatch::empty(1)).is_ok());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionError {
     /// The batch's epoch is not the next expected one — a duplicate, an
@@ -102,6 +121,36 @@ impl std::error::Error for SessionError {}
 
 /// What one [`AnalysisSession::ingest`] changed relative to the previous
 /// epoch's report.
+///
+/// Deltas *compose*: folding `newly_missing`/`restored` (and the hypothesis
+/// added/removed sets) over the open-time report reproduces the current full
+/// report exactly — the enforced root test `tests/session.rs` replays 200
+/// epochs asserting it.
+///
+/// # Example
+///
+/// ```
+/// use scout_core::ScoutEngine;
+/// use scout_fabric::{EventBatch, Fabric, FabricProbe};
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// let engine = ScoutEngine::new();
+/// let mut session = engine.open_session(&fabric);
+/// let mut probe = FabricProbe::new(&fabric);
+///
+/// // A heartbeat epoch changes nothing the operator can see…
+/// let delta = session.ingest(EventBatch::empty(1)).unwrap();
+/// assert!(delta.is_noop() && delta.consistent);
+///
+/// // …while real drift names exactly what changed.
+/// fabric.evict_tcam(sample::S2, 1, false);
+/// let delta = session.ingest_observation(&mut probe, &fabric).unwrap();
+/// assert_eq!(delta.epoch, 2);
+/// assert_eq!(delta.rechecked.len(), 1);
+/// assert!(!delta.consistent && !delta.newly_missing.is_empty());
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ReportDelta {
     /// The epoch this delta advanced the session to.
@@ -298,9 +347,64 @@ impl AnalysisSession {
         }
     }
 
+    /// Rebuilds a session from a checkpoint (the restore path; see
+    /// [`ScoutEngine::restore`](crate::ScoutEngine::restore)).
+    ///
+    /// The pristine risk model is recomputed from the restored view — it is a
+    /// pure function of the policy universe — and the checkpointed report
+    /// carries the equivalence check, so the session resumes exactly where
+    /// the checkpointed one stood; the caller replays the snapshot's tail
+    /// through the ordinary [`AnalysisSession::ingest`] path.
+    pub(crate) fn resume(
+        shared: Arc<EngineShared>,
+        id: SessionId,
+        snapshot: &crate::snapshot::Snapshot,
+    ) -> Self {
+        let mut checker = EquivalenceChecker::with_parallelism(shared.config.parallelism);
+        checker.set_node_budget(shared.config.node_budget);
+        let view = snapshot.view().clone();
+        let model = controller_risk_model(view.universe());
+        Self {
+            id,
+            shared,
+            checker,
+            fabric_id: snapshot.fabric_id(),
+            open_epoch: snapshot.open_epoch(),
+            epoch: snapshot.epoch(),
+            model,
+            report: snapshot.report().clone(),
+            view,
+            stats: SessionStats::default(),
+        }
+    }
+
     /// The session's registry id.
     pub fn id(&self) -> SessionId {
         self.id
+    }
+
+    /// The [`Fabric::id`](scout_fabric::Fabric::id) of the monitored fabric.
+    pub fn fabric_id(&self) -> u64 {
+        self.fabric_id
+    }
+
+    /// The fabric's change epoch when the session was opened (checkpoints
+    /// carry it so clone-coverage semantics survive restore).
+    pub(crate) fn open_epoch(&self) -> u64 {
+        self.open_epoch
+    }
+
+    /// Captures the session's durable state — the fabric-view mirror, the
+    /// epoch cursor and the current full report — as a plain-data
+    /// [`Snapshot`](crate::Snapshot) with an empty replay tail.
+    ///
+    /// Append post-checkpoint batches with
+    /// [`Snapshot::push_tail`](crate::Snapshot::push_tail) and rebuild a live
+    /// session with [`ScoutEngine::restore`](crate::ScoutEngine::restore);
+    /// the restored session is bit-identical to one that never stopped. See
+    /// [`crate::snapshot`] for the full contract and an end-to-end example.
+    pub fn checkpoint(&self) -> crate::snapshot::Snapshot {
+        crate::snapshot::Snapshot::of_session(self)
     }
 
     /// The last successfully ingested epoch (0 right after open).
@@ -573,14 +677,10 @@ impl AnalysisSession {
 }
 
 impl Drop for AnalysisSession {
-    /// Deregisters the session from its engine's registry (recovering from a
-    /// poisoned lock, like every other registry access).
+    /// Deregisters the session from its fabric's registry shard (recovering
+    /// from a poisoned lock, like every other registry access).
     fn drop(&mut self) {
-        self.shared
-            .registry
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&self.id);
+        self.shared.deregister(self.fabric_id, self.id);
     }
 }
 

@@ -1,5 +1,9 @@
 //! # scout-equiv
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! The L–T equivalence checker of the SCOUT system (ICDCS 2018).
 //!
 //! SCOUT detects policy-deployment failures by comparing the *desired state*

@@ -76,6 +76,26 @@ pub enum FabricEvent {
 /// Epoch numbers exist so a consumer can enforce ordered, gap-free delivery:
 /// a delta stream is only meaningful if every batch is applied exactly once,
 /// in order.
+///
+/// # Example
+///
+/// ```
+/// use scout_fabric::{EventBatch, FabricEvent};
+/// use scout_policy::sample;
+///
+/// let heartbeat = EventBatch::empty(1);
+/// assert!(heartbeat.is_empty());
+///
+/// let batch = EventBatch::new(
+///     2,
+///     vec![FabricEvent::TcamSync {
+///         switch: sample::S1,
+///         rules: Vec::new(),
+///     }],
+/// );
+/// assert_eq!(batch.epoch, 2);
+/// assert_eq!(batch.len(), 1);
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EventBatch {
     /// The epoch this batch advances the consumer to.
@@ -166,6 +186,29 @@ impl FabricView {
             tcam: fabric.collect_tcam(),
             change_log: fabric.change_log().clone(),
             fault_log: fabric.fault_log().clone(),
+        }
+    }
+
+    /// Rebuilds a view from its primary artifacts (the wire-decode path).
+    ///
+    /// The switch set and compiled logical rules are derived from the
+    /// universe, exactly as [`FabricView::apply`] derives them on a policy
+    /// update, so a view decoded from an encoded one compares equal to it.
+    pub(crate) fn from_parts(
+        universe_version: u64,
+        universe: PolicyUniverse,
+        tcam: BTreeMap<SwitchId, Vec<TcamRule>>,
+        change_log: ChangeLog,
+        fault_log: FaultLog,
+    ) -> Self {
+        Self {
+            universe_version,
+            switches: universe.switch_ids().into_iter().collect(),
+            logical_rules: compiler::compile(&universe),
+            universe,
+            tcam,
+            change_log,
+            fault_log,
         }
     }
 

@@ -1,5 +1,9 @@
 //! # scout-fabric
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! A deterministic simulator of the SDN fabric the SCOUT paper (ICDCS 2018)
 //! evaluates on: a centralized controller, per-switch agents, and TCAM tables,
 //! connected by control channels that can fail.
@@ -38,6 +42,7 @@ pub mod fabric;
 pub mod instruction;
 pub mod logs;
 pub mod tcam;
+pub mod wire;
 
 pub use agent::{AgentHealth, ApplyOutcome, SwitchAgent};
 pub use channel::{ControlChannel, LinkState};
@@ -50,3 +55,4 @@ pub use logs::{
     ChangeAction, ChangeLog, ChangeLogEntry, FaultKind, FaultLog, FaultLogEntry, Severity,
 };
 pub use tcam::{CorruptionKind, TcamError, TcamTable};
+pub use wire::{Wire, WireError, WireReader, WireWriter};

@@ -1,5 +1,9 @@
 //! # scout-faults
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! Fault injection for the SCOUT reproduction (ICDCS 2018).
 //!
 //! The evaluation of the paper (§VI) injects faults that make the deployed

@@ -1,5 +1,9 @@
 //! # scout-metrics
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! Evaluation metrics and small reporting utilities for the SCOUT reproduction
 //! (ICDCS 2018): precision/recall/F1 against an injected ground truth, the
 //! suspect-set reduction ratio γ, empirical CDFs (Figure 3), per-bin summaries

@@ -1,5 +1,9 @@
 //! # scout-policy
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! The network-policy object model used by the SCOUT fault-localization system
 //! (reproduction of *Fault Localization in Large-Scale Network Policy
 //! Deployment*, ICDCS 2018).

@@ -91,19 +91,30 @@ impl Campaign {
         }
     }
 
-    /// Deploys the reference fabric and runs every scenario.
+    /// Deploys the reference fabric and runs every scenario against a
+    /// private engine built from [`Campaign::engine`].
     ///
     /// The outcome vector is deterministic for a given configuration (thread
     /// count and analysis mode change only the wall-clock time).
     pub fn run(&self) -> CampaignRun {
+        let engine = ScoutEngine::from_config(self.engine)
+            .expect("campaign engine config is degenerate (see EngineConfig::validate)");
+        self.run_with_engine(&engine)
+    }
+
+    /// Like [`Campaign::run`], but routes every worker through a
+    /// caller-provided — possibly shared — engine: each worker opens its own
+    /// [`AnalysisSession`](scout_core::AnalysisSession) on it, so several
+    /// campaigns (or campaigns next to soak timelines) can share one engine.
+    /// Outcomes are bit-identical to a private-engine run.
+    pub fn run_with_engine(&self, engine: &ScoutEngine) -> CampaignRun {
         let start = Instant::now();
-        let engine = ScoutEngine::from_config(self.engine);
         let mut base = Fabric::new(self.workload.generate(self.seed));
         base.deploy();
 
         let threads = self.thread_count();
         let outcomes = if threads <= 1 {
-            self.worker(&engine, &base, 0, 1)
+            self.worker(engine, &base, 0, 1)
                 .into_iter()
                 .map(|(_, outcome)| outcome)
                 .collect()
@@ -111,7 +122,6 @@ impl Campaign {
             let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; self.scenarios];
             std::thread::scope(|scope| {
                 let base = &base;
-                let engine = &engine;
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| scope.spawn(move || self.worker(engine, base, worker, threads)))
                     .collect();

@@ -1,5 +1,9 @@
 //! # scout-sim
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! The randomized fault-campaign engine of the SCOUT reproduction
 //! (ICDCS 2018).
 //!
@@ -56,12 +60,14 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod multi;
 pub mod scenario;
 pub mod soak;
 
 pub use campaign::{
     scenario_seed, AnalysisMode, Campaign, CampaignReport, CampaignRun, Concurrency, KindStats,
 };
+pub use multi::{MultiTenantRun, MultiTenantSoak};
 pub use scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};
 pub use soak::{
     EpochRecord, FaultRecord, SoakFaultKind, SoakOutcome, SoakReport, SoakRun, Timeline,

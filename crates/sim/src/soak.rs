@@ -448,11 +448,27 @@ impl Timeline {
         }
     }
 
-    /// Runs the timeline.
+    /// Runs the timeline against a private engine built from
+    /// [`Timeline::engine`].
     pub fn run(&self) -> SoakRun {
+        let engine = ScoutEngine::from_config(self.engine)
+            .expect("timeline engine config is degenerate (see EngineConfig::validate)");
+        self.run_with_engine(&engine)
+    }
+
+    /// Runs the timeline against a caller-provided — possibly shared —
+    /// engine.
+    ///
+    /// This is the multi-tenant path: a `ScoutEngine` is `Send + Sync`, so
+    /// many timelines can run concurrently against one engine, each opening
+    /// its own monitor session (see [`MultiTenantSoak`](crate::MultiTenantSoak)).
+    /// The engine's configuration governs the analysis and the oracle
+    /// cadence; [`Timeline::engine`] is consulted only by [`Timeline::run`].
+    /// For a given seed the outcome is bit-identical whether the engine is
+    /// private or shared, and regardless of what other tenants it serves.
+    pub fn run_with_engine(&self, engine: &ScoutEngine) -> SoakRun {
         let start = Instant::now();
-        let engine = ScoutEngine::from_config(self.engine);
-        let oracle = self.engine.oracle;
+        let oracle = engine.config().oracle;
         let mut fabric = Fabric::new(self.workload.generate(self.seed));
         fabric.deploy();
 

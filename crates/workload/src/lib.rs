@@ -1,5 +1,9 @@
 //! # scout-workload
 //!
+//! Part of the SCOUT reproduction workspace: `ARCHITECTURE.md` at the
+//! repo root is the crate-by-crate tour showing where this crate sits in
+//! the pipeline.
+//!
 //! Synthetic network-policy workloads for the SCOUT reproduction (ICDCS 2018).
 //!
 //! The paper evaluates against policies that are not publicly available: a

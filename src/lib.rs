@@ -17,13 +17,17 @@
 //! |--------|-------|----------|
 //! | [`policy`] | `scout-policy` | APIC-like object model, policy universe, TCAM rules |
 //! | [`bdd`] | `scout-bdd` | ROBDD engine used by the equivalence checker |
-//! | [`fabric`] | `scout-fabric` | deterministic controller/switch/TCAM simulator with change & fault logs |
+//! | [`fabric`] | `scout-fabric` | deterministic controller/switch/TCAM simulator with change & fault logs, typed telemetry events, and the in-house wire codec |
 //! | [`equiv`] | `scout-equiv` | L–T equivalence checker (missing-rule detection) |
 //! | [`faults`] | `scout-faults` | object-level and physical-level fault injection |
 //! | [`workload`] | `scout-workload` | cluster / testbed / scaling policy generators |
-//! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, service engine & sessions |
+//! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, sharded `Send + Sync` service engine with delta-driven sessions and checkpoint/restore snapshots |
 //! | [`metrics`] | `scout-metrics` | precision/recall/γ, CDFs, run statistics |
-//! | [`sim`] | `scout-sim` | randomized fault-campaign engine with deterministic parallel scenarios |
+//! | [`sim`] | `scout-sim` | randomized fault campaigns, soak timelines, and multi-tenant soaks against one shared engine |
+//!
+//! `ARCHITECTURE.md` at the repo root walks the whole pipeline crate by
+//! crate, including the session/delta data flow and where sharding and
+//! checkpointing land.
 //!
 //! # Quickstart
 //!
@@ -67,9 +71,9 @@ pub use scout_workload as workload;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use scout_core::{
-        score_localize, scout_localize, AnalysisSession, CorrelationEngine, EngineConfig,
-        Hypothesis, OracleCadence, ReportDelta, RiskModel, ScoutConfig, ScoutEngine,
-        ScoutEngineBuilder, ScoutReport, SessionError,
+        score_localize, scout_localize, AnalysisSession, CorrelationEngine, EngineBuildError,
+        EngineConfig, Hypothesis, OracleCadence, ReportDelta, RiskModel, ScoutConfig, ScoutEngine,
+        ScoutEngineBuilder, ScoutReport, SessionError, Snapshot, SnapshotError,
     };
     pub use scout_equiv::EquivalenceChecker;
     pub use scout_fabric::{EventBatch, Fabric, FabricEvent, FabricProbe, FabricView, FaultKind};
@@ -79,7 +83,8 @@ pub mod prelude {
         sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
     };
     pub use scout_sim::{
-        Campaign, CampaignReport, ScenarioKind, ScenarioMix, SoakReport, Timeline, WorkloadKind,
+        Campaign, CampaignReport, MultiTenantSoak, ScenarioKind, ScenarioMix, SoakReport, Timeline,
+        WorkloadKind,
     };
     pub use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
 }
