@@ -38,9 +38,11 @@
 
 pub mod encode;
 pub mod manager;
+pub mod table;
 
 pub use encode::{FieldEncoder, FieldLayout};
 pub use manager::{Bdd, BddManager, BddOp, Var};
+pub use table::{CacheStats, NodeTableKind};
 
 #[cfg(test)]
 mod proptests {

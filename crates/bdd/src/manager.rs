@@ -3,6 +3,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::table::{CacheStats, DEFAULT_CACHE_LIMIT};
+use crate::table::{ImpliesCache, NodeTableKind, NotCache, OpCache, Probe, UniqueTable};
+
 /// A handle to a BDD node owned by a [`BddManager`].
 ///
 /// Handles are only meaningful together with the manager that created them;
@@ -134,7 +137,15 @@ impl BddOp {
 /// A reduced ordered binary decision diagram manager with hash-consing and an
 /// operation cache.
 ///
-/// The manager owns all nodes; [`Bdd`] handles are indices into its node table.
+/// The manager owns all nodes in a flat arena (`Vec<Node>`); [`Bdd`] handles
+/// are indices into it. Hash-consing and the operation caches run on the
+/// cache-conscious backends of [`crate::table`] by default: an open-addressing
+/// unique table over node indices and lossy direct-mapped op/not/implies
+/// caches whose growth is bounded by [`BddManager::set_cache_limit`]. The
+/// historical `std::collections::HashMap` backend remains available through
+/// [`BddManager::with_backend`] as a benchmarking baseline; both backends
+/// produce bit-identical handles for the same operation sequence.
+///
 /// All operations keep the diagram *reduced* (no node with identical low/high
 /// children, no duplicate nodes) and *ordered* (variable indices strictly
 /// increase along every path from the root).
@@ -153,17 +164,35 @@ impl BddOp {
 #[derive(Debug, Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    op_cache: HashMap<(BddOp, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
-    implies_cache: HashMap<(Bdd, Bdd), bool>,
+    kind: NodeTableKind,
+    // Arena backend (crate::table).
+    unique: UniqueTable,
+    op_cache: OpCache,
+    not_cache: NotCache,
+    implies_cache: ImpliesCache,
+    // Baseline backend (std HashMaps, empty while the arena backend is
+    // active). Kept for benchmark comparisons and differential testing.
+    unique_map: HashMap<Node, Bdd>,
+    op_map: HashMap<(BddOp, Bdd, Bdd), Bdd>,
+    not_map: HashMap<Bdd, Bdd>,
+    implies_map: HashMap<(Bdd, Bdd), bool>,
+    cache_limit: usize,
+    stats: CacheStats,
     num_vars: u32,
 }
 
 impl BddManager {
     /// Creates a manager for `num_vars` decision variables (indices
-    /// `0..num_vars`).
+    /// `0..num_vars`) using the default arena backend.
     pub fn new(num_vars: u32) -> Self {
+        Self::with_backend(num_vars, NodeTableKind::default())
+    }
+
+    /// Creates a manager with an explicit storage backend — the arena tables
+    /// (default) or the historical `HashMap` baseline used for benchmark
+    /// comparisons. Both produce bit-identical handles for the same sequence
+    /// of operations; only speed and memory behavior differ.
+    pub fn with_backend(num_vars: u32, kind: NodeTableKind) -> Self {
         let nodes = vec![
             // FALSE terminal
             Node {
@@ -178,13 +207,71 @@ impl BddManager {
                 high: Bdd::TRUE,
             },
         ];
+        let cache_limit = DEFAULT_CACHE_LIMIT;
         Self {
             nodes,
-            unique: HashMap::new(),
-            op_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            implies_cache: HashMap::new(),
+            kind,
+            unique: UniqueTable::new(),
+            op_cache: OpCache::new(cache_limit),
+            not_cache: NotCache::new(cache_limit),
+            implies_cache: ImpliesCache::new(cache_limit),
+            unique_map: HashMap::new(),
+            op_map: HashMap::new(),
+            not_map: HashMap::new(),
+            implies_map: HashMap::new(),
+            cache_limit,
+            stats: CacheStats::default(),
             num_vars,
+        }
+    }
+
+    /// The storage backend this manager was created with.
+    pub fn backend(&self) -> NodeTableKind {
+        self.kind
+    }
+
+    /// Cumulative hit/miss/eviction counters of the operation caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Folds previously collected counters into this manager's own, so
+    /// callers that periodically rebuild managers (e.g. a budgeted checker
+    /// worker) can carry cumulative statistics across rebuilds.
+    pub fn absorb_cache_stats(&mut self, stats: CacheStats) {
+        self.stats.hits += stats.hits;
+        self.stats.misses += stats.misses;
+        self.stats.evictions += stats.evictions;
+    }
+
+    /// The per-cache entry limit (rounded up to a power of two on set).
+    pub fn cache_limit(&self) -> usize {
+        self.cache_limit
+    }
+
+    /// Bounds the operation caches to at most `limit` entries each (rounded
+    /// up to a power of two; at least one entry).
+    ///
+    /// The direct-mapped arena caches stop growing at the limit and shrink
+    /// immediately if they already exceed it; the baseline maps are cleared
+    /// whenever an insert would push them past it. Engines wire this to their
+    /// node budget so long-lived checkers cannot accumulate unbounded
+    /// memoization state.
+    pub fn set_cache_limit(&mut self, limit: usize) {
+        let limit = limit.max(1);
+        self.cache_limit = limit.next_power_of_two();
+        self.op_cache.set_limit(limit);
+        self.not_cache.set_limit(limit);
+        self.implies_cache.set_limit(limit);
+        if self.op_map.len() > self.cache_limit
+            || self.not_map.len() > self.cache_limit
+            || self.implies_map.len() > self.cache_limit
+        {
+            let dropped = self.op_map.len() + self.not_map.len() + self.implies_map.len();
+            self.stats.evictions += dropped as u64;
+            self.op_map.clear();
+            self.not_map.clear();
+            self.implies_map.clear();
         }
     }
 
@@ -218,14 +305,86 @@ impl BddManager {
         if low == high {
             return low;
         }
-        let node = Node { var, low, high };
-        if let Some(&existing) = self.unique.get(&node) {
-            return existing;
+        match self.kind {
+            NodeTableKind::Arena => {
+                let nodes = &self.nodes;
+                let read = |i: u32| {
+                    let n = nodes[i as usize];
+                    (n.var, n.low.0, n.high.0)
+                };
+                match self.unique.probe(var, low.0, high.0, read) {
+                    Probe::Found(index) => Bdd(index),
+                    Probe::Vacant(slot) => {
+                        let index =
+                            u32::try_from(self.nodes.len()).expect("bdd node table overflow");
+                        self.nodes.push(Node { var, low, high });
+                        let nodes = &self.nodes;
+                        self.unique.insert(slot, index, |i| {
+                            let n = nodes[i as usize];
+                            (n.var, n.low.0, n.high.0)
+                        });
+                        debug_assert_eq!(self.unique.len(), self.nodes.len() - 2);
+                        debug_assert!(self.unique.capacity() > self.unique.len());
+                        Bdd(index)
+                    }
+                }
+            }
+            NodeTableKind::Baseline => {
+                let node = Node { var, low, high };
+                if let Some(&existing) = self.unique_map.get(&node) {
+                    return existing;
+                }
+                let handle = Bdd(u32::try_from(self.nodes.len()).expect("bdd node table overflow"));
+                self.nodes.push(node);
+                self.unique_map.insert(node, handle);
+                handle
+            }
         }
-        let handle = Bdd(u32::try_from(self.nodes.len()).expect("bdd node table overflow"));
-        self.nodes.push(node);
-        self.unique.insert(node, handle);
-        handle
+    }
+
+    fn op_tag(op: BddOp) -> u8 {
+        match op {
+            BddOp::And => 1,
+            BddOp::Or => 2,
+            BddOp::Xor => 3,
+            BddOp::Diff => 4,
+        }
+    }
+
+    #[inline]
+    fn op_cache_get(&mut self, op: BddOp, a: Bdd, b: Bdd) -> Option<Bdd> {
+        let cached = match self.kind {
+            NodeTableKind::Arena => self.op_cache.get(Self::op_tag(op), a.0, b.0).map(Bdd),
+            NodeTableKind::Baseline => self.op_map.get(&(op, a, b)).copied(),
+        };
+        if cached.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        cached
+    }
+
+    #[inline]
+    fn op_cache_put(&mut self, op: BddOp, a: Bdd, b: Bdd, result: Bdd) {
+        match self.kind {
+            NodeTableKind::Arena => {
+                self.op_cache.put(
+                    Self::op_tag(op),
+                    a.0,
+                    b.0,
+                    result.0,
+                    &mut self.stats.evictions,
+                );
+            }
+            NodeTableKind::Baseline => {
+                if self.op_map.len() >= self.cache_limit {
+                    self.stats.evictions += self.op_map.len() as u64;
+                    self.op_map.clear();
+                }
+                self.op_map.insert((op, a, b), result);
+            }
+        }
     }
 
     /// The BDD for a single positive literal `x_var`.
@@ -260,7 +419,7 @@ impl BddManager {
         if let Some(result) = op.shortcut(a, b) {
             return result;
         }
-        if let Some(&cached) = self.op_cache.get(&(op, a, b)) {
+        if let Some(cached) = self.op_cache_get(op, a, b) {
             return cached;
         }
         let (va, vb) = (self.var_of(a), self.var_of(b));
@@ -270,7 +429,7 @@ impl BddManager {
         let low = self.apply(op, a_low, b_low);
         let high = self.apply(op, a_high, b_high);
         let result = self.mk(top, low, high);
-        self.op_cache.insert((op, a, b), result);
+        self.op_cache_put(op, a, b, result);
         result
     }
 
@@ -315,14 +474,31 @@ impl BddManager {
         if a.is_false() {
             return Bdd::TRUE;
         }
-        if let Some(&cached) = self.not_cache.get(&a) {
-            return cached;
+        let cached = match self.kind {
+            NodeTableKind::Arena => self.not_cache.get(a.0).map(Bdd),
+            NodeTableKind::Baseline => self.not_map.get(&a).copied(),
+        };
+        if let Some(result) = cached {
+            self.stats.hits += 1;
+            return result;
         }
+        self.stats.misses += 1;
         let node = self.nodes[a.index()];
         let low = self.not(node.low);
         let high = self.not(node.high);
         let result = self.mk(node.var, low, high);
-        self.not_cache.insert(a, result);
+        match self.kind {
+            NodeTableKind::Arena => {
+                self.not_cache.put(a.0, result.0, &mut self.stats.evictions);
+            }
+            NodeTableKind::Baseline => {
+                if self.not_map.len() >= self.cache_limit {
+                    self.stats.evictions += self.not_map.len() as u64;
+                    self.not_map.clear();
+                }
+                self.not_map.insert(a, result);
+            }
+        }
         result
     }
 
@@ -456,14 +632,32 @@ impl BddManager {
             // In a reduced diagram only TRUE denotes the tautology.
             return false;
         }
-        if let Some(&cached) = self.implies_cache.get(&(a, b)) {
-            return cached;
+        let cached = match self.kind {
+            NodeTableKind::Arena => self.implies_cache.get(a.0, b.0),
+            NodeTableKind::Baseline => self.implies_map.get(&(a, b)).copied(),
+        };
+        if let Some(result) = cached {
+            self.stats.hits += 1;
+            return result;
         }
+        self.stats.misses += 1;
         let top = self.var_of(a).min(self.var_of(b));
         let (a_low, a_high) = self.cofactors(a, top);
         let (b_low, b_high) = self.cofactors(b, top);
         let result = self.implies(a_low, b_low) && self.implies(a_high, b_high);
-        self.implies_cache.insert((a, b), result);
+        match self.kind {
+            NodeTableKind::Arena => {
+                self.implies_cache
+                    .put(a.0, b.0, result, &mut self.stats.evictions);
+            }
+            NodeTableKind::Baseline => {
+                if self.implies_map.len() >= self.cache_limit {
+                    self.stats.evictions += self.implies_map.len() as u64;
+                    self.implies_map.clear();
+                }
+                self.implies_map.insert((a, b), result);
+            }
+        }
         result
     }
 
@@ -471,7 +665,14 @@ impl BddManager {
     ///
     /// Useful to monitor the memory footprint of a long-lived manager.
     pub fn cache_len(&self) -> usize {
-        self.op_cache.len() + self.not_cache.len() + self.implies_cache.len()
+        match self.kind {
+            NodeTableKind::Arena => {
+                self.op_cache.len() + self.not_cache.len() + self.implies_cache.len()
+            }
+            NodeTableKind::Baseline => {
+                self.op_map.len() + self.not_map.len() + self.implies_map.len()
+            }
+        }
     }
 
     /// Drops every memoized operation result while keeping the node table.
@@ -482,6 +683,9 @@ impl BddManager {
         self.op_cache.clear();
         self.not_cache.clear();
         self.implies_cache.clear();
+        self.op_map.clear();
+        self.not_map.clear();
+        self.implies_map.clear();
     }
 }
 
@@ -658,6 +862,181 @@ mod tests {
         assert!(m.implies(narrow, wide));
         assert!(!m.implies(wide, narrow));
         assert_eq!(m.node_count(), before, "implies must not allocate nodes");
+    }
+
+    /// Drives both backends through an identical randomized operation
+    /// sequence and checks every returned handle is bit-identical. Lossy
+    /// direct-mapped caches may recompute what the baseline remembers, but
+    /// recomputation only re-derives nodes that are already interned, so the
+    /// arena backend must agree handle-for-handle with the `HashMap` one.
+    #[test]
+    fn arena_and_baseline_produce_identical_handles() {
+        let mut lcg = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        let mut arena = BddManager::new(16);
+        let mut baseline = BddManager::with_backend(16, NodeTableKind::Baseline);
+        assert_eq!(arena.backend(), NodeTableKind::Arena);
+        assert_eq!(baseline.backend(), NodeTableKind::Baseline);
+        let mut handles: Vec<Bdd> = (0..16).map(|i| arena.var(i)).collect();
+        let baseline_handles: Vec<Bdd> = (0..16).map(|i| baseline.var(i)).collect();
+        assert_eq!(handles, baseline_handles);
+        for step in 0..4000 {
+            let i = next() as usize % handles.len();
+            let j = next() as usize % handles.len();
+            let (a, b) = (handles[i], handles[j]);
+            let (x, y) = match next() % 6 {
+                0 => (arena.and(a, b), baseline.and(a, b)),
+                1 => (arena.or(a, b), baseline.or(a, b)),
+                2 => (arena.xor(a, b), baseline.xor(a, b)),
+                3 => (arena.diff(a, b), baseline.diff(a, b)),
+                4 => (arena.not(a), baseline.not(a)),
+                _ => {
+                    assert_eq!(arena.implies(a, b), baseline.implies(a, b), "step {step}");
+                    continue;
+                }
+            };
+            assert_eq!(x, y, "divergent handle at step {step}");
+            handles.push(x);
+        }
+        assert_eq!(arena.node_count(), baseline.node_count());
+        let stats = arena.cache_stats();
+        assert!(
+            stats.hits > 0 && stats.misses > 0,
+            "caches must be exercised"
+        );
+    }
+
+    /// Randomized cross-validation against direct evaluation at a variable
+    /// count high enough (64) to force unique-table growth and deep diagrams.
+    /// Each constructed handle carries a mirror expression (index-based DAG)
+    /// that is evaluated directly on random assignments.
+    #[test]
+    fn high_variable_count_cross_validation() {
+        #[derive(Clone, Copy)]
+        enum Mirror {
+            Var(u32),
+            Bin(BddOp, usize, usize),
+        }
+        fn eval_mirror(exprs: &[Mirror], idx: usize, env: &[bool]) -> bool {
+            match exprs[idx] {
+                Mirror::Var(v) => env[v as usize],
+                Mirror::Bin(op, l, r) => {
+                    op.terminal(eval_mirror(exprs, l, env), eval_mirror(exprs, r, env))
+                }
+            }
+        }
+        let mut lcg = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        const VARS: u32 = 64;
+        let mut m = BddManager::new(VARS);
+        let mut exprs: Vec<Mirror> = Vec::new();
+        let mut handles: Vec<Bdd> = Vec::new();
+        for v in 0..VARS {
+            exprs.push(Mirror::Var(v));
+            handles.push(m.var(v));
+        }
+        for _ in 0..600 {
+            let i = next() as usize % handles.len();
+            let j = next() as usize % handles.len();
+            let op = match next() % 4 {
+                0 => BddOp::And,
+                1 => BddOp::Or,
+                2 => BddOp::Xor,
+                _ => BddOp::Diff,
+            };
+            handles.push(m.apply(op, handles[i], handles[j]));
+            exprs.push(Mirror::Bin(op, i, j));
+        }
+        assert!(
+            m.node_count() > INITIAL_TABLE_PROBE,
+            "the workload must outgrow the initial table"
+        );
+        // Validate every handle on a batch of random assignments.
+        for _ in 0..40 {
+            let env: Vec<bool> = (0..VARS).map(|_| next() % 2 == 1).collect();
+            for (idx, &handle) in handles.iter().enumerate() {
+                assert_eq!(
+                    m.eval(handle, &env),
+                    eval_mirror(&exprs, idx, &env),
+                    "handle {idx} diverges from direct evaluation"
+                );
+            }
+        }
+    }
+
+    /// Initial unique-table capacity, used to assert growth was exercised.
+    const INITIAL_TABLE_PROBE: usize = 1 << 10;
+
+    /// Starved caches (limit 1) force constant collisions and evictions; the
+    /// results must still match a generously cached baseline handle-for-handle
+    /// — lossy caching may never change semantics, only speed.
+    #[test]
+    fn starved_caches_stay_correct_under_collision_stress() {
+        let mut starved = BddManager::new(12);
+        starved.set_cache_limit(1);
+        assert_eq!(starved.cache_limit(), 1);
+        let mut reference = BddManager::with_backend(12, NodeTableKind::Baseline);
+        let mut lcg = 0xdead_beef_cafe_f00du64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        let mut handles: Vec<Bdd> = (0..12).map(|v| starved.var(v)).collect();
+        for v in 0..12 {
+            reference.var(v);
+        }
+        for step in 0..1500 {
+            let a = handles[next() as usize % handles.len()];
+            let b = handles[next() as usize % handles.len()];
+            let (x, y) = match next() % 3 {
+                0 => (starved.and(a, b), reference.and(a, b)),
+                1 => (starved.xor(a, b), reference.xor(a, b)),
+                _ => (starved.not(a), reference.not(a)),
+            };
+            assert_eq!(x, y, "starved cache diverged at step {step}");
+            handles.push(x);
+        }
+        assert_eq!(starved.node_count(), reference.node_count());
+        assert!(
+            starved.cache_stats().evictions > 0,
+            "a one-entry cache must evict under this workload"
+        );
+    }
+
+    /// Shrinking and re-raising the cache limit must not disturb results, and
+    /// the baseline backend must honor the bound by clearing.
+    #[test]
+    fn cache_limit_bounds_baseline_maps() {
+        let mut m = BddManager::with_backend(10, NodeTableKind::Baseline);
+        m.set_cache_limit(32);
+        let vars: Vec<Bdd> = (0..10).map(|v| m.var(v)).collect();
+        let mut acc = Bdd::TRUE;
+        for window in vars.windows(2) {
+            let pair = m.or(window[0], window[1]);
+            acc = m.and(acc, pair);
+        }
+        for &v in &vars {
+            let _ = m.not(v);
+            let _ = m.implies(acc, v);
+        }
+        assert!(
+            m.cache_len() <= 3 * 32,
+            "baseline caches exceeded their bound: {}",
+            m.cache_len()
+        );
+        assert!(m.is_satisfiable(acc));
     }
 
     #[test]

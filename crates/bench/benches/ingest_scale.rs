@@ -1,0 +1,181 @@
+//! Per-epoch ingest latency at production fabric scale.
+//!
+//! The monitoring loop only matters if it keeps up with the fabric: this
+//! bench sweeps the [`ScaleSpec::large_fabric`] preset family over switch
+//! count × dirty fraction and records the *distribution* of per-epoch
+//! [`AnalysisSession::ingest_observation`] latencies — each timed sample is
+//! one real churn epoch, so the reported p50/p99 are the numbers an operator
+//! would see, not a best-case mean. Three properties are enforced:
+//!
+//! * **latency** — p99 per-epoch ingest stays under 1 s at 1000 switches,
+//!   for both a single-switch epoch and a 5%-dirty epoch;
+//! * **node table** — a cold full-network equivalence check on the arena
+//!   node-table backend is at least 2× faster than on the baseline hash-map
+//!   backend at 256 switches (the toggle exists exactly for this comparison);
+//! * **fidelity** — at every scale the session's incremental report is
+//!   bit-identical to a from-scratch [`ScoutEngine::analyze`] oracle.
+//!
+//! The recorded distributions are serialized to `BENCH_ingest_scale.json` at
+//! the repo root (schema-checked by `scout_bench::json::validate_bench_report`
+//! in CI); pass `--max-switches N` to trim the sweep locally, which skips the
+//! assertions and the artifact.
+//!
+//! [`ScaleSpec::large_fabric`]: scout_workload::ScaleSpec::large_fabric
+//! [`AnalysisSession::ingest_observation`]: scout_core::AnalysisSession::ingest_observation
+//! [`ScoutEngine::analyze`]: scout_core::ScoutEngine::analyze
+
+use std::path::Path;
+use std::time::Duration;
+
+use scout_bench::harness::{fmt_duration, Harness};
+use scout_bench::{arg_value, json};
+use scout_core::ScoutEngine;
+use scout_equiv::{EquivalenceChecker, NodeTableKind};
+use scout_fabric::{Fabric, FabricProbe};
+use scout_workload::ScaleSpec;
+
+/// The switch-count sweep (the paper scales to 500; the large-fabric presets
+/// push past it).
+const SWEEP: [usize; 3] = [64, 256, 1000];
+/// Scale at which the arena-vs-baseline node-table comparison runs (the
+/// arena's cache-locality edge grows with the table, so the biggest sweep
+/// point gives the comparison its widest margin).
+const NODE_TABLE_SWITCHES: usize = 1000;
+/// Scale at which the p99 latency budget is asserted.
+const ASSERT_SWITCHES: usize = 1000;
+/// The per-epoch ingest latency budget at [`ASSERT_SWITCHES`].
+const P99_BUDGET: Duration = Duration::from_secs(1);
+
+/// One churn epoch: dirty `width` switches (a rotating window, evicting on
+/// one epoch and repairing the same window on the next so damage never
+/// accumulates), then ingest the resulting delta batch.
+fn churn_epoch(
+    fabric: &mut Fabric,
+    session: &mut scout_core::AnalysisSession,
+    probe: &mut FabricProbe,
+    epoch: &mut usize,
+    width: usize,
+) {
+    let ids = fabric.universe().switch_ids();
+    let window = *epoch / 2;
+    for i in 0..width {
+        let switch = ids[(window * width + i) % ids.len()];
+        if (*epoch).is_multiple_of(2) {
+            fabric.evict_tcam(switch, 1, false);
+        } else {
+            fabric.repair_switch(switch);
+        }
+    }
+    *epoch += 1;
+    session
+        .ingest_observation(probe, fabric)
+        .expect("probe batches are sequential");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_switches: usize = arg_value(&args, "--max-switches", usize::MAX);
+    let sweep: Vec<usize> = SWEEP.into_iter().filter(|&n| n <= max_switches).collect();
+    let full_sweep = sweep.len() == SWEEP.len();
+
+    let mut h = Harness::new("ingest_scale");
+    let mut node_table_fabric: Option<Fabric> = None;
+
+    for &switches in &sweep {
+        let spec = ScaleSpec::large_fabric(switches);
+        let mut fabric = Fabric::new(spec.generate(42));
+        fabric.deploy();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        // Heavier epochs get fewer samples; each sample is still one real
+        // churn epoch, so the tail quantiles stay meaningful.
+        h.set_samples(if switches >= 1000 { 10 } else { 20 });
+
+        // Single-switch dirty fraction: the steady-state monitoring epoch.
+        let mut epoch = 0usize;
+        h.bench(&format!("ingest/{switches}sw/single-switch"), || {
+            churn_epoch(&mut fabric, &mut session, &mut probe, &mut epoch, 1)
+        });
+
+        // 5% dirty fraction: a correlated event front (power feed, bad
+        // rollout) touching a whole slice of the fabric in one epoch.
+        let width = (switches / 20).max(1);
+        let mut epoch = 0usize;
+        h.bench(&format!("ingest/{switches}sw/5pct-dirty"), || {
+            churn_epoch(&mut fabric, &mut session, &mut probe, &mut epoch, width)
+        });
+
+        // Differential oracle: after all that churn the incremental report
+        // must still be bit-identical to a from-scratch analysis.
+        assert_eq!(
+            *session.full_report(),
+            engine.analyze(&fabric),
+            "{switches} switches: session report diverged from the oracle"
+        );
+        println!("oracle ok at {switches} switches");
+
+        if switches == NODE_TABLE_SWITCHES {
+            node_table_fabric = Some(fabric);
+        }
+    }
+
+    // Arena vs. baseline node table: cold full-network checks, fresh checker
+    // per iteration so every run pays the interning cost the table exists to
+    // absorb.
+    let mut speedup = None;
+    if let Some(fabric) = &node_table_fabric {
+        let logical = fabric.logical_rules();
+        let tcam = fabric.collect_tcam();
+        h.set_samples(5);
+        let cold_check = |kind: NodeTableKind| {
+            let mut checker = EquivalenceChecker::new();
+            checker.set_node_table(kind);
+            checker.check_network(logical, &tcam)
+        };
+        let arena = h.bench(&format!("node-table/{NODE_TABLE_SWITCHES}sw/arena"), || {
+            cold_check(NodeTableKind::Arena)
+        });
+        let baseline = h.bench(
+            &format!("node-table/{NODE_TABLE_SWITCHES}sw/baseline"),
+            || cold_check(NodeTableKind::Baseline),
+        );
+        speedup = Some(baseline.as_secs_f64() / arena.as_secs_f64().max(1e-12));
+    }
+
+    // Report before asserting, so a failed budget still shows the numbers.
+    if let Some(speedup) = speedup {
+        println!("node-table speedup at {NODE_TABLE_SWITCHES} switches: {speedup:.2}x");
+    }
+
+    if full_sweep {
+        let artifact = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest_scale.json");
+        h.write_json(&artifact).expect("artifact is writable");
+        json::validate_bench_report(&h.to_json()).expect("artifact matches the bench schema");
+        println!("wrote {}", artifact.display());
+
+        for fraction in ["single-switch", "5pct-dirty"] {
+            let stats = h
+                .stats_for(&format!("ingest/{ASSERT_SWITCHES}sw/{fraction}"))
+                .expect("sweep covers the assertion scale");
+            assert!(
+                stats.p99 < P99_BUDGET,
+                "p99 per-epoch ingest ({fraction}) at {ASSERT_SWITCHES} switches must stay \
+                 under {}: measured {}",
+                fmt_duration(P99_BUDGET),
+                fmt_duration(stats.p99),
+            );
+        }
+        let speedup = speedup.expect("full sweep includes the node-table comparison");
+        assert!(
+            speedup >= 2.0,
+            "arena node table must be at least 2x faster than the baseline hash-map \
+             table on a cold {NODE_TABLE_SWITCHES}-switch check (measured {speedup:.2}x)"
+        );
+    } else {
+        println!("trimmed sweep (--max-switches): assertions and artifact skipped");
+    }
+
+    h.finish();
+}

@@ -1,0 +1,435 @@
+//! Minimal JSON support for benchmark artifacts.
+//!
+//! The workspace is built without a crates.io registry, so committed bench
+//! reports (e.g. `BENCH_ingest_scale.json`) cannot lean on serde. This module
+//! provides the two pieces the harness and CI need: a small recursive-descent
+//! parser into a [`Json`] tree, and [`validate_bench_report`], which checks a
+//! report against the schema emitted by
+//! [`Harness::to_json`](crate::harness::Harness::to_json). The `scale-smoke`
+//! CI job runs the validator against the committed artifact so schema drift
+//! fails loudly instead of silently producing an unreadable report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. `BTreeMap` keeps key order deterministic for tests.
+    Object(BTreeMap<String, Json>),
+}
+
+/// A parse or validation failure, with a byte offset where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for bench labels;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates a bench report against the schema written by
+/// [`Harness::to_json`](crate::harness::Harness::to_json):
+/// a top-level object with a string `group` and a non-empty `benches` array
+/// whose entries each carry a string `label`, integer `iterations` and
+/// `p50_ns`/`p99_ns`, and a positive `throughput_per_sec`.
+pub fn validate_bench_report(text: &str) -> Result<(), JsonError> {
+    let fail = |message: &str| JsonError {
+        message: message.to_string(),
+        offset: 0,
+    };
+    let doc = Json::parse(text)?;
+    doc.get("group")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("report must have a string 'group'"))?;
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_array)
+        .ok_or_else(|| fail("report must have a 'benches' array"))?;
+    if benches.is_empty() {
+        return Err(fail("'benches' must not be empty"));
+    }
+    for (i, bench) in benches.iter().enumerate() {
+        let ctx = |field: &str| fail(&format!("bench #{i}: bad or missing '{field}'"));
+        bench
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("label"))?;
+        bench
+            .get("iterations")
+            .and_then(Json::as_u64)
+            .filter(|&n| n > 0)
+            .ok_or_else(|| ctx("iterations"))?;
+        let p50 = bench
+            .get("p50_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ctx("p50_ns"))?;
+        let p99 = bench
+            .get("p99_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ctx("p99_ns"))?;
+        if p99 < p50 {
+            return Err(fail(&format!("bench #{i}: p99_ns < p50_ns")));
+        }
+        bench
+            .get("throughput_per_sec")
+            .and_then(Json::as_f64)
+            .filter(|&t| t > 0.0)
+            .ok_or_else(|| ctx("throughput_per_sec"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" -12.5e1 ").unwrap(), Json::Num(-125.0));
+        assert_eq!(
+            Json::parse(r#""a\nb\"cA""#).unwrap(),
+            Json::Str("a\nb\"cA".to_string())
+        );
+        let doc = Json::parse(r#"{"xs": [1, 2, {"y": false}], "z": "w"}"#).unwrap();
+        let xs = doc.get("xs").and_then(Json::as_array).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[2].get("y"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("z").and_then(Json::as_str), Some("w"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse(r#"{"a": 1} trailing"#).is_err());
+        assert!(Json::parse(r#""unterminated"#).is_err());
+        assert!(Json::parse("tru").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "label \"with\"\nnewline\tand \\slash";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(Json::parse(&doc).unwrap(), Json::Str(nasty.to_string()));
+    }
+
+    #[test]
+    fn integer_accessor_rejects_fractions_and_negatives() {
+        assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(Json::parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn validator_accepts_the_schema_and_rejects_drift() {
+        let good = r#"{
+            "group": "g",
+            "benches": [
+                {"label": "a", "iterations": 10, "p50_ns": 100,
+                 "p99_ns": 200, "throughput_per_sec": 1000.0}
+            ]
+        }"#;
+        validate_bench_report(good).expect("valid report");
+
+        let empty = r#"{"group": "g", "benches": []}"#;
+        assert!(validate_bench_report(empty).is_err());
+
+        let missing_field = r#"{
+            "group": "g",
+            "benches": [{"label": "a", "iterations": 10, "p50_ns": 100}]
+        }"#;
+        assert!(validate_bench_report(missing_field).is_err());
+
+        let inverted = r#"{
+            "group": "g",
+            "benches": [
+                {"label": "a", "iterations": 10, "p50_ns": 300,
+                 "p99_ns": 200, "throughput_per_sec": 1000.0}
+            ]
+        }"#;
+        assert!(validate_bench_report(inverted).is_err());
+
+        assert!(validate_bench_report("not json").is_err());
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 
 pub use experiments::{
     accuracy_sweep, accuracy_table, gamma_table, object_sharing, scalability, scalability_table,

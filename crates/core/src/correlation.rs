@@ -259,20 +259,11 @@ impl CorrelationEngine {
     }
 }
 
-/// The switches an object's rules can be deployed on.
+/// The switches an object's rules can be deployed on — the universe's
+/// build-time index, so correlating a hypothesis costs per-object lookups
+/// rather than a universe sweep per suspected object.
 fn object_switches(universe: &PolicyUniverse, object: ObjectId) -> BTreeSet<SwitchId> {
-    if let ObjectId::Switch(switch) = object {
-        return BTreeSet::from([switch]);
-    }
-    let mut switches = BTreeSet::new();
-    for (obj, pairs) in universe.pairs_per_object() {
-        if obj == object {
-            for pair in pairs {
-                switches.extend(universe.switches_for_pair(pair));
-            }
-        }
-    }
-    switches
+    universe.switches_for_object(object)
 }
 
 /// A fault entry is relevant to an object if it concerns one of the object's

@@ -27,7 +27,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use scout_equiv::{
-    EquivalenceChecker, NetworkCheckResult, Parallelism, SwitchCheckResult, DEFAULT_NODE_BUDGET,
+    EquivalenceChecker, NetworkCheckResult, NodeTableKind, Parallelism, SwitchCheckResult,
+    DEFAULT_NODE_BUDGET,
 };
 use scout_fabric::{ChangeLog, Fabric, FaultLog};
 use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchId, TcamRule};
@@ -35,8 +36,8 @@ use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchI
 use crate::correlation::{CorrelationEngine, CorrelationReport};
 use crate::localization::{scout_localize, Hypothesis, ScoutConfig};
 use crate::risk::{
-    augment_controller_model, augment_switch_model, controller_risk_model, switch_risk_model,
-    RiskModel,
+    augment_controller_model, augment_switch_model, controller_risk_model_sharded,
+    switch_risk_model, RiskModel,
 };
 use crate::session::AnalysisSession;
 
@@ -111,6 +112,11 @@ pub struct EngineConfig {
     /// Per-worker BDD node-table budget of the equivalence checkers (see
     /// [`EquivalenceChecker::set_node_budget`]). Must be at least 1.
     pub node_budget: usize,
+    /// Node-table backend of the checkers' BDD managers (see
+    /// [`EquivalenceChecker::set_node_table`]). Defaults to the arena table;
+    /// the baseline toggle exists for benchmark comparisons — results are
+    /// identical either way.
+    pub node_table: NodeTableKind,
     /// Differential-oracle cadence for drivers that cross-check incremental
     /// sessions against from-scratch analysis.
     pub oracle: OracleCadence,
@@ -126,6 +132,7 @@ impl Default for EngineConfig {
             parallelism: Parallelism::Auto,
             scout: ScoutConfig::default(),
             node_budget: DEFAULT_NODE_BUDGET,
+            node_table: NodeTableKind::default(),
             oracle: OracleCadence::EveryEpoch,
             registry_shards: DEFAULT_REGISTRY_SHARDS,
         }
@@ -289,6 +296,7 @@ impl ScoutEngineBuilder {
         self.config.validate()?;
         let mut checker = EquivalenceChecker::with_parallelism(self.config.parallelism);
         checker.set_node_budget(self.config.node_budget);
+        checker.set_node_table(self.config.node_table);
         let shards: Vec<RegistryShard> = (0..self.config.registry_shards)
             .map(|_| Mutex::new(BTreeMap::new()))
             .collect();
@@ -565,7 +573,7 @@ impl ScoutEngine {
         fault_log: &FaultLog,
     ) -> ScoutReport {
         let check = self.shared.checker.check_network(logical_rules, tcam);
-        let mut model = controller_risk_model(universe);
+        let mut model = controller_risk_model_sharded(universe, self.shared.config.parallelism);
         augment_controller_model(&mut model, check.missing_rules());
         report_from_model(
             check,

@@ -75,8 +75,8 @@ pub use engine::{
 pub use localization::{score_localize, scout_localize, Evidence, Hypothesis, ScoutConfig};
 pub use risk::{
     augment_controller_model, augment_controller_model_tracked, augment_switch_model,
-    augment_switch_model_tracked, controller_risk_model, switch_risk_model, EdgeStatus,
-    FailureMarks, RiskModel,
+    augment_switch_model_tracked, controller_risk_model, controller_risk_model_sharded,
+    switch_risk_model, EdgeStatus, FailureMarks, RiskModel,
 };
 pub use session::{AnalysisSession, ReportDelta, SessionError, SessionStats};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};

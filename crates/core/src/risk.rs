@@ -15,7 +15,9 @@
 //! rule's provenance are marked as failed (§III-C).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::thread;
 
+use scout_equiv::Parallelism;
 use scout_policy::{EpgPair, LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchId};
 
 /// The status of an edge between an element and a shared risk.
@@ -381,6 +383,32 @@ impl<E: Ord + Copy> RiskModel<E> {
     pub fn suspect_set(&self, elements: &BTreeSet<E>) -> BTreeSet<ObjectId> {
         elements.iter().flat_map(|e| self.risks_of(e)).collect()
     }
+
+    /// Merges `other` into `self`: elements, edges, and failure evidence are
+    /// unioned, and an edge failed in either input stays failed.
+    ///
+    /// This is the combine step of the sharded model builders (see
+    /// [`controller_risk_model_sharded`]): each shard derives the edges of a
+    /// disjoint switch subset, and merging shards in a fixed order yields the
+    /// same model as one sequential pass.
+    pub fn merge(&mut self, other: RiskModel<E>) {
+        for (element, edges) in other.edges {
+            let slot = self.edges.entry(element).or_default();
+            for (risk, status) in edges {
+                if status == EdgeStatus::Fail {
+                    slot.insert(risk, EdgeStatus::Fail);
+                } else {
+                    slot.entry(risk).or_insert(EdgeStatus::Success);
+                }
+            }
+        }
+        for (risk, deps) in other.dependents {
+            self.dependents.entry(risk).or_default().extend(deps);
+        }
+        for (risk, failed) in other.failed {
+            self.failed.entry(risk).or_default().extend(failed);
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -417,6 +445,57 @@ pub fn controller_risk_model(universe: &PolicyUniverse) -> RiskModel<SwitchEpgPa
             }
         }
     }
+    model
+}
+
+/// Derives the controller-model edges of one switch subset — the unit of work
+/// of [`controller_risk_model_sharded`].
+fn controller_risk_shard(
+    universe: &PolicyUniverse,
+    switches: &[SwitchId],
+) -> RiskModel<SwitchEpgPair> {
+    let mut model = RiskModel::new();
+    for &switch in switches {
+        for pair in universe.pairs_on_switch(switch) {
+            let element = SwitchEpgPair::new(switch, pair);
+            model.add_element(element);
+            for risk in universe.objects_for_pair_on_switch(pair, switch) {
+                model.add_edge(element, risk);
+            }
+        }
+    }
+    model
+}
+
+/// Like [`controller_risk_model`], but shards the derivation by switch across
+/// worker threads (resolved by [`Parallelism::worker_count`], the same policy
+/// the equivalence checker uses) and merges the per-shard models.
+///
+/// The `(switch, pair)` elements of the controller model partition cleanly by
+/// switch, so shards never contend over an element and the merged model is
+/// **identical** to the sequential one — the pipeline swaps freely between
+/// the two (sessions pass their configured parallelism here when rebuilding
+/// the model after a policy change at fabric scale).
+pub fn controller_risk_model_sharded(
+    universe: &PolicyUniverse,
+    parallelism: Parallelism,
+) -> RiskModel<SwitchEpgPair> {
+    let switches: Vec<SwitchId> = universe.switches().map(|s| s.id).collect();
+    let threads = parallelism.worker_count(switches.len());
+    if threads <= 1 {
+        return controller_risk_model(universe);
+    }
+    let chunk_size = switches.len().div_ceil(threads);
+    let mut model = RiskModel::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = switches
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || controller_risk_shard(universe, chunk)))
+            .collect();
+        for handle in handles {
+            model.merge(handle.join().expect("risk shard thread panicked"));
+        }
+    });
     model
 }
 
@@ -524,6 +603,61 @@ mod tests {
         assert!(model.risks().all(|r| !r.is_switch()));
         // Nothing failed yet.
         assert!(model.failure_signature().is_empty());
+    }
+
+    #[test]
+    fn sharded_controller_model_is_bit_identical() {
+        let u = sample::three_tier();
+        let sequential = controller_risk_model(&u);
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(3),
+            Parallelism::Fixed(16),
+        ] {
+            assert_eq!(
+                controller_risk_model_sharded(&u, parallelism),
+                sequential,
+                "{parallelism:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_unions_edges_and_failures() {
+        let mut a = RiskModel::new();
+        a.add_edge(
+            EpgPair::new(sample::WEB, sample::APP),
+            ObjectId::Vrf(sample::VRF),
+        );
+        let mut b = RiskModel::new();
+        b.mark_failed(
+            EpgPair::new(sample::WEB, sample::APP),
+            ObjectId::Vrf(sample::VRF),
+        );
+        b.add_edge(
+            EpgPair::new(sample::APP, sample::DB),
+            ObjectId::Vrf(sample::VRF),
+        );
+        a.merge(b);
+        assert_eq!(a.element_count(), 2);
+        assert_eq!(a.failed_dependent_count(ObjectId::Vrf(sample::VRF)), 1);
+        assert!(a.is_failed(&EpgPair::new(sample::WEB, sample::APP)));
+
+        // Fail on the left survives a success merge from the right.
+        let mut c = RiskModel::new();
+        c.add_edge(
+            EpgPair::new(sample::WEB, sample::APP),
+            ObjectId::Vrf(sample::VRF),
+        );
+        let mut failed_left = RiskModel::new();
+        failed_left.mark_failed(
+            EpgPair::new(sample::WEB, sample::APP),
+            ObjectId::Vrf(sample::VRF),
+        );
+        failed_left.merge(c);
+        assert!(failed_left.is_failed(&EpgPair::new(sample::WEB, sample::APP)));
     }
 
     #[test]

@@ -35,7 +35,8 @@ use scout_policy::{LogicalRule, ObjectId, SwitchEpgPair, SwitchId};
 use crate::engine::{report_from_model, EngineShared, ScoutReport, SessionId};
 use crate::localization::scout_localize;
 use crate::risk::{
-    augment_controller_model, augment_controller_model_tracked, controller_risk_model, RiskModel,
+    augment_controller_model, augment_controller_model_tracked, controller_risk_model,
+    controller_risk_model_sharded, RiskModel,
 };
 
 /// Why an [`AnalysisSession::ingest`] was rejected. A rejected batch leaves
@@ -319,9 +320,10 @@ impl AnalysisSession {
     pub(crate) fn open(shared: Arc<EngineShared>, id: SessionId, fabric: &Fabric) -> Self {
         let mut checker = EquivalenceChecker::with_parallelism(shared.config.parallelism);
         checker.set_node_budget(shared.config.node_budget);
+        checker.set_node_table(shared.config.node_table);
         let view = FabricView::of(fabric);
         let check = checker.check_network(view.logical_rules(), view.tcam());
-        let mut model = controller_risk_model(view.universe());
+        let mut model = controller_risk_model_sharded(view.universe(), shared.config.parallelism);
         let marks = augment_controller_model_tracked(&mut model, check.missing_rules());
         let report = report_from_model(
             check,
@@ -362,8 +364,9 @@ impl AnalysisSession {
     ) -> Self {
         let mut checker = EquivalenceChecker::with_parallelism(shared.config.parallelism);
         checker.set_node_budget(shared.config.node_budget);
+        checker.set_node_table(shared.config.node_table);
         let view = snapshot.view().clone();
-        let model = controller_risk_model(view.universe());
+        let model = controller_risk_model_sharded(view.universe(), shared.config.parallelism);
         Self {
             id,
             shared,
@@ -495,7 +498,8 @@ impl AnalysisSession {
         // Risk model: rebuild only on a policy change, otherwise re-derive
         // (and roll back) just the failed edges of the new check.
         if policy_changed {
-            self.model = controller_risk_model(self.view.universe());
+            self.model =
+                controller_risk_model_sharded(self.view.universe(), self.shared.config.parallelism);
         }
         let marks = augment_controller_model_tracked(&mut self.model, check.missing_rules());
         let report = report_from_model(

@@ -33,7 +33,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Mutex;
 use std::thread;
 
-use scout_bdd::{Bdd, BddManager};
+use scout_bdd::{Bdd, BddManager, CacheStats, NodeTableKind};
 use scout_policy::{Action, EpgPair, LogicalRule, SwitchId, TcamRule};
 
 use crate::header::HeaderSpace;
@@ -129,6 +129,14 @@ pub const DEFAULT_NODE_BUDGET: usize = 1 << 20;
 /// per-thread manager warm-up would cost more than it saves.
 const AUTO_PARALLEL_THRESHOLD: usize = 8;
 
+/// Derives a manager operation-cache limit from a node-table budget: a
+/// quarter of the budget, so the lossy apply/not/implies caches can never
+/// outweigh the node table they accelerate (see
+/// [`BddManager::set_cache_limit`]).
+fn cache_limit_for(node_budget: usize) -> usize {
+    (node_budget / 4).max(1)
+}
+
 /// A BDD manager plus the memoized per-rule encodings built on top of it.
 ///
 /// This is the unit of state the checker keeps per thread: the manager's
@@ -140,36 +148,38 @@ const AUTO_PARALLEL_THRESHOLD: usize = 8;
 struct CheckWorker {
     manager: BddManager,
     rule_cache: HashMap<TcamRule, Bdd>,
+    /// Node-table backend the manager was (and any rebuild will be) created
+    /// on.
+    kind: NodeTableKind,
 }
 
 impl CheckWorker {
-    fn new(header_space: &HeaderSpace) -> Self {
+    fn new(header_space: &HeaderSpace, kind: NodeTableKind, node_budget: usize) -> Self {
+        let mut manager = header_space.manager_with(kind);
+        manager.set_cache_limit(cache_limit_for(node_budget));
         Self {
-            manager: header_space.manager(),
+            manager,
             rule_cache: HashMap::new(),
+            kind,
         }
     }
 
-    /// Memoized encoding of one rule's match into the header space.
-    fn rule_match(&mut self, header_space: &HeaderSpace, rule: &TcamRule) -> Bdd {
-        if let Some(&bdd) = self.rule_cache.get(rule) {
-            return bdd;
-        }
-        let bdd = header_space.rule_match(&mut self.manager, rule);
-        self.rule_cache.insert(*rule, bdd);
-        bdd
-    }
-
-    /// Allowed space of an ordered rule set under first-match semantics,
-    /// built from cached per-rule diagrams. The fold itself lives in
-    /// [`crate::header::allowed_space_with`]; only the memoizing encoder is
-    /// supplied here.
-    fn allowed_space(&mut self, header_space: &HeaderSpace, rules: &[TcamRule]) -> Bdd {
+    /// Allowed space of an ordered rule set under first-match semantics plus
+    /// each rule's own match diagram (input order), built from cached
+    /// per-rule encodings in one pass. The fold itself lives in
+    /// [`crate::header::allowed_space_traced_with`]; only the memoizing
+    /// encoder is supplied here.
+    fn allowed_space_traced(
+        &mut self,
+        header_space: &HeaderSpace,
+        rules: &[TcamRule],
+    ) -> (Bdd, Vec<Bdd>) {
         let Self {
             manager,
             rule_cache,
+            ..
         } = self;
-        crate::header::allowed_space_with(manager, rules, |m, rule| {
+        crate::header::allowed_space_traced_with(manager, rules, |m, rule| {
             *rule_cache
                 .entry(*rule)
                 .or_insert_with(|| header_space.rule_match(m, rule))
@@ -177,6 +187,11 @@ impl CheckWorker {
     }
 
     /// Checks one switch given its (pre-filtered) logical rules.
+    ///
+    /// Both rule sets are encoded in one batched pass each; the
+    /// missing/unexpected classification below reuses the returned per-rule
+    /// diagrams instead of going back to the manager (or even the rule cache)
+    /// once per rule.
     fn check_switch(
         &mut self,
         header_space: &HeaderSpace,
@@ -185,8 +200,8 @@ impl CheckWorker {
         tcam: &[TcamRule],
     ) -> SwitchCheckResult {
         let logical_rules: Vec<TcamRule> = logical.iter().map(|l| l.rule).collect();
-        let l_allowed = self.allowed_space(header_space, &logical_rules);
-        let t_allowed = self.allowed_space(header_space, tcam);
+        let (l_allowed, l_matches) = self.allowed_space_traced(header_space, &logical_rules);
+        let (t_allowed, t_matches) = self.allowed_space_traced(header_space, tcam);
 
         let equivalent = self.manager.equivalent(l_allowed, t_allowed);
         let mut missing_rules = Vec::new();
@@ -195,19 +210,17 @@ impl CheckWorker {
         if !equivalent {
             // A logical rule is missing if part of its traffic is not allowed
             // by the deployed TCAM.
-            for l in logical {
-                let space = self.rule_match(header_space, &l.rule);
+            for (l, &space) in logical.iter().zip(&l_matches) {
                 if !self.manager.implies(space, t_allowed) {
                     missing_rules.push(*l);
                 }
             }
             // A deployed rule is unexpected if it allows traffic the policy
             // does not allow.
-            for t in tcam {
+            for (t, &space) in tcam.iter().zip(&t_matches) {
                 if t.action != Action::Allow {
                     continue;
                 }
-                let space = self.rule_match(header_space, t);
                 let effectively_allowed = self.manager.and(space, t_allowed);
                 if !self.manager.implies(effectively_allowed, l_allowed) {
                     unexpected_rules.push(*t);
@@ -223,10 +236,14 @@ impl CheckWorker {
         }
     }
 
-    /// Rebuilds the manager if the node table outgrew `budget`.
+    /// Rebuilds the manager (same backend, budget-derived cache limit) if the
+    /// node table outgrew `budget`.
     fn maybe_shrink(&mut self, header_space: &HeaderSpace, budget: usize) {
         if self.manager.node_count() > budget {
-            self.manager = header_space.manager();
+            let stats = self.manager.cache_stats();
+            self.manager = header_space.manager_with(self.kind);
+            self.manager.set_cache_limit(cache_limit_for(budget));
+            self.manager.absorb_cache_stats(stats);
             self.rule_cache.clear();
         }
     }
@@ -242,6 +259,31 @@ pub enum Parallelism {
     Sequential,
     /// Use exactly this many worker threads (clamped to the switch count).
     Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolves the policy to a concrete worker count for `work_items`
+    /// independent tasks.
+    ///
+    /// `Auto` consults the machine's available parallelism once the work is
+    /// large enough to amortize per-thread state; the result is always in
+    /// `1..=max(work_items, 1)`. Other sharded stages of the pipeline (e.g.
+    /// risk-model re-derivation in `scout-core`) use the same resolution so
+    /// one configured policy governs every parallel fan-out.
+    pub fn worker_count(self, work_items: usize) -> usize {
+        let requested = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => {
+                if work_items < AUTO_PARALLEL_THRESHOLD {
+                    1
+                } else {
+                    thread::available_parallelism().map_or(1, |n| n.get())
+                }
+            }
+        };
+        requested.min(work_items.max(1))
+    }
 }
 
 /// The BDD-based L–T equivalence checker.
@@ -268,6 +310,8 @@ pub enum Parallelism {
 pub struct EquivalenceChecker {
     header_space: HeaderSpace,
     parallelism: Parallelism,
+    /// Node-table backend every worker manager is created on.
+    node_table: NodeTableKind,
     /// Per-worker BDD node-table budget; a worker whose table outgrows it is
     /// rebuilt (see [`DEFAULT_NODE_BUDGET`]).
     node_budget: usize,
@@ -290,8 +334,13 @@ impl Clone for EquivalenceChecker {
         Self {
             header_space: self.header_space.clone(),
             parallelism: self.parallelism,
+            node_table: self.node_table,
             node_budget: self.node_budget,
-            worker: Mutex::new(CheckWorker::new(&self.header_space)),
+            worker: Mutex::new(CheckWorker::new(
+                &self.header_space,
+                self.node_table,
+                self.node_budget,
+            )),
             pool: Mutex::new(Vec::new()),
         }
     }
@@ -307,10 +356,16 @@ impl EquivalenceChecker {
     /// Creates a checker with an explicit parallelism policy.
     pub fn with_parallelism(parallelism: Parallelism) -> Self {
         let header_space = HeaderSpace::new();
-        let worker = Mutex::new(CheckWorker::new(&header_space));
+        let node_table = NodeTableKind::default();
+        let worker = Mutex::new(CheckWorker::new(
+            &header_space,
+            node_table,
+            DEFAULT_NODE_BUDGET,
+        ));
         Self {
             header_space,
             parallelism,
+            node_table,
             node_budget: DEFAULT_NODE_BUDGET,
             worker,
             pool: Mutex::new(Vec::new()),
@@ -322,6 +377,41 @@ impl EquivalenceChecker {
         self.parallelism = parallelism;
     }
 
+    /// Switches every worker manager to the given node-table backend.
+    ///
+    /// Results never depend on the backend (the differential tests in
+    /// `scout-bdd` pin the two to bit-identical handles); the toggle exists
+    /// so benchmarks can compare the arena table against the baseline
+    /// hash-map one. Existing workers are discarded, so the next check
+    /// starts cold.
+    pub fn set_node_table(&mut self, kind: NodeTableKind) {
+        if self.node_table == kind {
+            return;
+        }
+        self.node_table = kind;
+        *self.lock_worker() = CheckWorker::new(&self.header_space, kind, self.node_budget);
+        self.lock_pool().clear();
+    }
+
+    /// The node-table backend worker managers run on.
+    pub fn node_table(&self) -> NodeTableKind {
+        self.node_table
+    }
+
+    /// Aggregated BDD operation-cache counters (hits, misses, evictions)
+    /// across the sequential worker and the parallel pool — cumulative over
+    /// the checker's lifetime, surviving budget-triggered worker rebuilds.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = self.lock_worker().manager.cache_stats();
+        for worker in self.lock_pool().iter() {
+            let stats = worker.manager.cache_stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+        }
+        total
+    }
+
     /// Bounds each worker's BDD node table: a worker whose hash-consed table
     /// outgrows the budget after a check is rebuilt from scratch. Lower
     /// budgets cap the memory of a long-lived checker at the price of colder
@@ -329,6 +419,13 @@ impl EquivalenceChecker {
     /// persistence.
     pub fn set_node_budget(&mut self, budget: usize) {
         self.node_budget = budget;
+        // Keep the managers' lossy operation caches tied to the new budget
+        // immediately, not only after the next worker rebuild.
+        let limit = cache_limit_for(budget);
+        self.lock_worker().manager.set_cache_limit(limit);
+        for worker in self.lock_pool().iter_mut() {
+            worker.manager.set_cache_limit(limit);
+        }
     }
 
     /// The configured per-worker BDD node-table budget.
@@ -499,7 +596,7 @@ impl EquivalenceChecker {
         let mut workers = {
             let mut pool = self.lock_pool();
             while pool.len() < chunk_count {
-                pool.push(CheckWorker::new(header_space));
+                pool.push(CheckWorker::new(header_space, self.node_table, node_budget));
             }
             let keep = pool.len() - chunk_count;
             pool.split_off(keep)
@@ -538,18 +635,7 @@ impl EquivalenceChecker {
     }
 
     fn effective_threads(&self, switch_count: usize) -> usize {
-        let requested = match self.parallelism {
-            Parallelism::Sequential => 1,
-            Parallelism::Fixed(n) => n.max(1),
-            Parallelism::Auto => {
-                if switch_count < AUTO_PARALLEL_THRESHOLD {
-                    1
-                } else {
-                    thread::available_parallelism().map_or(1, |n| n.get())
-                }
-            }
-        };
-        requested.min(switch_count.max(1))
+        self.parallelism.worker_count(switch_count)
     }
 
     fn lock_worker(&self) -> std::sync::MutexGuard<'_, CheckWorker> {
@@ -817,6 +903,53 @@ mod tests {
         let again =
             checker.recheck_dirty(&baseline, fabric.logical_rules(), &tcam, &BTreeSet::new());
         assert_eq!(baseline, again);
+    }
+
+    #[test]
+    fn arena_and_baseline_backends_agree() {
+        let mut fabric = deployed();
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        fabric
+            .corrupt_tcam(sample::S3, 0, CorruptionKind::SrcEpgBit)
+            .unwrap();
+        let logical = fabric.logical_rules();
+        let tcam = fabric.collect_tcam();
+
+        let arena = EquivalenceChecker::new();
+        assert_eq!(arena.node_table(), NodeTableKind::Arena);
+        let mut baseline = EquivalenceChecker::new();
+        baseline.set_node_table(NodeTableKind::Baseline);
+        assert_eq!(baseline.node_table(), NodeTableKind::Baseline);
+
+        assert_eq!(
+            arena.check_network(logical, &tcam),
+            baseline.check_network(logical, &tcam)
+        );
+    }
+
+    #[test]
+    fn cache_stats_accumulate_across_checks() {
+        let fabric = deployed();
+        let checker = EquivalenceChecker::new();
+        let tcam = fabric.collect_tcam();
+        checker.check_network(fabric.logical_rules(), &tcam);
+        let first = checker.cache_stats();
+        assert!(first.misses > 0, "a cold check must miss");
+        checker.check_network(fabric.logical_rules(), &tcam);
+        let second = checker.cache_stats();
+        assert!(second.hits > first.hits, "a repeat check must hit");
+        assert!(second.misses >= first.misses);
+    }
+
+    #[test]
+    fn worker_count_resolves_the_policy() {
+        assert_eq!(Parallelism::Sequential.worker_count(100), 1);
+        assert_eq!(Parallelism::Fixed(4).worker_count(100), 4);
+        assert_eq!(Parallelism::Fixed(4).worker_count(2), 2);
+        assert_eq!(Parallelism::Fixed(0).worker_count(5), 1);
+        assert_eq!(Parallelism::Fixed(3).worker_count(0), 1);
+        assert_eq!(Parallelism::Auto.worker_count(1), 1);
+        assert!(Parallelism::Auto.worker_count(100) >= 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! layout of BDD variables: VRF id, source EPG, destination EPG, protocol and
 //! destination port.
 
-use scout_bdd::{Bdd, BddManager, FieldLayout};
+use scout_bdd::{Bdd, BddManager, FieldLayout, NodeTableKind};
 use scout_policy::{Action, Protocol, TcamRule};
 
 /// Bit width of the VRF id field.
@@ -49,6 +49,12 @@ impl HeaderSpace {
     /// Creates a BDD manager sized for this header space.
     pub fn manager(&self) -> BddManager {
         self.layout.manager()
+    }
+
+    /// Creates a manager sized for this header space on an explicit node-table
+    /// backend (the checker's baseline-vs-arena toggle routes through here).
+    pub fn manager_with(&self, kind: NodeTableKind) -> BddManager {
+        BddManager::with_backend(self.total_vars(), kind)
     }
 
     /// Total number of BDD variables of the encoding.
@@ -102,26 +108,47 @@ impl HeaderSpace {
 /// The first-match, deny-by-default allowed-space fold, parameterized over the
 /// per-rule encoder so callers can plug in a memoizing one (see the checker's
 /// rule cache). This is the single home of the priority/tie-break semantics.
-pub fn allowed_space_with<F>(manager: &mut BddManager, rules: &[TcamRule], mut encode: F) -> Bdd
+pub fn allowed_space_with<F>(manager: &mut BddManager, rules: &[TcamRule], encode: F) -> Bdd
+where
+    F: FnMut(&mut BddManager, &TcamRule) -> Bdd,
+{
+    allowed_space_traced_with(manager, rules, encode).0
+}
+
+/// Like [`allowed_space_with`], but also returns every rule's match diagram,
+/// indexed in *input order* (`result.1[i]` is the match space of `rules[i]`).
+///
+/// Callers that need the per-rule spaces after the fold — the checker
+/// classifying missing and unexpected rules is the motivating one — get them
+/// from the single batched encode pass here instead of re-querying the
+/// encoder rule by rule.
+pub fn allowed_space_traced_with<F>(
+    manager: &mut BddManager,
+    rules: &[TcamRule],
+    mut encode: F,
+) -> (Bdd, Vec<Bdd>)
 where
     F: FnMut(&mut BddManager, &TcamRule) -> Bdd,
 {
     // Stable sort by descending priority preserves list order inside a
     // priority class, matching `scout_policy::evaluate`.
-    let mut ordered: Vec<&TcamRule> = rules.iter().collect();
-    ordered.sort_by_key(|r| std::cmp::Reverse(r.priority));
+    let mut order: Vec<usize> = (0..rules.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(rules[i].priority));
 
+    let mut matches = vec![Bdd::FALSE; rules.len()];
     let mut covered = Bdd::FALSE;
     let mut allowed = Bdd::FALSE;
-    for rule in ordered {
+    for i in order {
+        let rule = &rules[i];
         let matched = encode(manager, rule);
+        matches[i] = matched;
         let effective = manager.diff(matched, covered);
         if rule.action == Action::Allow {
             allowed = manager.or(allowed, effective);
         }
         covered = manager.or(covered, matched);
     }
-    allowed
+    (allowed, matches)
 }
 
 #[cfg(test)]

@@ -50,6 +50,9 @@ pub use checker::{
 };
 pub use header::HeaderSpace;
 pub use naive::{naive_missing_rules, sample_flows};
+// Re-exported so downstream crates can pick a node-table backend and read
+// cache counters without depending on `scout-bdd` directly.
+pub use scout_bdd::{CacheStats, NodeTableKind};
 
 #[cfg(test)]
 mod proptests {

@@ -45,8 +45,9 @@ pub enum FabricEvent {
     PolicyUpdate {
         /// The new policy-universe version.
         version: u64,
-        /// The new policy universe.
-        universe: PolicyUniverse,
+        /// The new policy universe (boxed: a universe with its dependency
+        /// indexes dwarfs every other event variant).
+        universe: Box<PolicyUniverse>,
     },
     /// Telemetry from one switch: the full TCAM contents as collected. Sent
     /// for every switch whose deployed state may have changed since the last
@@ -325,7 +326,7 @@ impl FabricView {
                     self.tcam.entry(switch).or_default();
                 }
                 self.universe_version = *version;
-                self.universe = universe.clone();
+                self.universe = (**universe).clone();
                 self.switches = new_switches;
                 self.logical_rules = new_rules_vec;
             }
@@ -436,7 +437,7 @@ impl FabricProbe {
             self.universe_version = fabric.universe_version();
             events.push(FabricEvent::PolicyUpdate {
                 version: self.universe_version,
-                universe: fabric.universe().clone(),
+                universe: Box::new(fabric.universe().clone()),
             });
         }
 

@@ -773,7 +773,7 @@ impl Wire for FabricEvent {
         match r.get_u8()? {
             0 => Ok(FabricEvent::PolicyUpdate {
                 version: u64::decode(r)?,
-                universe: PolicyUniverse::decode(r)?,
+                universe: Box::new(PolicyUniverse::decode(r)?),
             }),
             1 => Ok(FabricEvent::TcamSync {
                 switch: SwitchId::decode(r)?,

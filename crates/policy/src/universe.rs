@@ -39,6 +39,15 @@ pub struct UniverseStats {
 }
 
 /// An immutable, validated snapshot of the network policy and inventory.
+///
+/// Besides the raw objects, the universe carries dependency indexes computed
+/// once at [`PolicyBuilder::build`] time (pair → bindings, EPG → hosting
+/// switches, switch → local pairs, object → dependent pairs, …). Every
+/// dependency query below is therefore a lookup, not a scan — this is what
+/// keeps risk-model construction and fault correlation proportional to the
+/// answer size instead of the universe size on 1000-switch fabrics. The
+/// indexes are pure functions of the base objects, so derived equality and
+/// cloning remain consistent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolicyUniverse {
     tenants: BTreeMap<TenantId, Tenant>,
@@ -49,6 +58,21 @@ pub struct PolicyUniverse {
     contracts: BTreeMap<ContractId, Contract>,
     filters: BTreeMap<FilterId, Filter>,
     bindings: Vec<ContractBinding>,
+    /// Binding indices (into `bindings`) per EPG pair; keys are exactly the
+    /// distinct bound pairs.
+    pair_bindings: BTreeMap<EpgPair, Vec<usize>>,
+    /// Switches hosting at least one endpoint of each EPG.
+    epg_hosts: BTreeMap<EpgId, BTreeSet<SwitchId>>,
+    /// EPGs with at least one endpoint on each switch.
+    switch_epgs: BTreeMap<SwitchId, BTreeSet<EpgId>>,
+    /// Bound pairs whose rules must be deployed on each switch.
+    switch_pairs: BTreeMap<SwitchId, BTreeSet<EpgPair>>,
+    /// Dependency closure (VRF, EPGs, contracts, filters — no switch) per pair.
+    pair_objects: BTreeMap<EpgPair, BTreeSet<ObjectId>>,
+    /// Dependent pairs per object, including switch objects.
+    object_pairs: BTreeMap<ObjectId, BTreeSet<EpgPair>>,
+    /// Switches each object's rules can be deployed on.
+    object_switches: BTreeMap<ObjectId, BTreeSet<SwitchId>>,
 }
 
 impl PolicyUniverse {
@@ -201,54 +225,41 @@ impl PolicyUniverse {
 
     /// Switches that host at least one endpoint of `epg`.
     pub fn switches_hosting_epg(&self, epg: EpgId) -> BTreeSet<SwitchId> {
-        self.endpoints
-            .values()
-            .filter(|ep| ep.epg == epg)
-            .map(|ep| ep.switch)
-            .collect()
+        self.epg_hosts.get(&epg).cloned().unwrap_or_default()
     }
 
     /// EPGs that have at least one endpoint attached to `switch`.
     pub fn epgs_on_switch(&self, switch: SwitchId) -> BTreeSet<EpgId> {
-        self.endpoints
-            .values()
-            .filter(|ep| ep.switch == switch)
-            .map(|ep| ep.epg)
-            .collect()
+        self.switch_epgs.get(&switch).cloned().unwrap_or_default()
     }
 
     /// All distinct EPG pairs allowed to communicate by at least one binding.
     pub fn epg_pairs(&self) -> BTreeSet<EpgPair> {
-        self.bindings
-            .iter()
-            .map(|b| EpgPair::new(b.consumer, b.provider))
-            .collect()
+        self.pair_bindings.keys().copied().collect()
     }
 
     /// The contract bindings that govern `pair`.
     pub fn bindings_for_pair(&self, pair: EpgPair) -> Vec<&ContractBinding> {
-        self.bindings
-            .iter()
-            .filter(|b| EpgPair::new(b.consumer, b.provider) == pair)
-            .collect()
+        self.pair_bindings
+            .get(&pair)
+            .map(|idxs| idxs.iter().map(|&i| &self.bindings[i]).collect())
+            .unwrap_or_default()
     }
 
     /// Switches on which rules for `pair` must be deployed: every switch that
     /// hosts an endpoint of either member EPG.
     pub fn switches_for_pair(&self, pair: EpgPair) -> BTreeSet<SwitchId> {
         let mut switches = self.switches_hosting_epg(pair.a);
-        switches.extend(self.switches_hosting_epg(pair.b));
+        if let Some(hosts) = self.epg_hosts.get(&pair.b) {
+            switches.extend(hosts.iter().copied());
+        }
         switches
     }
 
     /// EPG pairs whose rules must be deployed on `switch`: every bound pair
     /// with at least one member EPG hosted on the switch.
     pub fn pairs_on_switch(&self, switch: SwitchId) -> BTreeSet<EpgPair> {
-        let local_epgs = self.epgs_on_switch(switch);
-        self.epg_pairs()
-            .into_iter()
-            .filter(|pair| local_epgs.contains(&pair.a) || local_epgs.contains(&pair.b))
-            .collect()
+        self.switch_pairs.get(&switch).cloned().unwrap_or_default()
     }
 
     /// The policy objects `pair` relies on: the VRF, both EPGs, every contract
@@ -257,18 +268,34 @@ impl PolicyUniverse {
     /// This is the dependency closure used to build risk-model edges and to
     /// compute the suspect set for the γ metric.
     pub fn objects_for_pair(&self, pair: EpgPair) -> BTreeSet<ObjectId> {
+        if let Some(objs) = self.pair_objects.get(&pair) {
+            return objs.clone();
+        }
+        // Unbound pairs are not indexed; derive their (binding-free) closure.
+        Self::pair_closure(&self.epgs, &self.contracts, &[], pair)
+    }
+
+    /// The dependency closure of `pair` given the bindings that govern it
+    /// (an empty slice for unbound pairs — the closure then holds only the
+    /// member EPGs and their VRFs).
+    fn pair_closure(
+        epgs: &BTreeMap<EpgId, Epg>,
+        contracts: &BTreeMap<ContractId, Contract>,
+        bindings: &[&ContractBinding],
+        pair: EpgPair,
+    ) -> BTreeSet<ObjectId> {
         let mut objs = BTreeSet::new();
-        if let Some(epg) = self.epgs.get(&pair.a) {
+        if let Some(epg) = epgs.get(&pair.a) {
             objs.insert(ObjectId::Epg(pair.a));
             objs.insert(ObjectId::Vrf(epg.vrf));
         }
-        if let Some(epg) = self.epgs.get(&pair.b) {
+        if let Some(epg) = epgs.get(&pair.b) {
             objs.insert(ObjectId::Epg(pair.b));
             objs.insert(ObjectId::Vrf(epg.vrf));
         }
-        for binding in self.bindings_for_pair(pair) {
+        for binding in bindings {
             objs.insert(ObjectId::Contract(binding.contract));
-            if let Some(contract) = self.contracts.get(&binding.contract) {
+            if let Some(contract) = contracts.get(&binding.contract) {
                 for &filter in &contract.filters {
                     objs.insert(ObjectId::Filter(filter));
                 }
@@ -293,19 +320,29 @@ impl PolicyUniverse {
     /// For every object (including switches), the set of EPG pairs that depend
     /// on it. This is the data behind Figure 3 of the paper.
     pub fn pairs_per_object(&self) -> BTreeMap<ObjectId, BTreeSet<EpgPair>> {
-        let mut map: BTreeMap<ObjectId, BTreeSet<EpgPair>> = BTreeMap::new();
-        for pair in self.epg_pairs() {
-            for obj in self.objects_for_pair(pair) {
-                map.entry(obj).or_default().insert(pair);
-            }
+        self.object_pairs.clone()
+    }
+
+    /// The EPG pairs depending on a single object — the per-object slice of
+    /// [`pairs_per_object`](Self::pairs_per_object) without materializing the
+    /// whole map. Returns `None` for objects no pair depends on.
+    pub fn pairs_for_object(&self, object: ObjectId) -> Option<&BTreeSet<EpgPair>> {
+        self.object_pairs.get(&object)
+    }
+
+    /// The switches an object's rules can be deployed on: the union of
+    /// [`switches_for_pair`](Self::switches_for_pair) over the object's
+    /// dependent pairs (a switch object maps to itself). Precomputed at build
+    /// time so fault correlation stays proportional to the answer, not the
+    /// universe.
+    pub fn switches_for_object(&self, object: ObjectId) -> BTreeSet<SwitchId> {
+        if let ObjectId::Switch(switch) = object {
+            return BTreeSet::from([switch]);
         }
-        for &switch in self.switches.keys() {
-            let pairs = self.pairs_on_switch(switch);
-            if !pairs.is_empty() {
-                map.insert(ObjectId::Switch(switch), pairs);
-            }
-        }
-        map
+        self.object_switches
+            .get(&object)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Union of the dependency closures of a set of pairs — the "suspect set"
@@ -409,6 +446,25 @@ impl PolicyBuilder {
         self.len() == 0
     }
 
+    /// Pre-sizes the builder's object vectors for a fabric of roughly
+    /// `switches` switches at the given per-switch densities — the fast path
+    /// of the large-fabric generators, which otherwise regrow (and memcpy)
+    /// multi-thousand-element vectors a dozen times. Purely an allocation
+    /// hint: the built universe is identical with or without it.
+    pub fn reserve_fabric(
+        &mut self,
+        switches: usize,
+        epgs_per_switch: usize,
+        pairs_per_switch: usize,
+    ) -> &mut Self {
+        self.switches.reserve(switches);
+        self.epgs.reserve(switches * epgs_per_switch);
+        self.endpoints.reserve(switches * epgs_per_switch);
+        self.contracts.reserve(switches * pairs_per_switch);
+        self.bindings.reserve(switches * pairs_per_switch);
+        self
+    }
+
     /// Validates the accumulated objects and produces the immutable universe.
     ///
     /// # Errors
@@ -505,6 +561,7 @@ impl PolicyBuilder {
                 return Err(PolicyError::DuplicateEndpoint { endpoint: ep.id });
             }
         }
+        let mut seen: BTreeSet<ContractBinding> = BTreeSet::new();
         let mut bindings: Vec<ContractBinding> = Vec::new();
         for b in &self.bindings {
             if !contracts.contains_key(&b.contract) {
@@ -531,11 +588,58 @@ impl PolicyBuilder {
                     provider: b.provider,
                 });
             }
-            if !bindings.contains(b) {
+            if seen.insert(*b) {
                 bindings.push(*b);
             }
         }
         bindings.sort();
+
+        // Dependency indexes: one pass over endpoints and bindings, then a
+        // pair-major pass for the object-centric views. All queries on the
+        // finished universe are lookups into these.
+        let mut epg_hosts: BTreeMap<EpgId, BTreeSet<SwitchId>> = BTreeMap::new();
+        let mut switch_epgs: BTreeMap<SwitchId, BTreeSet<EpgId>> = BTreeMap::new();
+        for ep in endpoints.values() {
+            epg_hosts.entry(ep.epg).or_default().insert(ep.switch);
+            switch_epgs.entry(ep.switch).or_default().insert(ep.epg);
+        }
+        let mut pair_bindings: BTreeMap<EpgPair, Vec<usize>> = BTreeMap::new();
+        for (i, b) in bindings.iter().enumerate() {
+            pair_bindings
+                .entry(EpgPair::new(b.consumer, b.provider))
+                .or_default()
+                .push(i);
+        }
+        let mut switch_pairs: BTreeMap<SwitchId, BTreeSet<EpgPair>> = BTreeMap::new();
+        let mut pair_objects: BTreeMap<EpgPair, BTreeSet<ObjectId>> = BTreeMap::new();
+        let mut object_pairs: BTreeMap<ObjectId, BTreeSet<EpgPair>> = BTreeMap::new();
+        let mut object_switches: BTreeMap<ObjectId, BTreeSet<SwitchId>> = BTreeMap::new();
+        for (&pair, idxs) in &pair_bindings {
+            let pair_binding_refs: Vec<&ContractBinding> =
+                idxs.iter().map(|&i| &bindings[i]).collect();
+            let objs = PolicyUniverse::pair_closure(&epgs, &contracts, &pair_binding_refs, pair);
+            let mut hosts: BTreeSet<SwitchId> = epg_hosts.get(&pair.a).cloned().unwrap_or_default();
+            if let Some(b_hosts) = epg_hosts.get(&pair.b) {
+                hosts.extend(b_hosts.iter().copied());
+            }
+            for &switch in &hosts {
+                switch_pairs.entry(switch).or_default().insert(pair);
+            }
+            for &obj in &objs {
+                object_pairs.entry(obj).or_default().insert(pair);
+                object_switches
+                    .entry(obj)
+                    .or_default()
+                    .extend(hosts.iter().copied());
+            }
+            pair_objects.insert(pair, objs);
+        }
+        for (&switch, pairs) in &switch_pairs {
+            if !pairs.is_empty() {
+                object_pairs.insert(ObjectId::Switch(switch), pairs.clone());
+            }
+        }
+
         Ok(PolicyUniverse {
             tenants,
             vrfs,
@@ -545,6 +649,13 @@ impl PolicyBuilder {
             contracts,
             filters,
             bindings,
+            pair_bindings,
+            epg_hosts,
+            switch_epgs,
+            switch_pairs,
+            pair_objects,
+            object_pairs,
+            object_switches,
         })
     }
 }

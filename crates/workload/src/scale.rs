@@ -45,6 +45,32 @@ impl ScaleSpec {
         }
     }
 
+    /// The large-fabric preset family (the `ingest_scale` benchmark's
+    /// 1000/2000-switch sweeps): production-scale switch counts at leaner
+    /// per-switch densities — 8 EPGs and 16 local pairs per switch, with a
+    /// wider shared-filter pool — so the policy keeps the sharing shape of
+    /// [`ScaleSpec::with_switches`] while a multi-thousand-switch universe
+    /// generates in tens of milliseconds.
+    pub fn large_fabric(switches: usize) -> Self {
+        Self {
+            switches,
+            epgs_per_switch: 8,
+            pairs_per_switch: 16,
+            shared_filters: 64,
+            vrfs: 8,
+        }
+    }
+
+    /// The 1000-switch member of the [`ScaleSpec::large_fabric`] family.
+    pub fn large_1k() -> Self {
+        Self::large_fabric(1000)
+    }
+
+    /// The 2000-switch member of the [`ScaleSpec::large_fabric`] family.
+    pub fn large_2k() -> Self {
+        Self::large_fabric(2000)
+    }
+
     /// Generates the scaled policy with the given seed.
     ///
     /// # Panics
@@ -61,6 +87,7 @@ impl ScaleSpec {
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut builder = PolicyUniverse::builder();
+        builder.reserve_fabric(self.switches, self.epgs_per_switch, self.pairs_per_switch);
 
         let tenant = TenantId::new(0);
         builder.tenant(Tenant::new(tenant, "scale-tenant"));
@@ -171,6 +198,22 @@ mod tests {
             max_filter_pairs > 3,
             "filters must be shared across switches"
         );
+    }
+
+    #[test]
+    fn large_fabric_presets_scale() {
+        assert_eq!(ScaleSpec::large_1k().switches, 1000);
+        assert_eq!(ScaleSpec::large_2k().switches, 2000);
+        // Spot-check a scaled-down family member for the expected shape.
+        let spec = ScaleSpec::large_fabric(12);
+        let u = spec.generate(5);
+        assert_eq!(u.stats().switches, 12);
+        assert_eq!(u.stats().vrfs, spec.vrfs);
+        assert!(u.stats().epg_pairs > 0);
+        for pair in u.epg_pairs() {
+            assert_eq!(u.switches_for_pair(pair).len(), 1);
+        }
+        assert_eq!(u, spec.generate(5), "family generation stays deterministic");
     }
 
     #[test]
