@@ -121,6 +121,24 @@ pub enum SnapshotError {
         /// The checksum of the payload as read.
         found: u32,
     },
+    /// The replay tail's batch epochs do not continue the checkpoint epoch
+    /// in strict `+1` sequence. [`Snapshot::push_tail`] can never produce
+    /// such a tail, so the bytes are forged or corrupt; accepting them would
+    /// only defer the failure to restore time.
+    TailOutOfOrder {
+        /// The epoch the tail position required.
+        expected: u64,
+        /// The epoch the batch carried.
+        got: u64,
+    },
+    /// The checkpoint epoch leaves no headroom for the session's sequencing
+    /// arithmetic — `epoch + tail length + 1` (the next expected epoch)
+    /// would overflow `u64`. No real session reaches such an epoch; a
+    /// payload carrying one is crafted to overflow [`Snapshot::next_epoch`].
+    EpochOverflow {
+        /// The checkpoint epoch found in the payload.
+        epoch: u64,
+    },
     /// The payload failed to decode (truncation, bad tags, failed
     /// validation).
     Wire(WireError),
@@ -137,6 +155,14 @@ impl fmt::Display for SnapshotError {
             SnapshotError::ChecksumMismatch { expected, found } => write!(
                 f,
                 "snapshot payload corrupted: checksum {found:#010x}, header promised {expected:#010x}"
+            ),
+            SnapshotError::TailOutOfOrder { expected, got } => write!(
+                f,
+                "snapshot replay tail out of order: expected epoch {expected}, found {got}"
+            ),
+            SnapshotError::EpochOverflow { epoch } => write!(
+                f,
+                "snapshot checkpoint epoch {epoch} leaves no sequencing headroom"
             ),
             SnapshotError::Wire(err) => write!(f, "snapshot payload invalid: {err}"),
         }
@@ -293,6 +319,28 @@ impl Snapshot {
             tail.push(EventBatch::decode(&mut r)?);
         }
         r.finish()?;
+        // Semantic validation the wire layer cannot see: the tail must
+        // continue the checkpoint epoch in strict +1 sequence (the same
+        // contract `push_tail` enforces on the producing side), and the
+        // epochs involved must leave headroom for `next_epoch()`'s
+        // arithmetic — otherwise a crafted payload turns a later, innocent
+        // `push_tail` into an integer overflow.
+        if epoch
+            .checked_add(tail.len() as u64)
+            .and_then(|n| n.checked_add(1))
+            .is_none()
+        {
+            return Err(SnapshotError::EpochOverflow { epoch });
+        }
+        for (i, batch) in tail.iter().enumerate() {
+            let expected = epoch + i as u64 + 1;
+            if batch.epoch != expected {
+                return Err(SnapshotError::TailOutOfOrder {
+                    expected,
+                    got: batch.epoch,
+                });
+            }
+        }
         Ok(Self {
             fabric_id,
             open_epoch,
@@ -359,6 +407,19 @@ fn get_check(r: &mut WireReader<'_>) -> Result<NetworkCheckResult, WireError> {
     let mut check = NetworkCheckResult::new();
     for _ in 0..len {
         let result = get_switch_check(r)?;
+        // Entries are emitted in map order, so anything not strictly
+        // ascending is a non-canonical payload. Without this check a
+        // duplicated switch would silently collapse to one map entry and
+        // re-encode to fewer bytes than it arrived as.
+        if check
+            .per_switch
+            .last_key_value()
+            .is_some_and(|(&prev, _)| prev >= result.switch)
+        {
+            return Err(WireError::NonCanonical {
+                what: "NetworkCheckResult",
+            });
+        }
         check.per_switch.insert(result.switch, result);
     }
     Ok(check)
@@ -653,6 +714,82 @@ mod tests {
             assert_eq!(live, replayed, "step {step}");
             assert_eq!(session.full_report(), restored.full_report());
         }
+    }
+
+    #[test]
+    fn duplicate_or_unsorted_check_switches_are_rejected() {
+        let (_engine, _fabric, session) = faulty_session();
+        let check = &session.full_report().check;
+        assert!(check.per_switch.len() >= 2);
+
+        // Values emitted in reverse map order: decodes to the same map, so
+        // the bytes are non-canonical and must be refused.
+        let mut w = WireWriter::new();
+        w.put_usize(check.per_switch.len());
+        for result in check.per_switch.values().rev() {
+            put_switch_check(&mut w, result);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(
+            get_check(&mut WireReader::new(&bytes)),
+            Err(WireError::NonCanonical {
+                what: "NetworkCheckResult"
+            })
+        );
+
+        // The same switch twice: the old decoder silently collapsed the two
+        // entries into one.
+        let first = check.per_switch.values().next().unwrap();
+        let mut w = WireWriter::new();
+        w.put_usize(2);
+        put_switch_check(&mut w, first);
+        put_switch_check(&mut w, first);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            get_check(&mut WireReader::new(&bytes)),
+            Err(WireError::NonCanonical {
+                what: "NetworkCheckResult"
+            })
+        );
+    }
+
+    #[test]
+    fn decoding_a_gapped_tail_is_a_typed_error() {
+        let (_engine, _fabric, session) = faulty_session();
+        let mut snapshot = session.checkpoint();
+        // Bypass push_tail's sequencing check (simulating a forged buffer:
+        // the encoder is total, so patching the struct patches the bytes).
+        snapshot.push_tail(EventBatch::empty(1)).unwrap();
+        snapshot.tail[0].epoch = 7;
+        assert_eq!(
+            Snapshot::from_bytes(&snapshot.to_bytes()),
+            Err(SnapshotError::TailOutOfOrder {
+                expected: 1,
+                got: 7
+            })
+        );
+    }
+
+    #[test]
+    fn overflowing_checkpoint_epoch_is_rejected_at_decode() {
+        let (_engine, _fabric, session) = faulty_session();
+        let mut snapshot = session.checkpoint();
+        // A forged epoch at the top of the range: accepting it would make
+        // the very next `next_epoch()`/`push_tail` overflow.
+        snapshot.epoch = u64::MAX;
+        assert_eq!(
+            Snapshot::from_bytes(&snapshot.to_bytes()),
+            Err(SnapshotError::EpochOverflow { epoch: u64::MAX })
+        );
+        // Errors render with context.
+        let text = SnapshotError::EpochOverflow { epoch: u64::MAX }.to_string();
+        assert!(text.contains("headroom"));
+        let text = SnapshotError::TailOutOfOrder {
+            expected: 1,
+            got: 7,
+        }
+        .to_string();
+        assert!(text.contains("expected epoch 1"));
     }
 
     #[test]

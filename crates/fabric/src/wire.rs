@@ -27,6 +27,19 @@
 //! that fails referential-integrity checks) all surface as typed
 //! [`WireError`]s, never as panics.
 //!
+//! Decoding is also *canonical* and *resource-bounded*, because these bytes
+//! cross trust boundaries (see `ARCHITECTURE.md`, "Untrusted input
+//! boundary"):
+//!
+//! * every accepted input re-encodes to exactly the bytes it arrived as —
+//!   out-of-order or duplicate sorted-collection elements, denormalized
+//!   pairs and unsorted universe object lists are rejected as
+//!   [`WireError::NonCanonical`] instead of being silently repaired;
+//! * length prefixes never drive pre-allocation beyond the bytes actually
+//!   present (`Vec::with_capacity` is clamped by the reader's remaining
+//!   input), and nesting beyond [`WireReader::MAX_DEPTH`] is rejected as
+//!   [`WireError::TooDeep`] rather than overflowing the stack.
+//!
 //! # Example
 //!
 //! ```
@@ -93,6 +106,22 @@ pub enum WireError {
         /// The type being decoded.
         what: &'static str,
     },
+    /// The bytes decoded into a valid value, but were not the value's
+    /// canonical encoding (out-of-order or duplicate collection elements, a
+    /// denormalized pair, …). Accepting them would break the
+    /// decode→encode→decode fixpoint: the decoded value would re-encode to
+    /// *different* bytes, so two byte strings an attacker controls would
+    /// silently alias the same state.
+    NonCanonical {
+        /// The type being decoded.
+        what: &'static str,
+    },
+    /// Decoding nested deeper than [`WireReader::MAX_DEPTH`] — the payload
+    /// is trying to exhaust the decoder's stack, not describe a value.
+    TooDeep {
+        /// The depth limit that was hit.
+        limit: usize,
+    },
     /// Decoding finished but bytes were left over — almost certainly a
     /// framing bug on the encoding side.
     TrailingBytes {
@@ -115,6 +144,12 @@ impl fmt::Display for WireError {
             }
             WireError::BadString => f.write_str("length-prefixed string is not valid UTF-8"),
             WireError::Invalid { what } => write!(f, "decoded {what} failed validation"),
+            WireError::NonCanonical { what } => {
+                write!(f, "{what} payload is not a canonical encoding")
+            }
+            WireError::TooDeep { limit } => {
+                write!(f, "payload nests deeper than the {limit}-level limit")
+            }
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after a complete value")
             }
@@ -193,12 +228,49 @@ impl WireWriter {
 pub struct WireReader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> WireReader<'a> {
+    /// The maximum nesting depth [`WireReader::nested`] permits before
+    /// rejecting the payload with [`WireError::TooDeep`].
+    ///
+    /// Decoding is type-directed, so for today's non-recursive wire types the
+    /// static nesting (a snapshot's report → hypothesis → object map → …) is
+    /// around a dozen levels; 64 leaves ample headroom while keeping a future
+    /// recursive type from turning a short hostile payload into a stack
+    /// overflow.
+    pub const MAX_DEPTH: usize = 64;
+
     /// A reader positioned at the start of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
+        Self {
+            bytes,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Runs `f` one nesting level deeper, rejecting the payload with
+    /// [`WireError::TooDeep`] once [`WireReader::MAX_DEPTH`] levels are open.
+    ///
+    /// Every container or variant decoder that recurses into child values
+    /// (`Vec`, `BTreeSet`, `BTreeMap`, `Option`, struct fields, enum
+    /// payloads) goes through this, so decoder stack depth is bounded by the
+    /// limit rather than by the input.
+    pub fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        if self.depth >= Self::MAX_DEPTH {
+            return Err(WireError::TooDeep {
+                limit: Self::MAX_DEPTH,
+            });
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
     }
 
     /// Number of unconsumed bytes.
@@ -353,7 +425,7 @@ impl<T: Wire> Wire for Option<T> {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match r.get_u8()? {
             0 => Ok(None),
-            1 => Ok(Some(T::decode(r)?)),
+            1 => Ok(Some(r.nested(T::decode)?)),
             tag => Err(WireError::InvalidTag {
                 what: "Option",
                 tag,
@@ -376,12 +448,18 @@ impl<T: Wire> Wire for Vec<T> {
         // takes at least one byte).
         let mut items = Vec::with_capacity(len.min(r.remaining()));
         for _ in 0..len {
-            items.push(T::decode(r)?);
+            items.push(r.nested(T::decode)?);
         }
         Ok(items)
     }
 }
 
+/// Sorted collections decode **canonically**: elements must arrive in the
+/// strictly ascending order `encode` produces. Out-of-order or duplicate
+/// elements are rejected with [`WireError::NonCanonical`] instead of being
+/// silently re-sorted/collapsed — otherwise a hostile buffer could decode
+/// into a value that re-encodes to different bytes (and a duplicate key could
+/// alias two payloads onto one entry).
 impl<T: Wire + Ord> Wire for BTreeSet<T> {
     fn encode(&self, w: &mut WireWriter) {
         w.put_usize(self.len());
@@ -393,7 +471,13 @@ impl<T: Wire + Ord> Wire for BTreeSet<T> {
         let len = r.get_usize()?;
         let mut set = BTreeSet::new();
         for _ in 0..len {
-            set.insert(T::decode(r)?);
+            let item = r.nested(T::decode)?;
+            if let Some(max) = set.last() {
+                if *max >= item {
+                    return Err(WireError::NonCanonical { what: "BTreeSet" });
+                }
+            }
+            set.insert(item);
         }
         Ok(set)
     }
@@ -411,8 +495,13 @@ impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
         let len = r.get_usize()?;
         let mut map = BTreeMap::new();
         for _ in 0..len {
-            let k = K::decode(r)?;
-            let v = V::decode(r)?;
+            let k = r.nested(K::decode)?;
+            if let Some((max, _)) = map.last_key_value() {
+                if *max >= k {
+                    return Err(WireError::NonCanonical { what: "BTreeMap" });
+                }
+            }
+            let v = r.nested(V::decode)?;
             map.insert(k, v);
         }
         Ok(map)
@@ -425,7 +514,7 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
         self.1.encode(w);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok((A::decode(r)?, B::decode(r)?))
+        Ok((r.nested(A::decode)?, r.nested(B::decode)?))
     }
 }
 
@@ -514,11 +603,11 @@ impl Wire for ObjectId {
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match r.get_u8()? {
-            0 => Ok(ObjectId::Vrf(VrfId::decode(r)?)),
-            1 => Ok(ObjectId::Epg(EpgId::decode(r)?)),
-            2 => Ok(ObjectId::Contract(ContractId::decode(r)?)),
-            3 => Ok(ObjectId::Filter(FilterId::decode(r)?)),
-            4 => Ok(ObjectId::Switch(SwitchId::decode(r)?)),
+            0 => Ok(ObjectId::Vrf(r.nested(VrfId::decode)?)),
+            1 => Ok(ObjectId::Epg(r.nested(EpgId::decode)?)),
+            2 => Ok(ObjectId::Contract(r.nested(ContractId::decode)?)),
+            3 => Ok(ObjectId::Filter(r.nested(FilterId::decode)?)),
+            4 => Ok(ObjectId::Switch(r.nested(SwitchId::decode)?)),
             tag => Err(WireError::InvalidTag {
                 what: "ObjectId",
                 tag,
@@ -547,9 +636,17 @@ impl Wire for EpgPair {
         self.a.encode(w);
         self.b.encode(w);
     }
+    /// An [`EpgPair`] is normalized (`a <= b`) by construction, so its
+    /// canonical encoding always carries the smaller id first. A payload with
+    /// the members swapped is rejected rather than silently re-normalized:
+    /// re-normalizing would make two distinct byte strings decode to the same
+    /// value, breaking the decode→encode→decode fixpoint.
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let a = EpgId::decode(r)?;
         let b = EpgId::decode(r)?;
+        if a > b {
+            return Err(WireError::NonCanonical { what: "EpgPair" });
+        }
         Ok(EpgPair::new(a, b))
     }
 }
@@ -561,7 +658,7 @@ impl Wire for SwitchEpgPair {
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let switch = SwitchId::decode(r)?;
-        let pair = EpgPair::decode(r)?;
+        let pair = r.nested(EpgPair::decode)?;
         Ok(SwitchEpgPair::new(switch, pair))
     }
 }
@@ -573,8 +670,10 @@ macro_rules! wire_struct {
                 $(self.$field.encode(w);)*
             }
             fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-                Ok($ty {
-                    $($field: Wire::decode(r)?,)*
+                r.nested(|r| {
+                    Ok($ty {
+                        $($field: Wire::decode(r)?,)*
+                    })
                 })
             }
         }
@@ -632,6 +731,26 @@ wire_struct!(ContractBinding {
     contract
 });
 
+/// Rejects a decoded object list whose `key` projection is not strictly
+/// ascending.
+///
+/// [`PolicyUniverse`] stores objects in id-keyed `BTreeMap`s and bindings in a
+/// sorted, deduplicated `Vec`, so [`PolicyUniverse::encode`] always emits each
+/// list strictly ascending. Accepting any other order (or duplicates, which
+/// the builder would silently collapse) would let two distinct byte strings
+/// decode to the same universe, breaking the decode→encode→decode fixpoint.
+fn require_ascending<T, K: Ord>(
+    items: &[T],
+    key: impl Fn(&T) -> K,
+    what: &'static str,
+) -> Result<(), WireError> {
+    if items.windows(2).all(|w| key(&w[0]) < key(&w[1])) {
+        Ok(())
+    } else {
+        Err(WireError::NonCanonical { what })
+    }
+}
+
 impl Wire for PolicyUniverse {
     fn encode(&self, w: &mut WireWriter) {
         self.tenants().cloned().collect::<Vec<_>>().encode(w);
@@ -656,6 +775,15 @@ impl Wire for PolicyUniverse {
         let contracts = Vec::<Contract>::decode(r)?;
         let filters = Vec::<Filter>::decode(r)?;
         let bindings = Vec::<ContractBinding>::decode(r)?;
+
+        require_ascending(&tenants, |t| t.id, "PolicyUniverse.tenants")?;
+        require_ascending(&vrfs, |v| v.id, "PolicyUniverse.vrfs")?;
+        require_ascending(&epgs, |e| e.id, "PolicyUniverse.epgs")?;
+        require_ascending(&endpoints, |e| e.id, "PolicyUniverse.endpoints")?;
+        require_ascending(&switches, |s| s.id, "PolicyUniverse.switches")?;
+        require_ascending(&contracts, |c| c.id, "PolicyUniverse.contracts")?;
+        require_ascending(&filters, |f| f.id, "PolicyUniverse.filters")?;
+        require_ascending(&bindings, |b| *b, "PolicyUniverse.bindings")?;
 
         let mut builder = PolicyUniverse::builder();
         for t in tenants {
@@ -811,7 +939,15 @@ impl Wire for FabricView {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let universe_version = r.get_u64()?;
         let universe = PolicyUniverse::decode(r)?;
-        let tcam = BTreeMap::decode(r)?;
+        let tcam: BTreeMap<SwitchId, Vec<TcamRule>> = BTreeMap::decode(r)?;
+        // A live view only ever holds TCAM state for switches that exist in
+        // the universe ([`FabricView::apply`] rejects syncs for unknown
+        // switches), so a payload with a stray table is forged or corrupt.
+        // The subset may be strict: undeployed fabrics have no tables yet.
+        let known: BTreeSet<SwitchId> = universe.switch_ids().into_iter().collect();
+        if !tcam.keys().all(|s| known.contains(s)) {
+            return Err(WireError::Invalid { what: "FabricView" });
+        }
         let change_log = ChangeLog::decode(r)?;
         let fault_log = FaultLog::decode(r)?;
         Ok(FabricView::from_parts(
@@ -835,6 +971,10 @@ mod tests {
         let bytes = to_bytes(value);
         let decoded: T = from_bytes(&bytes).expect("roundtrip decodes");
         assert_eq!(&decoded, value);
+        // The decode→encode→decode fixpoint: canonical decoding means the
+        // decoded value re-encodes to the exact bytes it arrived as, so no
+        // two byte strings alias one value.
+        assert_eq!(to_bytes(&decoded), bytes, "encoding is not a fixpoint");
     }
 
     #[test]
@@ -1007,5 +1147,216 @@ mod tests {
             from_bytes::<PortRange>(&w.into_bytes()),
             Err(WireError::Invalid { what: "PortRange" })
         );
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_set_elements_are_rejected() {
+        // count = 2, elements 5 then 1: valid set contents, wrong order.
+        let mut w = WireWriter::new();
+        w.put_u64(2);
+        w.put_u64(5);
+        w.put_u64(1);
+        assert_eq!(
+            from_bytes::<BTreeSet<u64>>(&w.into_bytes()),
+            Err(WireError::NonCanonical { what: "BTreeSet" })
+        );
+        // count = 2, element 5 twice: the old decoder collapsed this to {5}.
+        let mut w = WireWriter::new();
+        w.put_u64(2);
+        w.put_u64(5);
+        w.put_u64(5);
+        assert_eq!(
+            from_bytes::<BTreeSet<u64>>(&w.into_bytes()),
+            Err(WireError::NonCanonical { what: "BTreeSet" })
+        );
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_map_keys_are_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u64(2);
+        w.put_u32(2); // key 2
+        w.put_u32(20);
+        w.put_u32(1); // key 1: out of order
+        w.put_u32(10);
+        assert_eq!(
+            from_bytes::<BTreeMap<u32, u32>>(&w.into_bytes()),
+            Err(WireError::NonCanonical { what: "BTreeMap" })
+        );
+        let mut w = WireWriter::new();
+        w.put_u64(2);
+        w.put_u32(1); // key 1
+        w.put_u32(10);
+        w.put_u32(1); // key 1 again: last-write-wins under the old decoder
+        w.put_u32(11);
+        assert_eq!(
+            from_bytes::<BTreeMap<u32, u32>>(&w.into_bytes()),
+            Err(WireError::NonCanonical { what: "BTreeMap" })
+        );
+    }
+
+    #[test]
+    fn denormalized_epg_pair_is_rejected() {
+        // EpgPair::new(APP, WEB) normalizes so a <= b; swapped bytes decode
+        // to the same value and must therefore be refused.
+        let pair = EpgPair::new(sample::APP, sample::WEB);
+        let mut w = WireWriter::new();
+        pair.b.encode(&mut w);
+        pair.a.encode(&mut w);
+        assert_eq!(
+            from_bytes::<EpgPair>(&w.into_bytes()),
+            Err(WireError::NonCanonical { what: "EpgPair" })
+        );
+    }
+
+    #[test]
+    fn non_canonical_universe_lists_are_rejected() {
+        let universe = sample::three_tier();
+        let encode_with = |mutate: &dyn Fn(&mut Vec<Epg>, &mut Vec<ContractBinding>)| {
+            let mut epgs: Vec<Epg> = universe.epgs().cloned().collect();
+            let mut bindings = universe.bindings().to_vec();
+            mutate(&mut epgs, &mut bindings);
+            let mut w = WireWriter::new();
+            universe
+                .tenants()
+                .cloned()
+                .collect::<Vec<_>>()
+                .encode(&mut w);
+            universe.vrfs().cloned().collect::<Vec<_>>().encode(&mut w);
+            epgs.encode(&mut w);
+            universe
+                .endpoints()
+                .cloned()
+                .collect::<Vec<_>>()
+                .encode(&mut w);
+            universe
+                .switches()
+                .cloned()
+                .collect::<Vec<_>>()
+                .encode(&mut w);
+            universe
+                .contracts()
+                .cloned()
+                .collect::<Vec<_>>()
+                .encode(&mut w);
+            universe
+                .filters()
+                .cloned()
+                .collect::<Vec<_>>()
+                .encode(&mut w);
+            bindings.encode(&mut w);
+            w.into_bytes()
+        };
+
+        // Unchanged lists decode fine (the harness below is sound).
+        assert!(from_bytes::<PolicyUniverse>(&encode_with(&|_, _| {})).is_ok());
+
+        // Out-of-order EPG list: the builder would accept and re-sort it.
+        assert!(universe.epgs().count() >= 2);
+        assert_eq!(
+            from_bytes::<PolicyUniverse>(&encode_with(&|epgs, _| epgs.swap(0, 1))),
+            Err(WireError::NonCanonical {
+                what: "PolicyUniverse.epgs"
+            })
+        );
+
+        // Duplicate binding: the builder would silently deduplicate it, so
+        // the duplicated bytes would re-encode shorter than they arrived.
+        assert!(!universe.bindings().is_empty());
+        assert_eq!(
+            from_bytes::<PolicyUniverse>(&encode_with(&|_, bindings| {
+                bindings.insert(0, bindings[0]);
+            })),
+            Err(WireError::NonCanonical {
+                what: "PolicyUniverse.bindings"
+            })
+        );
+    }
+
+    #[test]
+    fn fabric_view_with_stray_tcam_table_is_rejected() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        let view = FabricView::of(&fabric);
+        let mut w = WireWriter::new();
+        w.put_u64(view.universe_version());
+        view.universe().encode(&mut w);
+        let mut tcam = view.tcam().clone();
+        tcam.insert(SwitchId::new(9999), Vec::new());
+        tcam.encode(&mut w);
+        view.change_log().encode(&mut w);
+        view.fault_log().encode(&mut w);
+        assert_eq!(
+            from_bytes::<FabricView>(&w.into_bytes()),
+            Err(WireError::Invalid { what: "FabricView" })
+        );
+    }
+
+    /// A minimal recursive wire type. No production type recurses today —
+    /// decoding is type-directed, so nesting depth is bounded by the type —
+    /// but the depth guard must hold for any future recursive payload.
+    #[derive(Debug, PartialEq)]
+    enum Chain {
+        End,
+        Link(Box<Chain>),
+    }
+
+    impl Wire for Chain {
+        fn encode(&self, w: &mut WireWriter) {
+            match self {
+                Chain::End => w.put_u8(0),
+                Chain::Link(next) => {
+                    w.put_u8(1);
+                    next.encode(w);
+                }
+            }
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            match r.get_u8()? {
+                0 => Ok(Chain::End),
+                1 => Ok(Chain::Link(Box::new(r.nested(Chain::decode)?))),
+                tag => Err(WireError::InvalidTag { what: "Chain", tag }),
+            }
+        }
+    }
+
+    #[test]
+    fn nesting_deeper_than_the_limit_is_rejected() {
+        let chain_bytes = |links: usize| {
+            let mut bytes = vec![1u8; links];
+            bytes.push(0);
+            bytes
+        };
+        // Exactly at the limit decodes.
+        let deepest = from_bytes::<Chain>(&chain_bytes(WireReader::MAX_DEPTH));
+        assert!(deepest.is_ok());
+        // One level past it is a typed error, not a stack overflow.
+        assert_eq!(
+            from_bytes::<Chain>(&chain_bytes(WireReader::MAX_DEPTH + 1)),
+            Err(WireError::TooDeep {
+                limit: WireReader::MAX_DEPTH
+            })
+        );
+    }
+
+    #[test]
+    fn huge_length_prefix_is_a_typed_error_without_preallocation() {
+        // A u64::MAX element count with a near-empty body must fail with
+        // UnexpectedEof after allocating at most `remaining` capacity.
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            from_bytes::<Vec<u64>>(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            from_bytes::<String>(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            from_bytes::<BTreeMap<u64, u64>>(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
     }
 }

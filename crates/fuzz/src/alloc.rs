@@ -1,0 +1,112 @@
+//! A tracking global allocator: the measurement side of the fuzzer's
+//! allocation oracle.
+//!
+//! The oracle's claim is that decoding never allocates proportionally to an
+//! attacker-controlled length prefix — a 16-byte buffer whose header promises
+//! `u64::MAX` elements must not reserve gigabytes before the decoder notices
+//! the bytes are missing. Proving that requires observing the allocator, so
+//! this module wraps [`std::alloc::System`] with running-total and
+//! high-water-mark counters.
+//!
+//! Linking `scout-fuzz` installs [`TrackingAlloc`] as the global allocator
+//! (see the crate root), so every binary that runs the harness — the `fuzz`
+//! CLI, the crate's own tests, the root corpus-replay test — has the oracle
+//! armed automatically. The bookkeeping is two relaxed atomic operations per
+//! allocation, which is noise next to the decode work being measured.
+
+// A GlobalAlloc wrapper is necessarily unsafe; this module is the only place
+// in the crate allowed to use it. Every contract obligation is delegated to
+// `System` — the wrapper only adds counter updates on the side.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bytes currently allocated through [`TrackingAlloc`].
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`CURRENT`] since the last [`measure`] reset.
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and tracks the current and
+/// peak number of live heap bytes.
+pub struct TrackingAlloc;
+
+impl TrackingAlloc {
+    fn record_alloc(size: usize) {
+        let current = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(current, Ordering::Relaxed);
+    }
+
+    fn record_dealloc(size: usize) {
+        CURRENT.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counter updates do not touch the returned memory.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            Self::record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::record_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            Self::record_dealloc(layout.size());
+            Self::record_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Runs `f` and returns its result together with the peak number of bytes
+/// the call held *beyond* what was already live when it started.
+///
+/// The harness is single-threaded, so the counters attribute cleanly to `f`.
+/// If [`TrackingAlloc`] is not the process's global allocator the peak never
+/// moves and the measured delta is 0 — [`is_installed`] lets callers detect
+/// that and refuse to report a vacuously passing allocation oracle.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let baseline = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (out, peak.saturating_sub(baseline))
+}
+
+/// Returns `true` if [`TrackingAlloc`] is actually serving this process's
+/// allocations (probed by watching the counters while allocating).
+pub fn is_installed() -> bool {
+    let (_vec, peak) = measure(|| vec![0u8; 4096]);
+    peak >= 4096
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_installed_in_this_binary() {
+        assert!(is_installed());
+    }
+
+    #[test]
+    fn measure_attributes_peak_to_the_closure() {
+        let (len, peak) = measure(|| vec![0u8; 1 << 20].len());
+        assert_eq!(len, 1 << 20);
+        assert!(peak >= 1 << 20, "peak {peak} missed a 1 MiB allocation");
+        // The vector was dropped inside the closure; a small follow-up
+        // allocation must not inherit its peak.
+        let (_small, peak) = measure(|| vec![0u8; 64]);
+        assert!(peak < 1 << 20, "peak {peak} leaked across measurements");
+    }
+}

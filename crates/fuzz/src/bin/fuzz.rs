@@ -1,0 +1,153 @@
+//! CLI over the fuzz harness: seeded campaigns plus corpus replay.
+//!
+//! ```text
+//! fuzz [--iters N] [--seed S] [--surface NAME]... [--corpus DIR] [--write-corpus DIR]
+//! ```
+//!
+//! * `--iters N` — iterations per surface (default 1000).
+//! * `--seed S` — base RNG seed (default 42); each surface derives its own
+//!   stream, so runs are reproducible per surface.
+//! * `--surface NAME` — restrict to one or more surfaces (default: all).
+//! * `--corpus DIR` — replay a frozen corpus directory first; any oracle
+//!   violation there fails the run before fuzzing starts.
+//! * `--write-corpus DIR` — freeze each finding's input into `DIR` as a
+//!   `<surface>__finding<k>.bin` case.
+//!
+//! Exits non-zero if any oracle was violated.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scout_fuzz::oracle::{Surface, Verdict};
+use scout_fuzz::{alloc, corpus, harness};
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    surfaces: Vec<Surface>,
+    corpus: Option<PathBuf>,
+    write_corpus: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 1000,
+        seed: 42,
+        surfaces: Vec::new(),
+        corpus: None,
+        write_corpus: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--surface" => {
+                let name = value("--surface")?;
+                let surface = Surface::parse(&name).ok_or(format!("unknown surface {name:?}"))?;
+                args.surfaces.push(surface);
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--write-corpus" => args.write_corpus = Some(PathBuf::from(value("--write-corpus")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.surfaces.is_empty() {
+        args.surfaces = Surface::ALL.to_vec();
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("fuzz: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A fuzz run whose allocation oracle is silently disarmed would report
+    // vacuous passes; refuse to run that way.
+    if !alloc::is_installed() {
+        eprintln!("fuzz: tracking allocator not installed; allocation oracle disarmed");
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations = 0usize;
+
+    if let Some(dir) = &args.corpus {
+        match corpus::replay_dir(dir) {
+            Err(err) => {
+                eprintln!("fuzz: corpus {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            Ok(results) => {
+                let mut accepted = 0usize;
+                let mut rejected = 0usize;
+                for case in &results {
+                    match &case.verdict {
+                        Verdict::Accepted => accepted += 1,
+                        Verdict::Rejected(_) => rejected += 1,
+                        Verdict::Violation(violation) => {
+                            violations += 1;
+                            eprintln!("corpus FAIL {}: {violation}", case.path.display());
+                        }
+                    }
+                }
+                println!(
+                    "corpus {}: {} cases ({accepted} accepted, {rejected} rejected cleanly)",
+                    dir.display(),
+                    results.len(),
+                );
+            }
+        }
+    }
+
+    for report in harness::run(&args.surfaces, args.iters, args.seed) {
+        println!(
+            "{:<16} {} iters: {} accepted, {} rejected, {} violations",
+            report.surface.name(),
+            report.iterations,
+            report.accepted,
+            report.rejected,
+            report.findings.len(),
+        );
+        for (k, finding) in report.findings.iter().enumerate() {
+            violations += 1;
+            eprintln!(
+                "  FAIL iter {} ({} bytes): {}",
+                finding.iteration,
+                finding.input.len(),
+                finding.violation,
+            );
+            if let Some(dir) = &args.write_corpus {
+                match corpus::write_case(
+                    dir,
+                    finding.surface,
+                    &format!("finding{k}"),
+                    &finding.input,
+                ) {
+                    Ok(path) => eprintln!("  frozen as {}", path.display()),
+                    Err(err) => eprintln!("  could not freeze case: {err}"),
+                }
+            }
+        }
+    }
+
+    if violations > 0 {
+        eprintln!("fuzz: {violations} oracle violation(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

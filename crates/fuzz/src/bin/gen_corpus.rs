@@ -1,0 +1,431 @@
+//! Regenerates the committed regression corpus under `tests/corpus/`.
+//!
+//! ```text
+//! gen-corpus [DIR]
+//! ```
+//!
+//! Every case is built deterministically — from the fuzzer's own seeds, from
+//! manual [`WireWriter`] encodings, or by byte surgery on a valid frame with
+//! the CRC restamped — and **verified before it is written**: the generator
+//! asserts the exact typed error (or clean acceptance) each case must
+//! produce, then replays the finished directory through the full oracle set.
+//! A generator run that would freeze a case with the wrong fate aborts
+//! instead.
+//!
+//! The committed `.bin` files are the contract, not this generator: the
+//! `snapshot__v1` fixture in particular pins the `SNAPSHOT_VERSION = 1`
+//! byte layout, and must never be silently regenerated after a version bump
+//! — that is exactly the migration break the fixture exists to catch.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use scout_core::{CorrelationReport, Hypothesis, Snapshot, SnapshotError};
+use scout_fabric::wire::{from_bytes, to_bytes, Wire, WireError, WireReader, WireWriter};
+use scout_fabric::{EventBatch, Fabric, FabricView};
+use scout_fuzz::gen::restamp_snapshot_crc;
+use scout_fuzz::oracle::{self, Surface, Verdict};
+use scout_fuzz::{corpus, seeds};
+use scout_policy::{
+    sample, ContractBinding, Epg, EpgId, LogicalRule, ObjectId, PolicyUniverse, SwitchId, TcamRule,
+};
+
+/// Checks `bytes` against the oracles, asserts the expected fate, and
+/// freezes the case.
+fn freeze(dir: &Path, surface: Surface, name: &str, bytes: &[u8], expect_accept: bool) {
+    match oracle::check(surface, bytes) {
+        Verdict::Accepted => assert!(expect_accept, "{surface}__{name}: unexpectedly accepted"),
+        Verdict::Rejected(err) => assert!(
+            !expect_accept,
+            "{surface}__{name}: unexpectedly rejected: {err}"
+        ),
+        Verdict::Violation(violation) => panic!("{surface}__{name}: oracle violation: {violation}"),
+    }
+    let path = corpus::write_case(dir, surface, name, bytes).expect("corpus case written");
+    println!("wrote {} ({} bytes)", path.display(), bytes.len());
+}
+
+/// Byte offsets inside a valid snapshot frame, recovered by re-walking the
+/// payload with the same public decoders `Snapshot::from_bytes` uses. Byte
+/// surgery at these offsets (plus a CRC restamp) forges payloads that no
+/// honest encoder can produce.
+struct SnapshotOffsets {
+    /// Offset of the report's per-switch check count (a `u64`).
+    check_count_offset: usize,
+    /// Byte span of the first encoded `SwitchCheckResult`.
+    first_check: Range<usize>,
+    /// End of the last `SwitchCheckResult` (start of the observations set).
+    checks_end: usize,
+    /// Spans of the `a` and `b` ids of the first observation whose EPG pair
+    /// has `a != b` — swapping them denormalizes the pair.
+    denorm_pair: Option<(Range<usize>, Range<usize>)>,
+    /// Offset of the replay-tail batch count (a `u64`).
+    tail_count_offset: usize,
+}
+
+fn snapshot_offsets(bytes: &[u8]) -> SnapshotOffsets {
+    let payload = &bytes[12..];
+    let mut r = WireReader::new(payload);
+    let at = |r: &WireReader<'_>| 12 + payload.len() - r.remaining();
+
+    for _ in 0..3 {
+        r.get_u64().expect("snapshot header fields"); // fabric_id, open_epoch, epoch
+    }
+    FabricView::decode(&mut r).expect("seed snapshot view");
+
+    let check_count_offset = at(&r);
+    let check_count = r.get_usize().expect("check count");
+    assert!(check_count >= 2, "seed snapshot needs >= 2 switch checks");
+    let first_start = at(&r);
+    let mut first_check = first_start..first_start;
+    let mut checks_end = first_start;
+    for i in 0..check_count {
+        SwitchId::decode(&mut r).expect("check switch");
+        r.get_bool().expect("check equivalent");
+        <Vec<LogicalRule> as Wire>::decode(&mut r).expect("missing rules");
+        <Vec<TcamRule> as Wire>::decode(&mut r).expect("unexpected rules");
+        if i == 0 {
+            first_check = first_start..at(&r);
+        }
+        checks_end = at(&r);
+    }
+
+    let obs_count = r.get_usize().expect("observation count");
+    let mut denorm_pair = None;
+    for _ in 0..obs_count {
+        SwitchId::decode(&mut r).expect("observation switch");
+        let a_start = at(&r);
+        let a = EpgId::decode(&mut r).expect("pair a");
+        let a_end = at(&r);
+        let b = EpgId::decode(&mut r).expect("pair b");
+        let b_end = at(&r);
+        if denorm_pair.is_none() && a != b {
+            denorm_pair = Some((a_start..a_end, a_end..b_end));
+        }
+    }
+
+    <BTreeSet<ObjectId> as Wire>::decode(&mut r).expect("suspect objects");
+    Hypothesis::decode(&mut r).expect("hypothesis");
+    CorrelationReport::decode(&mut r).expect("diagnosis");
+    let tail_count_offset = at(&r);
+
+    SnapshotOffsets {
+        check_count_offset,
+        first_check,
+        checks_end,
+        denorm_pair,
+        tail_count_offset,
+    }
+}
+
+fn event_batch_cases(dir: &Path) {
+    let surface = Surface::EventBatch;
+    let seed = seeds::for_surface(surface)[0].clone();
+    freeze(dir, surface, "valid", &seed, true);
+    freeze(dir, surface, "truncated", &seed[..seed.len() - 1], false);
+
+    let mut trailing = seed.clone();
+    trailing.extend([0xA5; 3]);
+    assert_eq!(
+        from_bytes::<EventBatch>(&trailing),
+        Err(WireError::TrailingBytes { remaining: 3 })
+    );
+    freeze(dir, surface, "trailing_garbage", &trailing, false);
+
+    // epoch 1, then an event count of u64::MAX: a decoder that trusted the
+    // prefix would pre-allocate ~2^64 entries before reading a single byte.
+    let mut w = WireWriter::new();
+    w.put_u64(1);
+    w.put_u64(u64::MAX);
+    let huge = w.into_bytes();
+    assert!(matches!(
+        from_bytes::<EventBatch>(&huge),
+        Err(WireError::UnexpectedEof { .. })
+    ));
+    freeze(dir, surface, "huge_len_prefix", &huge, false);
+
+    let mut w = WireWriter::new();
+    w.put_u64(1); // epoch
+    w.put_u64(1); // one event
+    w.put_u8(0xFF); // no FabricEvent variant uses this tag
+    let bad_tag = w.into_bytes();
+    assert_eq!(
+        from_bytes::<EventBatch>(&bad_tag),
+        Err(WireError::InvalidTag {
+            what: "FabricEvent",
+            tag: 0xFF,
+        })
+    );
+    freeze(dir, surface, "bad_tag", &bad_tag, false);
+}
+
+fn fabric_view_cases(dir: &Path) {
+    let surface = Surface::FabricView;
+    let mut fabric = Fabric::new(sample::three_tier());
+    fabric.deploy();
+    let view = FabricView::of(&fabric);
+    freeze(dir, surface, "valid", &to_bytes(&view), true);
+
+    // Same view, plus a mirrored TCAM table for a switch the universe has
+    // never heard of.
+    let mut w = WireWriter::new();
+    w.put_u64(view.universe_version());
+    view.universe().encode(&mut w);
+    let mut tcam = view.tcam().clone();
+    tcam.insert(SwitchId::new(9999), Vec::new());
+    tcam.encode(&mut w);
+    view.change_log().encode(&mut w);
+    view.fault_log().encode(&mut w);
+    let stray = w.into_bytes();
+    assert_eq!(
+        from_bytes::<FabricView>(&stray),
+        Err(WireError::Invalid { what: "FabricView" })
+    );
+    freeze(dir, surface, "stray_tcam", &stray, false);
+}
+
+fn policy_universe_cases(dir: &Path) {
+    let surface = Surface::PolicyUniverse;
+    let universe = sample::three_tier();
+    freeze(dir, surface, "valid", &to_bytes(&universe), true);
+
+    let encode_with = |mutate: &dyn Fn(&mut Vec<Epg>, &mut Vec<ContractBinding>)| {
+        let mut epgs: Vec<Epg> = universe.epgs().cloned().collect();
+        let mut bindings = universe.bindings().to_vec();
+        mutate(&mut epgs, &mut bindings);
+        let mut w = WireWriter::new();
+        universe
+            .tenants()
+            .cloned()
+            .collect::<Vec<_>>()
+            .encode(&mut w);
+        universe.vrfs().cloned().collect::<Vec<_>>().encode(&mut w);
+        epgs.encode(&mut w);
+        universe
+            .endpoints()
+            .cloned()
+            .collect::<Vec<_>>()
+            .encode(&mut w);
+        universe
+            .switches()
+            .cloned()
+            .collect::<Vec<_>>()
+            .encode(&mut w);
+        universe
+            .contracts()
+            .cloned()
+            .collect::<Vec<_>>()
+            .encode(&mut w);
+        universe
+            .filters()
+            .cloned()
+            .collect::<Vec<_>>()
+            .encode(&mut w);
+        bindings.encode(&mut w);
+        w.into_bytes()
+    };
+
+    assert!(universe.epgs().count() >= 2);
+    let unsorted = encode_with(&|epgs, _| epgs.swap(0, 1));
+    assert_eq!(
+        from_bytes::<PolicyUniverse>(&unsorted),
+        Err(WireError::NonCanonical {
+            what: "PolicyUniverse.epgs"
+        })
+    );
+    freeze(dir, surface, "unsorted_epgs", &unsorted, false);
+
+    assert!(!universe.bindings().is_empty());
+    let dup = encode_with(&|_, bindings| bindings.insert(0, bindings[0]));
+    assert_eq!(
+        from_bytes::<PolicyUniverse>(&dup),
+        Err(WireError::NonCanonical {
+            what: "PolicyUniverse.bindings"
+        })
+    );
+    freeze(dir, surface, "dup_binding", &dup, false);
+}
+
+fn tcam_cases(dir: &Path) {
+    let surface = Surface::Tcam;
+    let mut fabric = Fabric::new(sample::three_tier());
+    fabric.deploy();
+    let tcam = fabric.collect_tcam();
+    assert!(tcam.len() >= 2, "need >= 2 switches to unsort the map");
+    freeze(dir, surface, "valid", &to_bytes(&tcam), true);
+
+    let mut w = WireWriter::new();
+    w.put_usize(tcam.len());
+    for (switch, rules) in tcam.iter().rev() {
+        switch.encode(&mut w);
+        rules.encode(&mut w);
+    }
+    let unsorted = w.into_bytes();
+    assert_eq!(
+        from_bytes::<std::collections::BTreeMap<SwitchId, Vec<TcamRule>>>(&unsorted),
+        Err(WireError::NonCanonical { what: "BTreeMap" })
+    );
+    freeze(dir, surface, "unsorted_keys", &unsorted, false);
+}
+
+fn log_cases(dir: &Path) {
+    let changelog = seeds::for_surface(Surface::ChangeLog)[0].clone();
+    freeze(dir, Surface::ChangeLog, "valid", &changelog, true);
+    let faultlog = seeds::for_surface(Surface::FaultLog)[0].clone();
+    freeze(dir, Surface::FaultLog, "valid", &faultlog, true);
+}
+
+fn snapshot_cases(dir: &Path) {
+    let surface = Surface::Snapshot;
+    let snap_seeds = seeds::for_surface(surface);
+    let bare = snap_seeds[0].clone();
+    let tailed = snap_seeds[1].clone();
+    assert!(
+        !Snapshot::from_bytes(&tailed)
+            .expect("seed decodes")
+            .tail()
+            .is_empty(),
+        "the v1 fixture must pin tail replay, not just the checkpoint"
+    );
+    freeze(dir, surface, "v1", &tailed, true);
+
+    let mut bad_magic = tailed.clone();
+    bad_magic[..4].copy_from_slice(b"XXXX");
+    assert_eq!(
+        Snapshot::from_bytes(&bad_magic),
+        Err(SnapshotError::BadMagic)
+    );
+    freeze(dir, surface, "bad_magic", &bad_magic, false);
+
+    let mut wrong_version = tailed.clone();
+    wrong_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&wrong_version),
+        Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+    ));
+    freeze(dir, surface, "wrong_version", &wrong_version, false);
+
+    // One flipped payload bit, checksum left stale.
+    let mut bad_crc = tailed.clone();
+    bad_crc[20] ^= 0x01;
+    assert!(matches!(
+        Snapshot::from_bytes(&bad_crc),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+    freeze(dir, surface, "bad_crc", &bad_crc, false);
+
+    // Checkpoint epoch forged to u64::MAX: accepting it would make the very
+    // next `next_epoch()` overflow. The epoch is the third payload u64.
+    let mut overflow = bare.clone();
+    overflow[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+    restamp_snapshot_crc(&mut overflow);
+    assert_eq!(
+        Snapshot::from_bytes(&overflow),
+        Err(SnapshotError::EpochOverflow { epoch: u64::MAX })
+    );
+    freeze(dir, surface, "epoch_overflow", &overflow, false);
+
+    // Checkpoint epoch shifted forward: the tail batches no longer continue
+    // it in +1 sequence.
+    let epoch = u64::from_le_bytes(tailed[28..36].try_into().expect("8 bytes"));
+    let mut gapped = tailed.clone();
+    gapped[28..36].copy_from_slice(&(epoch + 5).to_le_bytes());
+    restamp_snapshot_crc(&mut gapped);
+    assert_eq!(
+        Snapshot::from_bytes(&gapped),
+        Err(SnapshotError::TailOutOfOrder {
+            expected: epoch + 6,
+            got: epoch + 1,
+        })
+    );
+    freeze(dir, surface, "gapped_tail", &gapped, false);
+
+    let offsets = snapshot_offsets(&tailed);
+
+    // The report's per-switch section replaced by the same switch twice: the
+    // old decoder collapsed the duplicate into one map entry, re-encoding to
+    // fewer bytes than arrived.
+    let mut w = WireWriter::new();
+    w.put_usize(2);
+    let mut dup = tailed[..offsets.check_count_offset].to_vec();
+    dup.extend_from_slice(&w.into_bytes());
+    dup.extend_from_slice(&tailed[offsets.first_check.clone()]);
+    dup.extend_from_slice(&tailed[offsets.first_check.clone()]);
+    dup.extend_from_slice(&tailed[offsets.checks_end..]);
+    restamp_snapshot_crc(&mut dup);
+    assert_eq!(
+        Snapshot::from_bytes(&dup),
+        Err(SnapshotError::Wire(WireError::NonCanonical {
+            what: "NetworkCheckResult"
+        }))
+    );
+    freeze(dir, surface, "dup_check_switch", &dup, false);
+
+    // An observation's EPG pair with its members swapped: decodes to the
+    // same normalized value, so the bytes are non-canonical.
+    let (a_span, b_span) = offsets
+        .denorm_pair
+        .expect("seed report needs an observation with two distinct EPGs");
+    assert_eq!(a_span.len(), b_span.len());
+    let mut denorm = tailed.clone();
+    let a_bytes = tailed[a_span.clone()].to_vec();
+    let b_bytes = tailed[b_span.clone()].to_vec();
+    denorm[a_span].copy_from_slice(&b_bytes);
+    denorm[b_span].copy_from_slice(&a_bytes);
+    restamp_snapshot_crc(&mut denorm);
+    assert_eq!(
+        Snapshot::from_bytes(&denorm),
+        Err(SnapshotError::Wire(WireError::NonCanonical {
+            what: "EpgPair"
+        }))
+    );
+    freeze(dir, surface, "denorm_epgpair", &denorm, false);
+
+    // Replay-tail count saturated to u64::MAX with a freshly stamped CRC —
+    // the snapshot-surface twin of `eventbatch__huge_len_prefix`.
+    let mut huge_tail = tailed.clone();
+    huge_tail[offsets.tail_count_offset..offsets.tail_count_offset + 8].fill(0xFF);
+    restamp_snapshot_crc(&mut huge_tail);
+    assert!(matches!(
+        Snapshot::from_bytes(&huge_tail),
+        Err(SnapshotError::Wire(WireError::UnexpectedEof { .. }))
+    ));
+    freeze(dir, surface, "huge_tail_len", &huge_tail, false);
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("tests/corpus"));
+
+    event_batch_cases(&dir);
+    fabric_view_cases(&dir);
+    policy_universe_cases(&dir);
+    tcam_cases(&dir);
+    log_cases(&dir);
+    snapshot_cases(&dir);
+
+    // Final gate: the directory as a whole replays clean.
+    let results = corpus::replay_dir(&dir).expect("corpus replay");
+    let violations: Vec<_> = results
+        .iter()
+        .filter(|c| matches!(c.verdict, Verdict::Violation(_)))
+        .collect();
+    for case in &violations {
+        eprintln!("VIOLATION {}", case.path.display());
+    }
+    println!(
+        "corpus {}: {} cases, {} violations",
+        dir.display(),
+        results.len(),
+        violations.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

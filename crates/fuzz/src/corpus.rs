@@ -1,0 +1,121 @@
+//! The committed regression corpus: frozen inputs replayed deterministically.
+//!
+//! Every bug the fuzzer finds gets its triggering input frozen as
+//! `tests/corpus/<surface>__<name>.bin` at the repository root. The root
+//! test `tests/fuzz_corpus.rs` (and the `fuzz` CLI via `--corpus`) replays
+//! the directory through the full oracle set on every run, so a fixed bug
+//! stays fixed: the corpus is the executable history of the decode surface's
+//! failures.
+//!
+//! A corpus case passes when the oracles are satisfied — *rejection with a
+//! typed error is a pass*; most cases are malicious inputs whose expected
+//! fate is exactly a clean rejection. Valid inputs (like the committed
+//! `snapshot__v1` fixture) pass by decoding canonically.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::oracle::{self, Surface, Verdict};
+
+/// One replayed corpus case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case's file path.
+    pub path: PathBuf,
+    /// The surface the file name routed the case to.
+    pub surface: Surface,
+    /// The oracle verdict for the frozen input.
+    pub verdict: Verdict,
+}
+
+/// Replays every `<surface>__<name>.bin` file under `dir` through the
+/// oracles, in sorted file-name order.
+///
+/// Returns an error for an unreadable directory, an entry whose name does
+/// not parse, or an unreadable case file — a corpus that silently skips
+/// cases would defeat its purpose.
+pub fn replay_dir(dir: &Path) -> io::Result<Vec<CaseResult>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    paths.sort();
+
+    let mut results = Vec::new();
+    for path in paths {
+        if path.extension().and_then(|e| e.to_str()) != Some("bin") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let surface = stem
+            .split_once("__")
+            .and_then(|(prefix, _)| Surface::parse(prefix))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "corpus file {} has no <surface>__<name> prefix",
+                        path.display()
+                    ),
+                )
+            })?;
+        let bytes = fs::read(&path)?;
+        results.push(CaseResult {
+            verdict: oracle::check(surface, &bytes),
+            path,
+            surface,
+        });
+    }
+    Ok(results)
+}
+
+/// Freezes `bytes` as a corpus case file and returns its path.
+pub fn write_case(dir: &Path, surface: Surface, name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}__{name}.bin", surface.name()));
+    fs::write(&path, bytes)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Violation;
+
+    #[test]
+    fn corpus_files_roundtrip_through_replay() {
+        let dir = std::env::temp_dir().join("scout-fuzz-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+
+        // A case that must be rejected (truncated batch) and one that must
+        // be accepted (a pristine seed).
+        let seed = crate::seeds::for_surface(Surface::EventBatch)[0].clone();
+        write_case(&dir, Surface::EventBatch, "valid", &seed).unwrap();
+        write_case(
+            &dir,
+            Surface::EventBatch,
+            "truncated",
+            &seed[..seed.len() - 1],
+        )
+        .unwrap();
+        fs::write(dir.join("notes.md"), "non-bin files are ignored").unwrap();
+
+        let results = replay_dir(&dir).unwrap();
+        assert_eq!(results.len(), 2);
+        // Sorted order: truncated < valid.
+        assert!(matches!(results[0].verdict, Verdict::Rejected(_)));
+        assert_eq!(results[1].verdict, Verdict::Accepted);
+        assert!(!results
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Violation(Violation::Panic))));
+
+        let bad = dir.join("unprefixed.bin");
+        fs::write(&bad, [0u8]).unwrap();
+        assert!(replay_dir(&dir).is_err());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! Input generators: seeded mutation of valid encodings, and raw byte soup.
+//!
+//! Both generators are driven by the in-house deterministic
+//! [`StdRng`], so a fuzz run is fully reproducible from
+//! its seed — a corpus-worthy input found in CI can be regenerated locally
+//! from the same `--seed`/iteration count.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::oracle::Surface;
+
+/// Byte offset of the CRC-32 word in a snapshot frame (after the 4-byte
+/// magic and the 4-byte version).
+const SNAPSHOT_CRC_OFFSET: usize = 8;
+/// Total snapshot header length: magic, version, CRC.
+const SNAPSHOT_HEADER_LEN: usize = 12;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial) — must match the snapshot
+/// frame's checksum in `scout-core` so mutated payloads can be restamped.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Rewrites a snapshot frame's checksum to match its (possibly mutated)
+/// payload, so the mutant penetrates past [`ChecksumMismatch`] into the
+/// structural and semantic decode layers under test.
+///
+/// [`ChecksumMismatch`]: scout_core::SnapshotError::ChecksumMismatch
+pub fn restamp_snapshot_crc(bytes: &mut [u8]) {
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return;
+    }
+    let crc = crc32(&bytes[SNAPSHOT_HEADER_LEN..]);
+    bytes[SNAPSHOT_CRC_OFFSET..SNAPSHOT_HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// One random structural mutation of `bytes`.
+fn mutate_once(rng: &mut StdRng, bytes: &mut Vec<u8>) {
+    match rng.gen_range(0u8..8) {
+        // Flip one bit.
+        0 if !bytes.is_empty() => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] ^= 1 << rng.gen_range(0u8..8);
+        }
+        // Overwrite one byte.
+        1 if !bytes.is_empty() => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = rng.gen_range(0u8..=255);
+        }
+        // Saturate a would-be length prefix: eight 0xFF bytes in place.
+        2 if bytes.len() >= 8 => {
+            let i = rng.gen_range(0..=bytes.len() - 8);
+            bytes[i..i + 8].fill(0xFF);
+        }
+        // Truncate.
+        3 if !bytes.is_empty() => {
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        // Remove a span.
+        4 if !bytes.is_empty() => {
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=(bytes.len() - start).min(16));
+            bytes.drain(start..start + len);
+        }
+        // Insert random bytes.
+        5 => {
+            let at = rng.gen_range(0..=bytes.len());
+            let insert: Vec<u8> = (0..rng.gen_range(1usize..=16))
+                .map(|_| rng.gen_range(0u8..=255))
+                .collect();
+            bytes.splice(at..at, insert);
+        }
+        // Duplicate a span (grows repeated-element payloads).
+        6 if !bytes.is_empty() => {
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=(bytes.len() - start).min(32));
+            let span: Vec<u8> = bytes[start..start + len].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, span);
+        }
+        // Append trailing garbage (the finish() oracle).
+        _ => {
+            for _ in 0..rng.gen_range(1usize..=8) {
+                bytes.push(rng.gen_range(0u8..=255));
+            }
+        }
+    }
+}
+
+/// Produces the next fuzz input for `surface`: usually a mutated seed,
+/// sometimes pure byte soup.
+pub fn next_input(rng: &mut StdRng, surface: Surface, seeds: &[Vec<u8>]) -> Vec<u8> {
+    // 1-in-8 inputs are raw soup; everything else mutates a seed.
+    if seeds.is_empty() || rng.gen_range(0u8..8) == 0 {
+        let len = rng.gen_range(0usize..2048);
+        let mut soup: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+        if surface == Surface::Snapshot && rng.gen_bool(0.5) && soup.len() >= SNAPSHOT_HEADER_LEN {
+            // Give half the soup a valid frame so it reaches the payload
+            // decoder instead of dying at BadMagic.
+            soup[..4].copy_from_slice(b"SCSN");
+            soup[4..8].copy_from_slice(&scout_core::SNAPSHOT_VERSION.to_le_bytes());
+            restamp_snapshot_crc(&mut soup);
+        }
+        return soup;
+    }
+
+    let mut input = seeds.choose(rng).expect("seeds checked non-empty").clone();
+    for _ in 0..rng.gen_range(1usize..=4) {
+        mutate_once(rng, &mut input);
+    }
+    if surface == Surface::Snapshot && rng.gen_bool(0.75) {
+        // Most snapshot mutants get a fresh checksum; the rest keep the
+        // stale one to exercise the ChecksumMismatch path itself.
+        restamp_snapshot_crc(&mut input);
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use scout_core::Snapshot;
+
+    #[test]
+    fn crc_matches_the_snapshot_frame() {
+        // Restamping an untouched valid snapshot must be a no-op: the
+        // local crc32 agrees with the one scout-core stamps.
+        let seed = crate::seeds::for_surface(Surface::Snapshot)[0].clone();
+        let mut restamped = seed.clone();
+        restamp_snapshot_crc(&mut restamped);
+        assert_eq!(restamped, seed);
+        assert!(Snapshot::from_bytes(&restamped).is_ok());
+    }
+
+    #[test]
+    fn restamped_payload_mutants_pass_the_checksum_gate() {
+        let seed = crate::seeds::for_surface(Surface::Snapshot)[0].clone();
+        let mut mutant = seed.clone();
+        let mid = SNAPSHOT_HEADER_LEN + (mutant.len() - SNAPSHOT_HEADER_LEN) / 2;
+        mutant[mid] ^= 0x01;
+        restamp_snapshot_crc(&mut mutant);
+        // Whatever the decode outcome, it must not be ChecksumMismatch.
+        match Snapshot::from_bytes(&mutant) {
+            Ok(_) => {}
+            Err(err) => {
+                let rendered = err.to_string();
+                assert!(
+                    !rendered.contains("checksum"),
+                    "restamp failed to clear the checksum gate: {rendered}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let seeds = crate::seeds::for_surface(Surface::EventBatch);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50)
+                .map(|_| next_input(&mut rng, Surface::EventBatch, seeds))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

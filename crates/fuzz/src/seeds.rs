@@ -1,0 +1,112 @@
+//! Valid wire encodings used as mutation seeds.
+//!
+//! Structure-aware fuzzing starts from inputs that *pass* every validation
+//! layer: a mutation of a valid encoding exercises the deep decode paths
+//! (universe re-validation, view invariants, tail sequencing) that pure byte
+//! soup almost never reaches. Everything is built from deterministic sources
+//! — [`scout_policy::sample`], [`ClusterSpec`] generation with fixed seeds,
+//! and checkpointed sessions over the simulated fabric.
+//!
+//! Seeds are computed once per process and cached: fabric identity
+//! (`Fabric::id`, `universe_version`) is drawn from process-global counters,
+//! so regenerating them mid-run would produce different bytes. With the
+//! cache, every [`for_surface`] call — and therefore every fuzz iteration —
+//! sees the same seed bytes for the lifetime of the process, which is what
+//! seeded reproducibility needs.
+
+use std::sync::OnceLock;
+
+use scout_core::ScoutEngine;
+use scout_fabric::wire::to_bytes;
+use scout_fabric::{EventBatch, Fabric, FabricProbe, FabricView};
+use scout_policy::sample;
+use scout_workload::ClusterSpec;
+
+use crate::oracle::Surface;
+
+/// A deployed three-tier fabric with one fault of each class applied, plus
+/// the batches a probe observed along the way.
+fn faulty_fabric() -> (Fabric, FabricProbe, Vec<EventBatch>) {
+    let mut fabric = Fabric::new(sample::three_tier());
+    fabric.deploy();
+    let mut probe = FabricProbe::new(&fabric);
+
+    let mut batches = Vec::new();
+    fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+    batches.push(EventBatch::new(1, probe.observe(&fabric)));
+    fabric.disconnect_switch(sample::S1);
+    batches.push(EventBatch::new(2, probe.observe(&fabric)));
+    fabric.repair_switch(sample::S1);
+    let universe = fabric.universe().clone();
+    fabric.update_policy(universe);
+    batches.push(EventBatch::new(3, probe.observe(&fabric)));
+
+    (fabric, probe, batches)
+}
+
+fn build(surface: Surface) -> Vec<Vec<u8>> {
+    let (fabric, _probe, batches) = faulty_fabric();
+    match surface {
+        Surface::EventBatch => {
+            let mut seeds: Vec<Vec<u8>> = batches.iter().map(to_bytes).collect();
+            seeds.push(to_bytes(&EventBatch::empty(1)));
+            seeds
+        }
+        Surface::FabricView => {
+            let undeployed = Fabric::new(sample::three_tier());
+            vec![
+                to_bytes(&FabricView::of(&fabric)),
+                to_bytes(&FabricView::of(&undeployed)),
+            ]
+        }
+        Surface::PolicyUniverse => vec![
+            to_bytes(&sample::three_tier()),
+            to_bytes(&ClusterSpec::small().generate(42)),
+        ],
+        Surface::Tcam => vec![to_bytes(&fabric.collect_tcam())],
+        Surface::ChangeLog => vec![to_bytes(fabric.change_log())],
+        Surface::FaultLog => vec![to_bytes(fabric.fault_log())],
+        Surface::Snapshot => {
+            // A checkpoint of a faulty session (non-trivial report), both
+            // with and without a replay tail.
+            let (mut fabric, mut probe, _) = faulty_fabric();
+            let engine = ScoutEngine::new();
+            let mut session = engine.open_session(&fabric);
+            let bare = session.checkpoint().to_bytes();
+
+            let mut snapshot = session.checkpoint();
+            fabric.repair_switch(sample::S2);
+            let batch = EventBatch::new(session.next_epoch(), probe.observe(&fabric));
+            snapshot.push_tail(batch.clone()).expect("sequenced tail");
+            session.ingest(batch).expect("live ingest");
+            vec![bare, snapshot.to_bytes()]
+        }
+    }
+}
+
+/// Valid encodings for `surface`, computed once per process in
+/// [`Surface::ALL`] order and stable thereafter.
+pub fn for_surface(surface: Surface) -> &'static [Vec<u8>] {
+    static CACHE: OnceLock<Vec<Vec<Vec<u8>>>> = OnceLock::new();
+    let all = CACHE.get_or_init(|| Surface::ALL.into_iter().map(build).collect());
+    let index = Surface::ALL
+        .into_iter()
+        .position(|s| s == surface)
+        .expect("every surface is in ALL");
+    &all[index]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_cached_and_nonempty() {
+        for surface in Surface::ALL {
+            let a = for_surface(surface);
+            let b = for_surface(surface);
+            assert!(!a.is_empty(), "{surface}: no seeds");
+            assert_eq!(a, b, "{surface}: cache returned different seeds");
+        }
+    }
+}

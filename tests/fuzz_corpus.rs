@@ -1,0 +1,119 @@
+//! Replays the committed regression corpus and pins the snapshot-v1
+//! migration contract.
+//!
+//! `tests/corpus/*.bin` is the executable history of the untrusted decode
+//! surface: every bug class the fuzz harness found (or hardening closed off)
+//! has its triggering bytes frozen as a `<surface>__<name>.bin` case. This
+//! test replays the whole directory through the full oracle set — no panic,
+//! no allocation blowup, no non-canonical acceptance — in a debug build, so
+//! overflow checks and debug assertions are armed. Regenerate cases with
+//! `cargo run -p scout-fuzz --bin gen-corpus` (but see
+//! [`snapshot_v1_fixture_stays_restorable`]: the committed v1 fixture must
+//! *not* be regenerated across a `SNAPSHOT_VERSION` bump).
+//!
+//! Linking `scout-fuzz` installs its tracking global allocator, which arms
+//! the allocation oracle for this whole test binary.
+
+use std::path::Path;
+
+use scout_core::{ScoutEngine, Snapshot, SNAPSHOT_VERSION};
+use scout_fuzz::oracle::{Surface, Verdict};
+use scout_fuzz::{alloc, corpus, harness};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+}
+
+/// Every frozen case meets its expected fate: `__valid`/`__v1` cases decode
+/// canonically, everything else is rejected with a typed error, and nothing
+/// violates an oracle.
+#[test]
+fn corpus_replays_clean() {
+    assert!(
+        alloc::is_installed(),
+        "tracking allocator missing; the allocation oracle would be vacuous"
+    );
+    let results = corpus::replay_dir(corpus_dir()).expect("corpus directory replays");
+    assert!(
+        results.len() >= 20,
+        "corpus shrank to {} cases — cases must not be deleted casually",
+        results.len()
+    );
+    for case in &results {
+        let name = case
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 case name");
+        let expect_accept = name.ends_with("__valid") || name.ends_with("__v1");
+        match &case.verdict {
+            Verdict::Accepted => {
+                assert!(expect_accept, "{name}: malicious case was accepted")
+            }
+            Verdict::Rejected(err) => {
+                assert!(!expect_accept, "{name}: valid case was rejected: {err}")
+            }
+            Verdict::Violation(violation) => panic!("{name}: oracle violation: {violation}"),
+        }
+    }
+    // Every decode surface has at least one frozen case.
+    for surface in Surface::ALL {
+        assert!(
+            results.iter().any(|c| c.surface == surface),
+            "no corpus case exercises the {surface} surface"
+        );
+    }
+}
+
+/// The committed `snapshot__v1.bin` fixture pins the `SNAPSHOT_VERSION = 1`
+/// byte layout: this build must keep decoding and restoring snapshots
+/// written by every earlier build of the same version. If this test fails
+/// after a schema change, the fix is a version bump plus a migration path —
+/// never regenerating the fixture to paper over the break.
+#[test]
+fn snapshot_v1_fixture_stays_restorable() {
+    let bytes = std::fs::read(corpus_dir().join("snapshot__v1.bin")).expect("committed fixture");
+    assert_eq!(&bytes[..4], b"SCSN");
+    let fixture_version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    assert_eq!(
+        fixture_version, SNAPSHOT_VERSION,
+        "fixture was written by snapshot version {fixture_version}; this build reads \
+         {SNAPSHOT_VERSION} — add a migration, don't regenerate the fixture"
+    );
+
+    let snapshot = Snapshot::from_bytes(&bytes).expect("v1 fixture decodes");
+    assert!(
+        !snapshot.tail().is_empty(),
+        "fixture must exercise tail replay, not just the checkpoint"
+    );
+    // Byte-exact fixpoint, then a full engine restore including the tail.
+    assert_eq!(snapshot.to_bytes(), bytes);
+    let engine = ScoutEngine::new();
+    let session = engine.restore(&snapshot).expect("v1 fixture restores");
+    assert_eq!(
+        session.epoch(),
+        snapshot.epoch() + snapshot.tail().len() as u64
+    );
+}
+
+/// A deterministic fixed-seed fuzz pass over every surface stays clean in a
+/// debug build, and the generators demonstrably penetrate each surface (some
+/// inputs accepted, some rejected).
+#[test]
+fn fixed_seed_fuzz_smoke_is_clean() {
+    for report in harness::run(&Surface::ALL, 400, 0xC0FFEE) {
+        assert!(
+            report.findings.is_empty(),
+            "{}: {} oracle violations at 400 iterations",
+            report.surface,
+            report.findings.len()
+        );
+        assert!(
+            report.accepted > 0 && report.rejected > 0,
+            "{}: generators failed to penetrate (accepted {}, rejected {})",
+            report.surface,
+            report.accepted,
+            report.rejected
+        );
+    }
+}
