@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use scout_fabric::{ChangeLog, FaultKind, FaultLog, FaultLogEntry, Timestamp};
 use scout_policy::{ObjectId, PolicyUniverse, SwitchId};
 
-use crate::localization::Hypothesis;
+use crate::localization::{Evidence, Hypothesis};
 
 /// A library of fault signatures the engine knows how to recognize.
 ///
@@ -178,6 +178,75 @@ impl CorrelationReport {
     }
 }
 
+/// One candidate root cause in a [`PartialDiagnosis`], scored by confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCause {
+    /// The suspected faulty object.
+    pub object: ObjectId,
+    /// The best matching physical cause, or [`RootCause::Unknown`] when no
+    /// relevant fault log exists for the object.
+    pub cause: RootCause,
+    /// Confidence in `(0, 1]`. Logged causes score in `(0.5, 1]` and
+    /// unlogged ones in `(0, 0.5]`, so a logged root cause always outranks
+    /// an unlogged one.
+    pub confidence: f64,
+}
+
+/// A ranked list of candidate root causes — the correlation engine's answer
+/// when telemetry is degraded (missing or incomplete fault logs) and the
+/// definitive per-object [`CorrelationReport`] would go silent.
+///
+/// Produced on demand by [`CorrelationEngine::rank_partial`] (or
+/// [`AnalysisSession::partial_diagnosis`](crate::AnalysisSession::partial_diagnosis));
+/// never stored in a [`ScoutReport`](crate::ScoutReport).
+///
+/// Candidates are sorted by confidence descending, ties broken by object id,
+/// so the ranking is deterministic for a given report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartialDiagnosis {
+    candidates: Vec<RankedCause>,
+}
+
+impl PartialDiagnosis {
+    /// All candidates, highest confidence first.
+    pub fn candidates(&self) -> &[RankedCause] {
+        &self.candidates
+    }
+
+    /// Number of ranked candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Returns `true` if nothing could be ranked (an empty hypothesis over
+    /// a consistent fabric).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The top `n` candidates (fewer if the ranking is shorter).
+    pub fn top(&self, n: usize) -> &[RankedCause] {
+        &self.candidates[..n.min(self.candidates.len())]
+    }
+
+    /// The 1-based rank of `object`, if it was ranked at all.
+    pub fn rank_of(&self, object: ObjectId) -> Option<usize> {
+        self.candidates
+            .iter()
+            .position(|c| c.object == object)
+            .map(|i| i + 1)
+    }
+
+    /// The best (lowest) 1-based rank across `objects` — how high the
+    /// ranking places *any* member of a ground-truth set.
+    pub fn rank_of_any(&self, objects: &BTreeSet<ObjectId>) -> Option<usize> {
+        self.candidates
+            .iter()
+            .position(|c| objects.contains(&c.object))
+            .map(|i| i + 1)
+    }
+}
+
 /// The event correlation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorrelationEngine {
@@ -256,6 +325,93 @@ impl CorrelationEngine {
             diagnoses.push(ObjectDiagnosis { object, causes });
         }
         CorrelationReport { diagnoses }
+    }
+
+    /// Ranks every candidate root cause by confidence — the degraded-input
+    /// counterpart to [`CorrelationEngine::correlate`], for fabrics whose
+    /// fault logs are missing, wiped or incomplete.
+    ///
+    /// Candidates are the hypothesis objects plus any risk-model suspects
+    /// the greedy cover did not select (weaker, but still in play when logs
+    /// cannot arbitrate). Confidence composes two signals:
+    ///
+    /// * the localization evidence class — full cover 1.0, recent change
+    ///   0.8, score cover 0.6, unselected suspect 0.3 — and
+    /// * whether a signature-matched fault log backs the object: logged
+    ///   causes map to `0.55 + 0.45 × weight` (always above `0.5`),
+    ///   unlogged ones to `0.5 × weight` (always at or below) — so a logged
+    ///   root cause ranks above every unlogged candidate by construction.
+    ///
+    /// When several logs back one object the most recent wins. The ranking
+    /// is never empty while the hypothesis or suspect set is non-empty, and
+    /// it is deterministic: ties break on object id.
+    pub fn rank_partial(
+        &self,
+        hypothesis: &Hypothesis,
+        suspects: &BTreeSet<ObjectId>,
+        universe: &PolicyUniverse,
+        change_log: &ChangeLog,
+        fault_log: &FaultLog,
+    ) -> PartialDiagnosis {
+        let mut candidates = Vec::new();
+        let hypothesized = hypothesis.objects();
+        let weighted = hypothesis
+            .iter()
+            .map(|(&object, evidence)| {
+                let weight = match evidence {
+                    Evidence::FullCover => 1.0,
+                    Evidence::RecentChange { .. } => 0.8,
+                    Evidence::ScoreCover => 0.6,
+                };
+                (object, weight)
+            })
+            .chain(
+                suspects
+                    .iter()
+                    .filter(|o| !hypothesized.contains(o))
+                    .map(|&object| (object, 0.3)),
+            );
+        for (object, weight) in weighted {
+            let relevant_switches = object_switches(universe, object);
+            let change_times: Vec<Timestamp> = change_log
+                .entries_for(object)
+                .iter()
+                .map(|e| e.time)
+                .collect();
+            let backing = fault_log
+                .entries()
+                .iter()
+                .filter(|entry| {
+                    switch_relevant(entry, &relevant_switches)
+                        && fault_relevant(entry, &change_times)
+                        && self.signatures.matches(entry.kind)
+                })
+                .max_by_key(|entry| entry.time);
+            let (cause, confidence) = match backing {
+                Some(entry) => (
+                    RootCause::Physical {
+                        kind: entry.kind,
+                        switch: entry.switch,
+                        observed_at: entry.time,
+                        message: entry.message.clone(),
+                    },
+                    0.55 + 0.45 * weight,
+                ),
+                None => (RootCause::Unknown, 0.5 * weight),
+            };
+            candidates.push(RankedCause {
+                object,
+                cause,
+                confidence,
+            });
+        }
+        candidates.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("confidences are finite")
+                .then_with(|| a.object.cmp(&b.object))
+        });
+        PartialDiagnosis { candidates }
     }
 }
 

@@ -66,7 +66,8 @@ pub mod session;
 pub mod snapshot;
 
 pub use correlation::{
-    CorrelationEngine, CorrelationReport, ObjectDiagnosis, RootCause, SignatureLibrary,
+    CorrelationEngine, CorrelationReport, ObjectDiagnosis, PartialDiagnosis, RankedCause,
+    RootCause, SignatureLibrary,
 };
 pub use engine::{
     EngineBuildError, EngineConfig, OracleCadence, ScoutEngine, ScoutEngineBuilder, ScoutReport,
@@ -78,7 +79,7 @@ pub use risk::{
     augment_switch_model_tracked, controller_risk_model, controller_risk_model_sharded,
     switch_risk_model, EdgeStatus, FailureMarks, RiskModel,
 };
-pub use session::{AnalysisSession, ReportDelta, SessionError, SessionStats};
+pub use session::{AnalysisSession, ReportDelta, ResyncRequest, SessionError, SessionStats};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 
 #[cfg(test)]
@@ -185,6 +186,93 @@ mod proptests {
             let model = build_model(&random_model_desc(&mut rng));
             let h = score_localize(&model, 1.0);
             assert!(h.len() <= h.observations, "seed {seed}");
+        }
+    }
+
+    /// Ranked partial diagnoses under randomly conflicting evidence — logged
+    /// evictions next to silent removals, with coin-flip fault-log wipes —
+    /// are deterministic across engine parallelism, never empty while
+    /// missing rules exist, and always rank a logged root cause above every
+    /// unlogged candidate.
+    #[test]
+    fn ranked_partial_diagnoses_are_stable_and_ordered() {
+        use scout_equiv::Parallelism;
+        use scout_fabric::{Fabric, FaultLog};
+        use scout_policy::sample;
+
+        let rank = |engine: &ScoutEngine, fabric: &Fabric| {
+            let report = engine.analyze(fabric);
+            let ranked = engine.correlation().rank_partial(
+                &report.hypothesis,
+                &report.suspect_objects,
+                fabric.universe(),
+                fabric.change_log(),
+                fabric.fault_log(),
+            );
+            (report, ranked)
+        };
+
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut fabric = Fabric::new(sample::three_tier());
+            fabric.deploy();
+            let switches = [sample::S1, sample::S2, sample::S3];
+            for _ in 0..rng.gen_range(1usize..4) {
+                let switch = switches[rng.gen_range(0..switches.len())];
+                if rng.gen_bool(0.5) {
+                    fabric.evict_tcam(switch, rng.gen_range(1usize..3), true);
+                } else {
+                    fabric.remove_tcam_rules_where(switch, |r| r.matcher.ports.start == 700);
+                }
+            }
+            if rng.gen_bool(0.3) {
+                *fabric.fault_log_mut() = FaultLog::new();
+            }
+
+            let sequential = ScoutEngine::builder()
+                .parallelism(Parallelism::Sequential)
+                .build()
+                .unwrap();
+            let threaded = ScoutEngine::builder()
+                .parallelism(Parallelism::Fixed(4))
+                .build()
+                .unwrap();
+            let (report, ranked) = rank(&sequential, &fabric);
+            let (_, reranked) = rank(&sequential, &fabric);
+            assert_eq!(ranked, reranked, "seed {seed}: ranking must be stable");
+            let (_, ranked_threaded) = rank(&threaded, &fabric);
+            assert_eq!(
+                ranked, ranked_threaded,
+                "seed {seed}: ranking must not depend on thread count"
+            );
+
+            if report.check.missing_rules().next().is_some() {
+                assert!(
+                    !ranked.is_empty(),
+                    "seed {seed}: missing rules demand a non-empty ranking"
+                );
+            }
+
+            let mut saw_unlogged = false;
+            for candidate in ranked.candidates() {
+                assert!(
+                    candidate.confidence > 0.0 && candidate.confidence <= 1.0,
+                    "seed {seed}: confidence out of range"
+                );
+                match candidate.cause {
+                    RootCause::Unknown => {
+                        assert!(candidate.confidence <= 0.5, "seed {seed}");
+                        saw_unlogged = true;
+                    }
+                    RootCause::Physical { .. } => {
+                        assert!(candidate.confidence > 0.5, "seed {seed}");
+                        assert!(
+                            !saw_unlogged,
+                            "seed {seed}: a logged cause ranked below an unlogged one"
+                        );
+                    }
+                }
+            }
         }
     }
 }

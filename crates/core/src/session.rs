@@ -28,16 +28,44 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use scout_equiv::{EquivalenceChecker, NetworkCheckResult};
-use scout_fabric::{ApplyError, EventBatch, Fabric, FabricEvent, FabricProbe, FabricView};
+use scout_fabric::{
+    ApplyError, EventBatch, Fabric, FabricEvent, FabricProbe, FabricView, FullSync,
+};
 use scout_metrics::TimeSeries;
 use scout_policy::{LogicalRule, ObjectId, SwitchEpgPair, SwitchId};
 
+use crate::correlation::PartialDiagnosis;
 use crate::engine::{report_from_model, EngineShared, ScoutReport, SessionId};
 use crate::localization::scout_localize;
 use crate::risk::{
     augment_controller_model, augment_controller_model_tracked, controller_risk_model,
     controller_risk_model_sharded, RiskModel,
 };
+
+/// What an [`AnalysisSession`] needs after it detects an epoch gap: the
+/// range of epochs whose deltas were lost in transit.
+///
+/// Carried by [`SessionError::EpochGap`]. Because [`FabricProbe`] cursors
+/// advance on `observe` even when the produced batch is later dropped, the
+/// lost deltas are *unrecoverable* — the only sound recovery is a fresh
+/// full read ([`FabricProbe::full_resync`]) handed to
+/// [`AnalysisSession::resync`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncRequest {
+    /// The first epoch the session never received (its `next_epoch` at the
+    /// time the gap was detected).
+    pub from_epoch: u64,
+    /// The epoch of the batch that revealed the gap. That batch was *not*
+    /// applied either: the resync must cover it too.
+    pub observed_epoch: u64,
+}
+
+impl ResyncRequest {
+    /// How many epochs of deltas were lost, including the revealing batch.
+    pub fn missing_epochs(&self) -> u64 {
+        self.observed_epoch - self.from_epoch + 1
+    }
+}
 
 /// Why an [`AnalysisSession::ingest`] was rejected. A rejected batch leaves
 /// the session completely untouched: the epoch is not consumed and the
@@ -46,7 +74,7 @@ use crate::risk::{
 /// # Example
 ///
 /// ```
-/// use scout_core::{ScoutEngine, SessionError};
+/// use scout_core::{ResyncRequest, ScoutEngine, SessionError};
 /// use scout_fabric::{EventBatch, Fabric};
 /// use scout_policy::sample;
 ///
@@ -55,21 +83,34 @@ use crate::risk::{
 /// let engine = ScoutEngine::new();
 /// let mut session = engine.open_session(&fabric);
 ///
-/// // Epoch 3 arrives when 1 was expected: a typed, recoverable rejection.
+/// // Epoch 3 arrives when 1 was expected: epochs 1..=3 were lost in
+/// // transit, and the error carries the resync the session now needs.
 /// let err = session.ingest(EventBatch::empty(3)).unwrap_err();
-/// assert_eq!(err, SessionError::EpochOutOfOrder { expected: 1, got: 3 });
+/// let resync = ResyncRequest { from_epoch: 1, observed_epoch: 3 };
+/// assert_eq!(err, SessionError::EpochGap { resync });
+/// assert_eq!(resync.missing_epochs(), 3);
 /// assert_eq!(session.epoch(), 0, "nothing was consumed");
 /// assert!(session.ingest(EventBatch::empty(1)).is_ok());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionError {
-    /// The batch's epoch is not the next expected one — a duplicate, an
-    /// out-of-order delivery, or a gap (lost deltas).
+    /// The batch's epoch is behind the next expected one — a duplicate or a
+    /// reordered late delivery. Safe to drop: the session already holds
+    /// every epoch up to `expected - 1`.
     EpochOutOfOrder {
         /// The epoch the session expected next.
         expected: u64,
         /// The epoch the batch carried.
         got: u64,
+    },
+    /// The batch's epoch is *ahead* of the next expected one: at least one
+    /// earlier batch was lost in transit, and (probe cursors having moved
+    /// on) its deltas can never be replayed. The session stays wedged at
+    /// its current epoch until [`AnalysisSession::resync`] is fed a fresh
+    /// [`FullSync`] read covering the carried [`ResyncRequest`].
+    EpochGap {
+        /// The lost epoch range and the epoch a resync must reach.
+        resync: ResyncRequest,
     },
     /// An event referenced a switch the session's policy universe does not
     /// contain.
@@ -107,6 +148,11 @@ impl fmt::Display for SessionError {
             SessionError::EpochOutOfOrder { expected, got } => {
                 write!(f, "epoch out of order: expected {expected}, got {got}")
             }
+            SessionError::EpochGap { resync } => write!(
+                f,
+                "epoch gap: epochs {}..={} were lost in transit; full resync required",
+                resync.from_epoch, resync.observed_epoch
+            ),
             SessionError::UnknownSwitch { epoch, switch } => {
                 write!(f, "epoch {epoch}: event references unknown switch {switch}")
             }
@@ -243,7 +289,10 @@ pub struct SessionStats {
     pub empty_batches: usize,
     /// Switches re-checked across all ingests.
     pub rechecked_switches: usize,
-    /// Per-ingest latency in nanoseconds, one sample per successful ingest.
+    /// Gap recoveries via [`AnalysisSession::resync`].
+    pub resyncs: usize,
+    /// Per-ingest latency in nanoseconds, one sample per successful ingest
+    /// (resyncs included: they are the expensive tail of the distribution).
     pub ingest_latency: TimeSeries,
 }
 
@@ -254,6 +303,7 @@ impl Default for SessionStats {
             events: 0,
             empty_batches: 0,
             rechecked_switches: 0,
+            resyncs: 0,
             ingest_latency: TimeSeries::new("per-ingest latency (ns)"),
         }
     }
@@ -444,15 +494,26 @@ impl AnalysisSession {
     /// Ingests one epoch of typed deltas.
     ///
     /// The batch's epoch must be exactly [`AnalysisSession::next_epoch`];
-    /// duplicates, reordered batches and gaps are rejected with
-    /// [`SessionError::EpochOutOfOrder`]. Events referencing unknown switches
-    /// or out-of-range fault entries are rejected with context. A rejected
+    /// duplicates and reordered late deliveries are rejected with
+    /// [`SessionError::EpochOutOfOrder`] (droppable), while a batch from the
+    /// *future* is rejected with [`SessionError::EpochGap`] — earlier deltas
+    /// were lost and the carried [`ResyncRequest`] names the resync that
+    /// recovers the session. Events referencing unknown switches or
+    /// out-of-range fault entries are rejected with context. A rejected
     /// batch leaves the session untouched. An empty batch is a cheap no-op:
     /// the epoch advances and the previous report is retained without
     /// re-running any analysis stage.
     pub fn ingest(&mut self, batch: EventBatch) -> Result<ReportDelta, SessionError> {
         let expected = self.epoch + 1;
-        if batch.epoch != expected {
+        if batch.epoch > expected {
+            return Err(SessionError::EpochGap {
+                resync: ResyncRequest {
+                    from_epoch: expected,
+                    observed_epoch: batch.epoch,
+                },
+            });
+        }
+        if batch.epoch < expected {
             return Err(SessionError::EpochOutOfOrder {
                 expected,
                 got: batch.epoch,
@@ -536,6 +597,78 @@ impl AnalysisSession {
     ) -> Result<ReportDelta, SessionError> {
         let events = probe.observe(fabric);
         self.ingest(EventBatch::new(self.next_epoch(), events))
+    }
+
+    /// Recovers from an epoch gap by replacing the mirror with a fresh full
+    /// read and re-running the full pipeline on it — the recovery path for
+    /// [`SessionError::EpochGap`].
+    ///
+    /// `epoch` is the epoch the resync advances the session to (at least
+    /// the gap's `observed_epoch`; later is fine if more epochs elapsed
+    /// before the resync read landed) and `sync` is the fresh read, e.g.
+    /// from [`FabricProbe::full_resync`] — which also realigns the probe's
+    /// cursors so subsequent observations resume incrementally. An `epoch`
+    /// that does not move the session forward is rejected with
+    /// [`SessionError::EpochOutOfOrder`] and changes nothing.
+    ///
+    /// From the resync epoch onward the session is bit-identical to one
+    /// that never lost a batch: the enforced root test `tests/hostile.rs`
+    /// replays an interrupted and an uninterrupted timeline side by side
+    /// and asserts exactly that.
+    pub fn resync(&mut self, epoch: u64, sync: FullSync) -> Result<ReportDelta, SessionError> {
+        if epoch < self.next_epoch() {
+            return Err(SessionError::EpochOutOfOrder {
+                expected: self.next_epoch(),
+                got: epoch,
+            });
+        }
+        let start = Instant::now();
+        self.view = sync.into_view();
+        let check = self
+            .checker
+            .check_network(self.view.logical_rules(), self.view.tcam());
+        self.model =
+            controller_risk_model_sharded(self.view.universe(), self.shared.config.parallelism);
+        let marks = augment_controller_model_tracked(&mut self.model, check.missing_rules());
+        let report = report_from_model(
+            check,
+            &self.model,
+            self.view.universe(),
+            self.view.change_log(),
+            self.view.fault_log(),
+            self.shared.config.scout,
+            &self.shared.correlation,
+        );
+        self.model.undo_failures(marks);
+
+        let delta =
+            ReportDelta::between(epoch, self.view.switch_set().clone(), &self.report, &report);
+        self.report = report;
+        self.epoch = epoch;
+        self.stats.ingests += 1;
+        self.stats.resyncs += 1;
+        self.stats.rechecked_switches += delta.rechecked.len();
+        self.stats
+            .ingest_latency
+            .push(start.elapsed().as_nanos() as f64);
+        Ok(delta)
+    }
+
+    /// Ranks every candidate root cause of the current report by
+    /// confidence — the degraded-telemetry companion to the definitive
+    /// [`ScoutReport::diagnosis`](crate::ScoutReport): when fault logs are
+    /// missing or incomplete, the ranking still names the most likely
+    /// culprits instead of going silent. See
+    /// [`CorrelationEngine::rank_partial`](crate::CorrelationEngine::rank_partial)
+    /// for the ranking contract.
+    pub fn partial_diagnosis(&self) -> PartialDiagnosis {
+        self.shared.correlation.rank_partial(
+            &self.report.hypothesis,
+            &self.report.suspect_objects,
+            self.view.universe(),
+            self.view.change_log(),
+            self.view.fault_log(),
+        )
     }
 
     /// Returns `true` if the session's open-time check can be reused
@@ -779,15 +912,27 @@ mod tests {
         let mut session = engine.open_session(&fabric);
         assert_eq!(session.next_epoch(), 1);
 
-        // A gap, a duplicate of the future, and epoch 0 are all rejected.
-        for bad in [0u64, 2, 7] {
+        // Epoch 0 (behind) is a droppable out-of-order delivery; epochs
+        // from the future are gaps carrying the resync they require.
+        assert_eq!(
+            session.ingest(EventBatch::empty(0)),
+            Err(SessionError::EpochOutOfOrder {
+                expected: 1,
+                got: 0
+            })
+        );
+        for ahead in [2u64, 7] {
+            let err = session.ingest(EventBatch::empty(ahead)).unwrap_err();
             assert_eq!(
-                session.ingest(EventBatch::empty(bad)),
-                Err(SessionError::EpochOutOfOrder {
-                    expected: 1,
-                    got: bad
-                })
+                err,
+                SessionError::EpochGap {
+                    resync: ResyncRequest {
+                        from_epoch: 1,
+                        observed_epoch: ahead
+                    }
+                }
             );
+            assert!(err.to_string().contains("resync required"));
         }
         assert!(session.ingest(EventBatch::empty(1)).is_ok());
         // Replaying the consumed epoch is rejected too.
@@ -803,6 +948,65 @@ mod tests {
         // Rejected batches consume nothing.
         assert_eq!(session.epoch(), 1);
         assert_eq!(session.stats().ingests, 1);
+    }
+
+    #[test]
+    fn gapped_session_recovers_via_full_resync() {
+        let mut fabric = deployed();
+        let engine = ScoutEngine::new();
+        let mut session = engine.open_session(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        // Epoch 1's batch is produced… and lost. The probe's cursors have
+        // moved on regardless.
+        fabric.evict_tcam(sample::S2, 2, true);
+        let _lost = probe.observe(&fabric);
+
+        // Epoch 2's batch arrives and reveals the gap; the session is
+        // untouched and — without a resync — wedged (every later delta is
+        // also from the future).
+        fabric.evict_tcam(sample::S3, 1, true);
+        let late = EventBatch::new(2, probe.observe(&fabric));
+        let err = session.ingest(late).unwrap_err();
+        let SessionError::EpochGap { resync } = err else {
+            panic!("a future epoch must be classified as a gap, got {err:?}");
+        };
+        assert_eq!(resync.from_epoch, 1);
+        assert_eq!(resync.observed_epoch, 2);
+        assert_eq!(resync.missing_epochs(), 2);
+        assert_eq!(session.epoch(), 0);
+        assert!(session.is_consistent(), "the gap consumed nothing");
+
+        // Recovery: a fresh full read advances the session past the gap and
+        // the report matches a from-scratch analysis bit for bit.
+        let delta = session
+            .resync(resync.observed_epoch, probe.full_resync(&fabric))
+            .unwrap();
+        assert_eq!(delta.epoch, 2);
+        assert!(!delta.consistent);
+        assert_eq!(session.epoch(), 2);
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+        assert_eq!(session.stats().resyncs, 1);
+
+        // The probe resumed incrementally: ordinary ingests work again and
+        // stay bit-identical.
+        fabric.repair_switch(sample::S2);
+        fabric.repair_switch(sample::S3);
+        let delta = session.ingest_observation(&mut probe, &fabric).unwrap();
+        assert_eq!(delta.epoch, 3);
+        assert!(delta.consistent);
+        assert_eq!(*session.full_report(), engine.analyze(&fabric));
+
+        // A resync that does not move the session forward is rejected.
+        let stale = session.resync(1, probe.full_resync(&fabric));
+        assert_eq!(
+            stale,
+            Err(SessionError::EpochOutOfOrder {
+                expected: 4,
+                got: 1
+            })
+        );
+        assert_eq!(session.epoch(), 3);
     }
 
     #[test]

@@ -804,9 +804,11 @@ mod tests {
         let err = engine.restore(&snapshot).unwrap_err();
         assert_eq!(
             err,
-            SessionError::EpochOutOfOrder {
-                expected: 1,
-                got: 7
+            SessionError::EpochGap {
+                resync: crate::session::ResyncRequest {
+                    from_epoch: 1,
+                    observed_epoch: 7
+                }
             }
         );
         // The failed restore leaves no session behind.

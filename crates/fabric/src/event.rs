@@ -19,10 +19,18 @@
 //! * [`FabricProbe`] — the telemetry source for a simulated [`Fabric`]: it
 //!   remembers what was last observed and diffs the live fabric into the
 //!   minimal event batch ([`FabricProbe::observe`]).
+//! * [`FullSync`] — the recovery payload: a complete snapshot of the fabric's
+//!   artifacts, produced by [`FabricProbe::full_resync`] when a consumer
+//!   reports lost deltas and delta repair is impossible (an append-only log
+//!   stream cannot re-express entries whose delivery window has passed).
 //!
 //! The contract tying these together: a view kept current with a probe's
 //! observations holds artifacts bit-identical to the observed fabric's, so an
-//! analysis of the view is bit-identical to an analysis of the fabric.
+//! analysis of the view is bit-identical to an analysis of the fabric. When
+//! batches are lost in transit the probe's cursors have still advanced, so the
+//! stream alone can never catch the consumer up again — recovery goes through
+//! [`FabricProbe::full_resync`], after which the incremental contract holds
+//! from the resync point onward.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -70,6 +78,37 @@ pub enum FabricEvent {
         /// since been cleared.
         cleared: Vec<(usize, Timestamp)>,
     },
+}
+
+impl FabricEvent {
+    /// Constructs a deliberately *torn* [`FabricEvent::TcamSync`] for
+    /// `switch`: the first `fresh` entries come from `current` (the live
+    /// table) and the remainder from `stale` (an earlier read of the same
+    /// table) — the inconsistent snapshot a real poller takes when it walks a
+    /// TCAM page by page while an update lands mid-read.
+    ///
+    /// The hostile-telemetry scenario suite uses this to feed a monitor a
+    /// mid-update read and verify the analysis settles once a clean re-read
+    /// arrives; it has no role in faithful telemetry.
+    pub fn torn_tcam_sync(
+        switch: SwitchId,
+        current: &[TcamRule],
+        stale: &[TcamRule],
+        fresh: usize,
+    ) -> Self {
+        if fresh >= current.len() {
+            // The update landed before the walk reached it: a clean read.
+            return FabricEvent::TcamSync {
+                switch,
+                rules: current.to_vec(),
+            };
+        }
+        let mut rules: Vec<TcamRule> = current[..fresh].to_vec();
+        if stale.len() > fresh {
+            rules.extend_from_slice(&stale[fresh..]);
+        }
+        FabricEvent::TcamSync { switch, rules }
+    }
 }
 
 /// The events of one epoch, with an explicit epoch number.
@@ -361,6 +400,63 @@ impl FabricView {
     }
 }
 
+/// A full-state synchronization: the complete set of artifacts a monitor
+/// needs to rebuild its mirror from scratch.
+///
+/// Delta streams cannot recover from loss — a dropped [`EventBatch`] carried
+/// log entries and TCAM diffs the probe's cursors have already moved past —
+/// so a consumer that detects an epoch gap requests one of these instead
+/// (see [`FabricProbe::full_resync`]). Conceptually it is "a fresh
+/// [`FabricView::of`] snapshot shipped over the wire": applying it wholesale
+/// restores the bit-identical-mirror invariant regardless of what was lost.
+///
+/// # Example
+///
+/// ```
+/// use scout_fabric::{Fabric, FabricProbe, FabricView};
+/// use scout_policy::sample;
+///
+/// let mut fabric = Fabric::new(sample::three_tier());
+/// fabric.deploy();
+/// let mut view = FabricView::of(&fabric);
+/// let mut probe = FabricProbe::new(&fabric);
+///
+/// // A batch is produced but lost in transit: the view is now stale and no
+/// // later delta can repair it.
+/// fabric.evict_tcam(sample::S2, 1, true);
+/// let _lost = probe.observe(&fabric);
+/// assert!(!view.matches(&fabric));
+///
+/// // Full resync: replace the view wholesale and continue incrementally.
+/// let sync = probe.full_resync(&fabric);
+/// view = sync.into_view();
+/// assert!(view.matches(&fabric));
+/// assert!(probe.observe(&fabric).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullSync {
+    view: FabricView,
+}
+
+impl FullSync {
+    /// Snapshots `fabric` into a full synchronization.
+    pub fn of(fabric: &Fabric) -> Self {
+        Self {
+            view: FabricView::of(fabric),
+        }
+    }
+
+    /// The snapshotted artifacts.
+    pub fn view(&self) -> &FabricView {
+        &self.view
+    }
+
+    /// Consumes the sync into the view a monitor installs as its new mirror.
+    pub fn into_view(self) -> FabricView {
+        self.view
+    }
+}
+
 /// The telemetry source for a simulated [`Fabric`]: diffs the live fabric
 /// against what was last observed into the minimal [`FabricEvent`] batch.
 ///
@@ -475,6 +571,53 @@ impl FabricProbe {
         }
 
         events
+    }
+
+    /// Like [`FabricProbe::observe`], but packages the events as an
+    /// [`EventBatch`] for `epoch` — and returns `None` when nothing changed,
+    /// so an idle poll emits *no batch at all* rather than an empty
+    /// heartbeat. A producer using this must only advance its batch counter
+    /// when a batch is actually emitted, or consumers will see phantom gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fabric` is not the fabric the probe was created on.
+    pub fn observe_batch(&mut self, fabric: &Fabric, epoch: u64) -> Option<EventBatch> {
+        let events = self.observe(fabric);
+        if events.is_empty() {
+            None
+        } else {
+            Some(EventBatch::new(epoch, events))
+        }
+    }
+
+    /// Produces a [`FullSync`] of `fabric` and resets every observation
+    /// cursor to its current state — the recovery path a consumer takes after
+    /// detecting an epoch gap (lost deltas).
+    ///
+    /// After this call the probe behaves exactly like a freshly-created one:
+    /// the next [`FabricProbe::observe`] diffs against the synced state, so
+    /// the incremental contract holds from the resync point onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fabric` is not the fabric the probe was created on.
+    pub fn full_resync(&mut self, fabric: &Fabric) -> FullSync {
+        assert_eq!(
+            fabric.id(),
+            self.fabric_id,
+            "a probe resyncs only the fabric it was created on"
+        );
+        self.epoch = fabric.epoch();
+        self.universe_version = fabric.universe_version();
+        self.change_len = fabric.change_log().len();
+        self.fault_cleared = fabric
+            .fault_log()
+            .entries()
+            .iter()
+            .map(|e| e.cleared_at.is_some())
+            .collect();
+        FullSync::of(fabric)
     }
 }
 
@@ -656,6 +799,141 @@ mod tests {
             cleared: vec![(view.fault_log().len(), t)],
         }];
         assert_eq!(view.validate(&batch), Ok(()));
+    }
+
+    #[test]
+    fn idle_probe_emits_no_batch_not_an_empty_one() {
+        let mut fabric = deployed();
+        let mut probe = FabricProbe::new(&fabric);
+        // Nothing changed: no batch at all (an empty heartbeat would burn an
+        // epoch number the consumer then expects to be contiguous).
+        assert_eq!(probe.observe_batch(&fabric, 1), None);
+        assert_eq!(probe.observe_batch(&fabric, 1), None);
+
+        // Real drift produces a batch carrying the requested epoch…
+        fabric.evict_tcam(sample::S2, 1, true);
+        let batch = probe
+            .observe_batch(&fabric, 1)
+            .expect("drift emits a batch");
+        assert_eq!(batch.epoch, 1);
+        assert!(!batch.is_empty());
+        // …and the cursors advanced: the follow-up poll is silent again.
+        assert_eq!(probe.observe_batch(&fabric, 2), None);
+    }
+
+    #[test]
+    fn probe_tracks_a_repair_cycle_exactly() {
+        let mut fabric = deployed();
+        let mut view = FabricView::of(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        fabric.evict_tcam(sample::S2, 2, true);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+
+        // The repair restores the rules, clears the eviction fault and
+        // appends pre-cleared audit entries; one observation must carry the
+        // TCAM restoration, the clears and the new entries together.
+        fabric.repair_switch(sample::S2);
+        let dirtied = replay(&mut view, &mut probe, &fabric);
+        assert!(dirtied >= 1, "the repaired switch is re-synced");
+        assert!(view.matches(&fabric));
+        assert!(view.fault_log().active_at(fabric.now()).is_empty());
+        assert!(!view
+            .fault_log()
+            .entries_of_kind(FaultKind::Repair)
+            .is_empty());
+        assert!(probe.observe(&fabric).is_empty());
+    }
+
+    #[test]
+    fn probe_survives_a_universe_version_bump() {
+        let mut fabric = deployed();
+        let mut view = FabricView::of(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+        let before = fabric.universe_version();
+
+        // Re-deploying the same universe bumps the version: the probe must
+        // emit the policy update (and the view track the new version) even
+        // though no rule changed.
+        fabric.update_policy(fabric.universe().clone());
+        assert!(fabric.universe_version() > before);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+        assert_eq!(view.universe_version(), fabric.universe_version());
+
+        // Drift *after* the bump is still observed incrementally.
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+        assert!(probe.observe(&fabric).is_empty());
+    }
+
+    #[test]
+    fn full_resync_recovers_from_lost_batches() {
+        let mut fabric = deployed();
+        let mut view = FabricView::of(&fabric);
+        let mut probe = FabricProbe::new(&fabric);
+
+        // Two rounds of drift whose batches are lost in transit: the probe's
+        // cursors advance, so the stream alone can never repair the view.
+        fabric.evict_tcam(sample::S2, 1, true);
+        let _lost = probe.observe(&fabric);
+        fabric.disconnect_switch(sample::S3);
+        fabric.remove_tcam_rules_where(sample::S3, |_| true);
+        let _also_lost = probe.observe(&fabric);
+        assert!(!view.matches(&fabric));
+        assert!(
+            probe.observe(&fabric).is_empty(),
+            "nothing new to observe: the lost content is unrecoverable as deltas"
+        );
+
+        // Full resync restores the mirror invariant…
+        let sync = probe.full_resync(&fabric);
+        assert!(sync.view().matches(&fabric));
+        view = sync.into_view();
+        assert!(view.matches(&fabric));
+
+        // …and the probe continues incrementally from the synced state.
+        fabric.repair_switch(sample::S2);
+        replay(&mut view, &mut probe, &fabric);
+        assert!(view.matches(&fabric));
+    }
+
+    #[test]
+    fn torn_tcam_sync_mixes_fresh_and_stale_pages() {
+        let mut fabric = deployed();
+        let stale = fabric.tcam_rules(sample::S2);
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        let live = fabric.tcam_rules(sample::S2);
+        assert!(live.len() < stale.len());
+
+        // fresh = 2: the first two entries are live, the tail is the stale
+        // read — a mid-update page walk.
+        let torn = FabricEvent::torn_tcam_sync(sample::S2, &live, &stale, 2);
+        let FabricEvent::TcamSync { switch, rules } = &torn else {
+            panic!("torn read is a TcamSync");
+        };
+        assert_eq!(*switch, sample::S2);
+        assert_eq!(rules[..2], live[..2]);
+        assert_eq!(rules[2..], stale[2..]);
+        assert_ne!(rules, &live, "the torn read misrepresents the live table");
+
+        // Degenerate tears stay well-formed: fully fresh and fully stale.
+        assert_eq!(
+            FabricEvent::torn_tcam_sync(sample::S2, &live, &stale, live.len() + 10),
+            FabricEvent::TcamSync {
+                switch: sample::S2,
+                rules: live.clone(),
+            }
+        );
+        assert_eq!(
+            FabricEvent::torn_tcam_sync(sample::S2, &live, &stale, 0),
+            FabricEvent::TcamSync {
+                switch: sample::S2,
+                rules: stale.clone(),
+            }
+        );
     }
 
     #[test]

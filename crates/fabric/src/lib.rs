@@ -48,7 +48,7 @@ pub use agent::{AgentHealth, ApplyOutcome, SwitchAgent};
 pub use channel::{ControlChannel, LinkState};
 pub use clock::{SimClock, Timestamp};
 pub use compiler::{compile, compile_for_switch, rule_count_for_switch};
-pub use event::{ApplyError, EventBatch, FabricEvent, FabricProbe, FabricView};
+pub use event::{ApplyError, EventBatch, FabricEvent, FabricProbe, FabricView, FullSync};
 pub use fabric::{diff_universes, DeploymentReport, Fabric, RepairReport};
 pub use instruction::{Instruction, InstructionOp};
 pub use logs::{

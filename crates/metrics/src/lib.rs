@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod rank;
 pub mod series;
 pub mod stats;
 pub mod table;
 
 pub use accuracy::{gamma, precision, recall, Accuracy};
+pub use rank::RankQuality;
 pub use series::TimeSeries;
 pub use stats::{Bins, Cdf, Summary};
 pub use table::{fmt3, fmt_mean, Table};

@@ -1,0 +1,162 @@
+//! Rank-quality summaries for ranked diagnoses.
+//!
+//! When the correlation engine can only produce a *ranked* list of candidate
+//! root causes (degraded telemetry: missing or incomplete fault logs), the
+//! evaluation question becomes "how high does the true root cause rank?".
+//! [`RankQuality`] aggregates the standard retrieval measures over a
+//! population of queries: top-1 rate, top-3 rate and mean reciprocal rank.
+
+use crate::table::fmt3;
+
+/// Aggregated rank quality over a population of ranked-diagnosis queries.
+///
+/// Each query contributes the 1-based rank at which the true root cause was
+/// found, or `None` if the ranking missed it entirely (a miss contributes a
+/// reciprocal rank of 0 and counts toward no top-k bucket).
+///
+/// # Example
+///
+/// ```
+/// use scout_metrics::RankQuality;
+///
+/// // Three queries: hit at rank 1, hit at rank 3, complete miss.
+/// let q = RankQuality::of([Some(1), Some(3), None]);
+/// assert_eq!(q.queries(), 3);
+/// assert_eq!(q.top1_rate(), 1.0 / 3.0);
+/// assert_eq!(q.top3_rate(), 2.0 / 3.0);
+/// assert!((q.mrr() - (1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankQuality {
+    queries: usize,
+    top1: usize,
+    top3: usize,
+    reciprocal_sum: f64,
+}
+
+impl RankQuality {
+    /// Aggregates a population of per-query ranks (1-based; `None` = miss).
+    pub fn of(ranks: impl IntoIterator<Item = Option<usize>>) -> Self {
+        let mut q = Self::default();
+        for rank in ranks {
+            q.push(rank);
+        }
+        q
+    }
+
+    /// Adds one query's outcome.
+    pub fn push(&mut self, rank: Option<usize>) {
+        self.queries += 1;
+        if let Some(rank) = rank {
+            assert!(rank >= 1, "ranks are 1-based");
+            if rank == 1 {
+                self.top1 += 1;
+            }
+            if rank <= 3 {
+                self.top3 += 1;
+            }
+            self.reciprocal_sum += 1.0 / rank as f64;
+        }
+    }
+
+    /// Number of queries aggregated.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Returns `true` if no query has been aggregated yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries == 0
+    }
+
+    /// Fraction of queries whose true root cause ranked first
+    /// (0 over an empty population).
+    pub fn top1_rate(&self) -> f64 {
+        self.rate(self.top1)
+    }
+
+    /// Fraction of queries whose true root cause ranked in the top 3
+    /// (0 over an empty population).
+    pub fn top3_rate(&self) -> f64 {
+        self.rate(self.top3)
+    }
+
+    /// Mean reciprocal rank: misses contribute 0 (0 over an empty
+    /// population).
+    pub fn mrr(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.reciprocal_sum / self.queries as f64
+        }
+    }
+
+    /// Renders `top3_rate` for a table cell ("-" for an empty population).
+    pub fn fmt_top3(&self) -> String {
+        if self.is_empty() {
+            "-".to_string()
+        } else {
+            fmt3(self.top3_rate())
+        }
+    }
+
+    /// Renders `mrr` for a table cell ("-" for an empty population).
+    pub fn fmt_mrr(&self) -> String {
+        if self.is_empty() {
+            "-".to_string()
+        } else {
+            fmt3(self.mrr())
+        }
+    }
+
+    fn rate(&self, hits: usize) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            hits as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_population_renders_dashes_and_zero_rates() {
+        let q = RankQuality::default();
+        assert!(q.is_empty());
+        assert_eq!(q.queries(), 0);
+        assert_eq!(q.top1_rate(), 0.0);
+        assert_eq!(q.top3_rate(), 0.0);
+        assert_eq!(q.mrr(), 0.0);
+        assert_eq!(q.fmt_top3(), "-");
+        assert_eq!(q.fmt_mrr(), "-");
+    }
+
+    #[test]
+    fn rates_and_mrr_follow_the_textbook_definitions() {
+        let q = RankQuality::of([Some(1), Some(2), Some(3), Some(4), None]);
+        assert_eq!(q.queries(), 5);
+        assert_eq!(q.top1_rate(), 0.2);
+        assert_eq!(q.top3_rate(), 0.6);
+        let expected = (1.0 + 0.5 + 1.0 / 3.0 + 0.25) / 5.0;
+        assert!((q.mrr() - expected).abs() < 1e-12);
+        assert_eq!(q.fmt_top3(), "0.600");
+    }
+
+    #[test]
+    fn incremental_push_matches_bulk_construction() {
+        let mut incremental = RankQuality::default();
+        for rank in [Some(2), None, Some(1)] {
+            incremental.push(rank);
+        }
+        assert_eq!(incremental, RankQuality::of([Some(2), None, Some(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_is_rejected() {
+        RankQuality::of([Some(0)]);
+    }
+}

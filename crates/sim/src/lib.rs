@@ -60,12 +60,17 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod hostile;
 pub mod multi;
 pub mod scenario;
 pub mod soak;
 
 pub use campaign::{
     scenario_seed, AnalysisMode, Campaign, CampaignReport, CampaignRun, Concurrency, KindStats,
+};
+pub use hostile::{
+    hostile_seed, HostileCampaign, HostileClassStats, HostileKind, HostileOutcome, HostileReport,
+    HostileRun,
 };
 pub use multi::{MultiTenantRun, MultiTenantSoak};
 pub use scenario::{run_scenario, ScenarioKind, ScenarioMix, ScenarioOutcome, WorkloadKind};

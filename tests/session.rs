@@ -177,14 +177,14 @@ fn facade_ingest_edge_cases() {
             got: 1
         })
     );
-    // Gap (lost deltas).
-    assert_eq!(
-        session.ingest(EventBatch::empty(5)),
-        Err(SessionError::EpochOutOfOrder {
-            expected: 2,
-            got: 5
-        })
-    );
+    // Gap (lost deltas): a distinct typed error carrying the resync request.
+    let err = session.ingest(EventBatch::empty(5)).unwrap_err();
+    let SessionError::EpochGap { resync } = err else {
+        panic!("a future epoch must be classified as a gap, got {err:?}");
+    };
+    assert_eq!(resync.from_epoch, 2);
+    assert_eq!(resync.observed_epoch, 5);
+    assert_eq!(session.epoch(), 1, "the gap consumed nothing");
 
     // Unknown switch id, rejected with context and without consuming the
     // epoch.
