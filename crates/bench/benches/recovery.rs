@@ -1,0 +1,192 @@
+//! Durable-store throughput and crash-recovery latency.
+//!
+//! The `scout-store` journal only earns its keep if (a) journaling every
+//! epoch is cheap next to the analysis itself and (b) recovery after a crash
+//! is fast enough to restart the monitoring loop without losing the fabric.
+//! This bench measures both halves on a real churning fabric:
+//!
+//! * **append path** — per-epoch `ingest` (append + fsync'd commit every
+//!   epoch) versus group commit (a batch of appends amortized under one
+//!   fsync), the knob an operator trades durability lag against;
+//! * **recovery path** — `DurableEngine::recover` latency as a function of
+//!   the journal tail length behind the newest snapshot anchor (0, 64 and
+//!   256 epochs of replay), plus a genesis-anchored recovery that replays
+//!   everything;
+//! * **fidelity** — every recovered session is asserted bit-identical to the
+//!   live session the store was written by before anything is reported.
+//!
+//! Results are serialized to `BENCH_recovery.json` at the repo root
+//! (schema-checked by `scout_bench::json::validate_bench_report` and pinned
+//! by `tests/bench_artifact.rs` in both the bench crate and the repo root);
+//! pass `--max-tail N` to trim the recovery sweep locally, which skips the
+//! assertions and the artifact.
+
+use std::path::Path;
+use std::time::Duration;
+
+use scout_bench::harness::{fmt_duration, Harness};
+use scout_bench::{arg_value, json};
+use scout_core::{ScoutEngine, ScoutReport};
+use scout_fabric::{EventBatch, Fabric, FabricProbe};
+use scout_policy::sample;
+use scout_store::test_dir::TestDir;
+use scout_store::{DurableEngine, StoreConfig};
+
+/// Journal tail lengths (epochs replayed behind the newest anchor) swept by
+/// the recovery benches.
+const TAIL_SWEEP: [u64; 3] = [0, 64, 256];
+/// Epochs appended per iteration of the group-commit bench.
+const GROUP: u64 = 8;
+/// Recovery latency budget asserted at the longest sweep point.
+const RECOVER_BUDGET: Duration = Duration::from_secs(2);
+
+/// One epoch of light churn: evict on even epochs, repair on odd, rotating
+/// over the three-tier switches so damage never accumulates.
+fn churn_batch(fabric: &mut Fabric, probe: &mut FabricProbe, epoch: u64) -> EventBatch {
+    let ids = fabric.universe().switch_ids();
+    let switch = ids[(epoch / 2) as usize % ids.len()];
+    if epoch.is_multiple_of(2) {
+        fabric.evict_tcam(switch, 1, false);
+    } else {
+        fabric.repair_switch(switch);
+    }
+    EventBatch::new(epoch, probe.observe(fabric))
+}
+
+fn deployed_fabric() -> Fabric {
+    let mut fabric = Fabric::new(sample::three_tier());
+    fabric.deploy();
+    fabric
+}
+
+/// Writes a store whose journal holds `tail` epochs past the newest anchor
+/// and returns its directory plus the live session's final report.
+fn build_store(engine: &ScoutEngine, tail: u64, label: &str) -> (TestDir, u64, ScoutReport) {
+    let mut fabric = deployed_fabric();
+    let mut probe = FabricProbe::new(&fabric);
+    let dir = TestDir::new(label);
+    // Anchor exactly once mid-run, then let the tail grow: `tail + 1` epochs
+    // after open puts the anchor at epoch 1 with `tail` epochs to replay.
+    let config = StoreConfig {
+        snapshot_every: 1,
+        segment_max_records: 64,
+        ..StoreConfig::default()
+    };
+    let mut durable = engine
+        .open_durable(&fabric, dir.path(), config)
+        .expect("store opens");
+    durable
+        .ingest(churn_batch(&mut fabric, &mut probe, 1))
+        .expect("epoch 1 ingests");
+    // From here on, never anchor again: the journal tail grows. The config
+    // is fixed at open, so reopen the store with anchoring disabled.
+    let tail_only = StoreConfig {
+        snapshot_every: u64::MAX,
+        ..StoreConfig::default()
+    };
+    drop(durable);
+    let mut durable = engine
+        .recover(dir.path(), tail_only)
+        .expect("store reopens for the tail phase");
+    for epoch in 2..=tail + 1 {
+        durable
+            .ingest(churn_batch(&mut fabric, &mut probe, epoch))
+            .expect("tail epoch ingests");
+    }
+    let epoch = durable.epoch();
+    let report = durable.full_report().clone();
+    (dir, epoch, report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_tail: u64 = arg_value(&args, "--max-tail", u64::MAX);
+    let sweep: Vec<u64> = TAIL_SWEEP.into_iter().filter(|&n| n <= max_tail).collect();
+    let full_sweep = sweep.len() == TAIL_SWEEP.len();
+
+    let engine = ScoutEngine::new();
+    let mut h = Harness::new("recovery");
+
+    // Append path, commit every epoch: the fsync-per-epoch worst case.
+    {
+        let mut fabric = deployed_fabric();
+        let mut probe = FabricProbe::new(&fabric);
+        let dir = TestDir::new("bench-append-commit");
+        let mut durable = engine
+            .open_durable(&fabric, dir.path(), StoreConfig::default())
+            .expect("store opens");
+        h.set_samples(10);
+        h.bench("append/commit-per-epoch", || {
+            let epoch = durable.next_epoch();
+            durable
+                .ingest(churn_batch(&mut fabric, &mut probe, epoch))
+                .expect("sequential epochs ingest");
+        });
+    }
+
+    // Append path, group commit: GROUP appends amortized under one fsync.
+    {
+        let mut fabric = deployed_fabric();
+        let mut probe = FabricProbe::new(&fabric);
+        let dir = TestDir::new("bench-append-group");
+        let mut durable = engine
+            .open_durable(&fabric, dir.path(), StoreConfig::default())
+            .expect("store opens");
+        h.set_samples(10);
+        h.bench(&format!("append/group-commit-{GROUP}"), || {
+            for _ in 0..GROUP {
+                let epoch = durable.next_epoch();
+                durable
+                    .append(churn_batch(&mut fabric, &mut probe, epoch))
+                    .expect("sequential epochs append");
+            }
+            durable.commit().expect("group commit");
+        });
+    }
+
+    // Recovery path: latency as a function of journal tail length. Recovery
+    // is read-only on a clean store, so the same directory can be recovered
+    // once per sample.
+    for &tail in &sweep {
+        let (dir, epoch, report) = build_store(&engine, tail, &format!("bench-recover-{tail}"));
+        let recovered = engine
+            .recover(dir.path(), StoreConfig::default())
+            .expect("store recovers");
+        assert_eq!(recovered.epoch(), epoch, "tail {tail}: wrong epoch");
+        assert_eq!(
+            recovered.full_report(),
+            &report,
+            "tail {tail}: recovered session diverged from the live one"
+        );
+        drop(recovered);
+        h.set_samples(if tail >= 256 { 5 } else { 10 });
+        h.bench(&format!("recover/tail-{tail}"), || {
+            let session = engine
+                .recover(dir.path(), StoreConfig::default())
+                .expect("store recovers");
+            assert_eq!(session.epoch(), epoch);
+        });
+    }
+
+    if full_sweep {
+        let artifact = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_recovery.json");
+        h.write_json(&artifact).expect("artifact is writable");
+        json::validate_bench_report(&h.to_json()).expect("artifact matches the bench schema");
+        println!("wrote {}", artifact.display());
+
+        let longest = TAIL_SWEEP[TAIL_SWEEP.len() - 1];
+        let stats = h
+            .stats_for(&format!("recover/tail-{longest}"))
+            .expect("sweep covers the assertion point");
+        assert!(
+            stats.p50 < RECOVER_BUDGET,
+            "recovery with a {longest}-epoch tail must stay under {}: measured {}",
+            fmt_duration(RECOVER_BUDGET),
+            fmt_duration(stats.p50),
+        );
+    } else {
+        println!("trimmed sweep (--max-tail): assertions and artifact skipped");
+    }
+
+    h.finish();
+}

@@ -504,21 +504,9 @@ impl AnalysisSession {
     /// the epoch advances and the previous report is retained without
     /// re-running any analysis stage.
     pub fn ingest(&mut self, batch: EventBatch) -> Result<ReportDelta, SessionError> {
+        // All-or-nothing: validate the whole batch before mutating anything.
+        self.validate_batch(&batch)?;
         let expected = self.epoch + 1;
-        if batch.epoch > expected {
-            return Err(SessionError::EpochGap {
-                resync: ResyncRequest {
-                    from_epoch: expected,
-                    observed_epoch: batch.epoch,
-                },
-            });
-        }
-        if batch.epoch < expected {
-            return Err(SessionError::EpochOutOfOrder {
-                expected,
-                got: batch.epoch,
-            });
-        }
         let start = Instant::now();
         if batch.is_empty() {
             self.epoch = expected;
@@ -529,11 +517,6 @@ impl AnalysisSession {
                 .push(start.elapsed().as_nanos() as f64);
             return Ok(ReportDelta::noop(expected, self.report.is_consistent()));
         }
-
-        // All-or-nothing: validate the whole batch before mutating anything.
-        self.view
-            .validate(&batch.events)
-            .map_err(|e| SessionError::from_apply(expected, e))?;
 
         let mut dirty: BTreeSet<SwitchId> = BTreeSet::new();
         let mut policy_changed = false;
@@ -584,6 +567,42 @@ impl AnalysisSession {
             .ingest_latency
             .push(start.elapsed().as_nanos() as f64);
         Ok(delta)
+    }
+
+    /// Checks whether `batch` would be accepted by [`AnalysisSession::ingest`]
+    /// without mutating the session — the durability hook used by
+    /// `scout-store` to refuse a batch *before* it consumes journal bytes,
+    /// so the on-disk journal only ever contains batches the session
+    /// accepted.
+    ///
+    /// Runs exactly the up-front checks `ingest` performs: strict `+1` epoch
+    /// sequencing (the same [`SessionError::EpochGap`] /
+    /// [`SessionError::EpochOutOfOrder`] contract) and whole-batch event
+    /// validation against the mirrored view. A batch that passes is
+    /// guaranteed to be accepted by an immediately following `ingest` on
+    /// the same, unmodified session.
+    pub fn validate_batch(&self, batch: &EventBatch) -> Result<(), SessionError> {
+        let expected = self.epoch + 1;
+        if batch.epoch > expected {
+            return Err(SessionError::EpochGap {
+                resync: ResyncRequest {
+                    from_epoch: expected,
+                    observed_epoch: batch.epoch,
+                },
+            });
+        }
+        if batch.epoch < expected {
+            return Err(SessionError::EpochOutOfOrder {
+                expected,
+                got: batch.epoch,
+            });
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.view
+            .validate(&batch.events)
+            .map_err(|e| SessionError::from_apply(expected, e))
     }
 
     /// Observes `fabric` through `probe` and ingests the resulting events as

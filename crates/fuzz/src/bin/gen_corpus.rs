@@ -25,12 +25,17 @@ use std::process::ExitCode;
 use scout_core::{CorrelationReport, Hypothesis, Snapshot, SnapshotError};
 use scout_fabric::wire::{from_bytes, to_bytes, Wire, WireError, WireReader, WireWriter};
 use scout_fabric::{EventBatch, Fabric, FabricView};
-use scout_fuzz::gen::restamp_snapshot_crc;
+use scout_fuzz::gen::{restamp_journal, restamp_snapshot_crc};
 use scout_fuzz::oracle::{self, Surface, Verdict};
 use scout_fuzz::{corpus, seeds};
 use scout_policy::{
     sample, ContractBinding, Epg, EpgId, LogicalRule, ObjectId, PolicyUniverse, SwitchId, TcamRule,
 };
+use scout_store::journal::{
+    crc32 as journal_crc32, decode_segment, encode_record, JournalError, SegmentHeader,
+    MAX_RECORD_PAYLOAD, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN,
+};
+use scout_store::sha256;
 
 /// Checks `bytes` against the oracles, asserts the expected fate, and
 /// freezes the case.
@@ -395,6 +400,145 @@ fn snapshot_cases(dir: &Path) {
     freeze(dir, surface, "huge_tail_len", &huge_tail, false);
 }
 
+fn journal_cases(dir: &Path) {
+    let surface = Surface::Journal;
+    let journal_seeds = seeds::for_surface(surface);
+    let sealed = journal_seeds[0].clone();
+    let empty = journal_seeds[1].clone();
+    assert!(
+        decode_segment(&sealed).expect("seed decodes").records.len() >= 3,
+        "the journal seed must pin a multi-record chain, not a trivial segment"
+    );
+    freeze(dir, surface, "valid", &sealed, true);
+    freeze(dir, surface, "empty__valid", &empty, true);
+
+    // Torn mid-record: strict decode (the fuzz surface) rejects what
+    // recovery's lenient decoder would truncate.
+    assert!(matches!(
+        decode_segment(&sealed[..sealed.len() - 1]),
+        Err(JournalError::TruncatedRecord { .. })
+    ));
+    freeze(
+        dir,
+        surface,
+        "truncated",
+        &sealed[..sealed.len() - 1],
+        false,
+    );
+
+    assert_eq!(
+        decode_segment(&sealed[..30]),
+        Err(JournalError::TruncatedHeader { len: 30 })
+    );
+    freeze(dir, surface, "truncated_header", &sealed[..30], false);
+
+    let mut bad_magic = sealed.clone();
+    bad_magic[..4].copy_from_slice(b"XXXX");
+    assert_eq!(decode_segment(&bad_magic), Err(JournalError::BadMagic));
+    freeze(dir, surface, "bad_magic", &bad_magic, false);
+
+    let mut wrong_version = sealed.clone();
+    wrong_version[4..8].copy_from_slice(&9u32.to_le_bytes());
+    assert_eq!(
+        decode_segment(&wrong_version),
+        Err(JournalError::UnsupportedVersion { version: 9 })
+    );
+    freeze(dir, surface, "wrong_version", &wrong_version, false);
+
+    // One flipped payload byte, stamps left stale — the single-bit-flip
+    // tamper case recovery must catch.
+    let mut flipped = sealed.clone();
+    flipped[SEGMENT_HEADER_LEN + RECORD_HEADER_LEN + 2] ^= 0x01;
+    assert_eq!(
+        decode_segment(&flipped),
+        Err(JournalError::PayloadCrc { epoch: 1 })
+    );
+    freeze(dir, surface, "flipped_payload", &flipped, false);
+
+    // The first two record frames swapped wholesale: each frame is
+    // internally consistent but the chain no longer links.
+    let frame1_len = RECORD_HEADER_LEN
+        + u32::from_le_bytes(
+            sealed[SEGMENT_HEADER_LEN..SEGMENT_HEADER_LEN + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+    let second_start = SEGMENT_HEADER_LEN + frame1_len;
+    let frame2_len = RECORD_HEADER_LEN
+        + u32::from_le_bytes(
+            sealed[second_start..second_start + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+    let mut spliced = sealed[..SEGMENT_HEADER_LEN].to_vec();
+    spliced.extend_from_slice(&sealed[second_start..second_start + frame2_len]);
+    spliced.extend_from_slice(&sealed[SEGMENT_HEADER_LEN..second_start]);
+    spliced.extend_from_slice(&sealed[second_start + frame2_len..]);
+    assert_eq!(
+        decode_segment(&spliced),
+        Err(JournalError::ChainMismatch { epoch: 1 })
+    );
+    freeze(dir, surface, "spliced_records", &spliced, false);
+
+    // A freshly stamped record (valid CRCs, valid chain) whose batch claims
+    // the wrong epoch for its journal position.
+    let genesis = sha256(b"scout-fuzz/journal-corpus");
+    let mut epoch_gap = SegmentHeader {
+        first_epoch: 1,
+        prev_chain: genesis,
+    }
+    .to_bytes()
+    .to_vec();
+    let (frame, _) = encode_record(&genesis, &EventBatch::empty(9));
+    epoch_gap.extend_from_slice(&frame);
+    assert_eq!(
+        decode_segment(&epoch_gap),
+        Err(JournalError::EpochMismatch {
+            expected: 1,
+            found: 9,
+        })
+    );
+    freeze(dir, surface, "epoch_gap", &epoch_gap, false);
+
+    // Payload replaced with non-wire bytes and every stamp recomputed: the
+    // frame passes all CRC and chain gates and dies in the batch decode.
+    let mut garbage = sealed.clone();
+    let payload_len = frame1_len - RECORD_HEADER_LEN;
+    garbage[SEGMENT_HEADER_LEN + RECORD_HEADER_LEN..second_start].fill(0xAB);
+    restamp_journal(&mut garbage);
+    assert!(payload_len > 0);
+    assert!(matches!(
+        decode_segment(&garbage),
+        Err(JournalError::Batch { epoch: 1, .. })
+    ));
+    freeze(dir, surface, "garbage_payload", &garbage, false);
+
+    // A frame header validly promising a payload past the sanity cap — a
+    // decoder that trusted it would pre-allocate 64 MiB from a 96-byte file.
+    let mut oversized = SegmentHeader {
+        first_epoch: 1,
+        prev_chain: genesis,
+    }
+    .to_bytes()
+    .to_vec();
+    let huge = (MAX_RECORD_PAYLOAD + 1) as u32;
+    let mut frame = Vec::with_capacity(RECORD_HEADER_LEN);
+    frame.extend_from_slice(&huge.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 4]); // payload crc (never reached)
+    frame.extend_from_slice(&[0u8; 32]); // chain (never reached)
+    let frame_crc = journal_crc32(&frame[0..40]);
+    frame.extend_from_slice(&frame_crc.to_le_bytes());
+    oversized.extend_from_slice(&frame);
+    assert_eq!(
+        decode_segment(&oversized),
+        Err(JournalError::OversizedRecord {
+            offset: SEGMENT_HEADER_LEN,
+            len: u64::from(huge),
+        })
+    );
+    freeze(dir, surface, "oversized_record", &oversized, false);
+}
+
 fn main() -> ExitCode {
     let dir = std::env::args()
         .nth(1)
@@ -407,6 +551,7 @@ fn main() -> ExitCode {
     tcam_cases(&dir);
     log_cases(&dir);
     snapshot_cases(&dir);
+    journal_cases(&dir);
 
     // Final gate: the directory as a whole replays clean.
     let results = corpus::replay_dir(&dir).expect("corpus replay");

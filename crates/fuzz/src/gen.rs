@@ -9,6 +9,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use scout_store::chain_next;
+use scout_store::journal::{JOURNAL_VERSION, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN, SEGMENT_MAGIC};
+use scout_store::Digest;
+
 use crate::oracle::Surface;
 
 /// Byte offset of the CRC-32 word in a snapshot frame (after the 4-byte
@@ -42,6 +46,38 @@ pub fn restamp_snapshot_crc(bytes: &mut [u8]) {
     }
     let crc = crc32(&bytes[SNAPSHOT_HEADER_LEN..]);
     bytes[SNAPSHOT_CRC_OFFSET..SNAPSHOT_HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Rewrites a journal segment's checksums and hash chain to match its
+/// (possibly mutated) bytes: the header CRC, then every complete record
+/// frame's payload CRC, chain digest and frame CRC, walking frames by their
+/// length prefixes. Restamping stops at the first frame whose promised
+/// payload runs past the buffer (a torn or framing-damaged tail stays as it
+/// is). This lets structural mutants penetrate past the CRC and chain gates
+/// into the payload decode and epoch-sequencing layers under test.
+pub fn restamp_journal(bytes: &mut [u8]) {
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        return;
+    }
+    let crc = crc32(&bytes[0..48]);
+    bytes[48..52].copy_from_slice(&crc.to_le_bytes());
+    let mut chain: Digest = bytes[16..48].try_into().expect("32 bytes");
+    let mut offset = SEGMENT_HEADER_LEN;
+    while bytes.len() - offset >= RECORD_HEADER_LEN {
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        if bytes.len() - offset - RECORD_HEADER_LEN < len {
+            break;
+        }
+        let payload_start = offset + RECORD_HEADER_LEN;
+        let payload_crc = crc32(&bytes[payload_start..payload_start + len]);
+        chain = chain_next(&chain, &bytes[payload_start..payload_start + len]);
+        bytes[offset + 4..offset + 8].copy_from_slice(&payload_crc.to_le_bytes());
+        bytes[offset + 8..offset + 40].copy_from_slice(&chain);
+        let frame_crc = crc32(&bytes[offset..offset + 40]);
+        bytes[offset + 40..offset + 44].copy_from_slice(&frame_crc.to_le_bytes());
+        offset = payload_start + len;
+    }
 }
 
 /// One random structural mutation of `bytes`.
@@ -112,6 +148,13 @@ pub fn next_input(rng: &mut StdRng, surface: Surface, seeds: &[Vec<u8>]) -> Vec<
             soup[4..8].copy_from_slice(&scout_core::SNAPSHOT_VERSION.to_le_bytes());
             restamp_snapshot_crc(&mut soup);
         }
+        if surface == Surface::Journal && rng.gen_bool(0.5) && soup.len() >= SEGMENT_HEADER_LEN {
+            // Likewise: half the journal soup gets a valid header prologue
+            // and fresh stamps so it reaches the record walk.
+            soup[..4].copy_from_slice(&SEGMENT_MAGIC);
+            soup[4..8].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            restamp_journal(&mut soup);
+        }
         return soup;
     }
 
@@ -123,6 +166,12 @@ pub fn next_input(rng: &mut StdRng, surface: Surface, seeds: &[Vec<u8>]) -> Vec<
         // Most snapshot mutants get a fresh checksum; the rest keep the
         // stale one to exercise the ChecksumMismatch path itself.
         restamp_snapshot_crc(&mut input);
+    }
+    if surface == Surface::Journal && rng.gen_bool(0.75) {
+        // Most journal mutants get fresh CRCs and a recomputed chain so they
+        // reach the batch decode and epoch checks; the rest keep the stale
+        // stamps to exercise the CRC/chain gates themselves.
+        restamp_journal(&mut input);
     }
     input
 }
@@ -161,6 +210,35 @@ mod tests {
                     "restamp failed to clear the checksum gate: {rendered}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn journal_restamp_is_a_fixpoint_on_valid_segments() {
+        // Restamping an untouched valid segment must be a no-op: the frame
+        // walk, CRCs and chain agree with what scout-store stamps.
+        let seed = crate::seeds::for_surface(Surface::Journal)[0].clone();
+        let mut restamped = seed.clone();
+        restamp_journal(&mut restamped);
+        assert_eq!(restamped, seed);
+        assert!(scout_store::decode_segment(&restamped).is_ok());
+    }
+
+    #[test]
+    fn restamped_journal_mutants_pass_the_crc_and_chain_gates() {
+        let seed = crate::seeds::for_surface(Surface::Journal)[0].clone();
+        // Flip one payload byte mid-segment, then restamp: whatever the
+        // decode outcome, it must not be a CRC or chain failure.
+        let mut mutant = seed.clone();
+        let mid = SEGMENT_HEADER_LEN + RECORD_HEADER_LEN + 10;
+        mutant[mid] ^= 0x01;
+        restamp_journal(&mut mutant);
+        if let Err(err) = scout_store::decode_segment(&mutant) {
+            let rendered = err.to_string();
+            assert!(
+                !rendered.contains("checksum") && !rendered.contains("chain"),
+                "restamp failed to clear the CRC/chain gates: {rendered}"
+            );
         }
     }
 

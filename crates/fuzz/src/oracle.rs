@@ -16,7 +16,8 @@
 //!    else means two distinct byte strings alias one value.
 //! 3. **Typed rejection** — every rejected input must surface as a
 //!    [`WireError`](scout_fabric::WireError) /
-//!    [`SnapshotError`](scout_core::SnapshotError); `unwrap`/`expect` on the
+//!    [`SnapshotError`](scout_core::SnapshotError) /
+//!    [`JournalError`](scout_store::JournalError); `unwrap`/`expect` on the
 //!    decode path shows up here as a panic.
 //!
 //! For [`Surface::Snapshot`], accepted values additionally go through
@@ -31,6 +32,7 @@ use scout_core::{ScoutEngine, Snapshot};
 use scout_fabric::wire::{from_bytes, to_bytes, Wire};
 use scout_fabric::{ChangeLog, EventBatch, FabricView, FaultLog};
 use scout_policy::{PolicyUniverse, SwitchId, TcamRule};
+use scout_store::{decode_segment, Segment};
 
 use crate::alloc;
 
@@ -73,11 +75,14 @@ pub enum Surface {
     /// `Snapshot` — the framed session checkpoint, including engine restore
     /// of accepted values.
     Snapshot,
+    /// A `scout-store` journal segment — the strict hash-chained decode
+    /// recovery runs on every sealed segment file.
+    Journal,
 }
 
 impl Surface {
     /// Every decode surface, in the order the harness runs them.
-    pub const ALL: [Surface; 7] = [
+    pub const ALL: [Surface; 8] = [
         Surface::EventBatch,
         Surface::FabricView,
         Surface::PolicyUniverse,
@@ -85,6 +90,7 @@ impl Surface {
         Surface::ChangeLog,
         Surface::FaultLog,
         Surface::Snapshot,
+        Surface::Journal,
     ];
 
     /// The surface's stable name, used in corpus file names and CLI flags.
@@ -97,6 +103,7 @@ impl Surface {
             Surface::ChangeLog => "changelog",
             Surface::FaultLog => "faultlog",
             Surface::Snapshot => "snapshot",
+            Surface::Journal => "journal",
         }
     }
 
@@ -164,6 +171,7 @@ pub fn check(surface: Surface, bytes: &[u8]) -> Verdict {
         Surface::ChangeLog => check_wire::<ChangeLog>(bytes),
         Surface::FaultLog => check_wire::<FaultLog>(bytes),
         Surface::Snapshot => check_snapshot(bytes),
+        Surface::Journal => check_journal(bytes),
     }
 }
 
@@ -205,6 +213,15 @@ fn check_wire<T: Wire>(bytes: &[u8]) -> Verdict {
         }))
     });
     judge(bytes, outcome, peak, |value: &T| to_bytes(value))
+}
+
+fn check_journal(bytes: &[u8]) -> Verdict {
+    let (outcome, peak) = alloc::measure(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            decode_segment(bytes).map_err(|e| e.to_string())
+        }))
+    });
+    judge(bytes, outcome, peak, |segment: &Segment| segment.to_bytes())
 }
 
 fn check_snapshot(bytes: &[u8]) -> Verdict {

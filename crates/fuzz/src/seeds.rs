@@ -20,6 +20,7 @@ use scout_core::ScoutEngine;
 use scout_fabric::wire::to_bytes;
 use scout_fabric::{EventBatch, Fabric, FabricProbe, FabricView};
 use scout_policy::sample;
+use scout_store::{sha256, SegmentBuilder};
 use scout_workload::ClusterSpec;
 
 use crate::oracle::Surface;
@@ -80,6 +81,17 @@ fn build(surface: Surface) -> Vec<Vec<u8>> {
             snapshot.push_tail(batch.clone()).expect("sequenced tail");
             session.ingest(batch).expect("live ingest");
             vec![bare, snapshot.to_bytes()]
+        }
+        Surface::Journal => {
+            // A sealed journal segment carrying the probe's real batches,
+            // plus an empty (header-only) segment — both canonical images
+            // the strict recovery decoder accepts.
+            let mut builder = SegmentBuilder::new(1, sha256(b"scout-fuzz/journal-seed"));
+            for batch in &batches {
+                builder.append(batch).expect("sequenced seed batches");
+            }
+            let empty = SegmentBuilder::new(7, sha256(b"scout-fuzz/empty-seed"));
+            vec![builder.bytes().to_vec(), empty.bytes().to_vec()]
         }
     }
 }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod crash;
 pub mod hostile;
 pub mod multi;
 pub mod scenario;
@@ -68,6 +69,7 @@ pub mod soak;
 pub use campaign::{
     scenario_seed, AnalysisMode, Campaign, CampaignReport, CampaignRun, Concurrency, KindStats,
 };
+pub use crash::{CrashSoak, CrashSoakReport};
 pub use hostile::{
     hostile_seed, HostileCampaign, HostileClassStats, HostileKind, HostileOutcome, HostileReport,
     HostileRun,

@@ -23,7 +23,8 @@
 //! | [`workload`] | `scout-workload` | cluster / testbed / scaling policy generators |
 //! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, sharded `Send + Sync` service engine with delta-driven sessions and checkpoint/restore snapshots |
 //! | [`metrics`] | `scout-metrics` | precision/recall/γ, CDFs, run statistics |
-//! | [`sim`] | `scout-sim` | randomized fault campaigns, soak timelines, and multi-tenant soaks against one shared engine |
+//! | [`store`] | `scout-store` | durable hash-chained event journal + snapshot anchor store with tamper-evident crash recovery |
+//! | [`sim`] | `scout-sim` | randomized fault campaigns, soak timelines, multi-tenant soaks, and crash-injection soaks against one shared engine |
 //!
 //! `ARCHITECTURE.md` at the repo root walks the whole pipeline crate by
 //! crate, including the session/delta data flow and where sharding and
@@ -66,6 +67,7 @@ pub use scout_faults as faults;
 pub use scout_metrics as metrics;
 pub use scout_policy as policy;
 pub use scout_sim as sim;
+pub use scout_store as store;
 pub use scout_workload as workload;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -83,8 +85,11 @@ pub mod prelude {
         sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
     };
     pub use scout_sim::{
-        Campaign, CampaignReport, MultiTenantSoak, ScenarioKind, ScenarioMix, SoakReport, Timeline,
-        WorkloadKind,
+        Campaign, CampaignReport, CrashSoak, CrashSoakReport, MultiTenantSoak, ScenarioKind,
+        ScenarioMix, SoakReport, Timeline, WorkloadKind,
+    };
+    pub use scout_store::{
+        verify_dir, CrashPlan, DurableEngine, DurableSession, StoreConfig, StoreError, StoreSummary,
     };
     pub use scout_workload::{ClusterSpec, ScaleSpec, TestbedSpec};
 }
