@@ -489,7 +489,8 @@ fn journal_cases(dir: &Path) {
     }
     .to_bytes()
     .to_vec();
-    let (frame, _) = encode_record(&genesis, &EventBatch::empty(9));
+    let (frame, _) =
+        encode_record(&genesis, &EventBatch::empty(9)).expect("small batch is under the cap");
     epoch_gap.extend_from_slice(&frame);
     assert_eq!(
         decode_segment(&epoch_gap),
@@ -499,6 +500,21 @@ fn journal_cases(dir: &Path) {
         })
     );
     freeze(dir, surface, "epoch_gap", &epoch_gap, false);
+
+    // A header-only segment claiming first_epoch = 0 with a valid CRC: epoch
+    // 0 is the genesis anchor, never a journal record — and an unguarded
+    // decoder underflowed `end_epoch` on exactly this input.
+    let zero_epoch = SegmentHeader {
+        first_epoch: 0,
+        prev_chain: genesis,
+    }
+    .to_bytes()
+    .to_vec();
+    assert_eq!(
+        decode_segment(&zero_epoch),
+        Err(JournalError::FirstEpochZero)
+    );
+    freeze(dir, surface, "zero_first_epoch", &zero_epoch, false);
 
     // Payload replaced with non-wire bytes and every stamp recomputed: the
     // frame passes all CRC and chain gates and dies in the batch decode.

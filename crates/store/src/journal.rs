@@ -22,6 +22,15 @@
 //! 48 header bytes; `frame_crc` covers the first 40 frame bytes;
 //! `payload_crc` covers the payload.
 //!
+//! `first_epoch` is always ≥ 1: epoch 0 is the genesis snapshot anchor, so no
+//! journal record ever carries it, and the decoder rejects a header claiming
+//! it ([`JournalError::FirstEpochZero`]) — which also pins `end_epoch` away
+//! from underflow on a crafted header-only segment. [`MAX_RECORD_PAYLOAD`]
+//! is enforced on both sides of the boundary: the decoder refuses a frame
+//! that promises more, and [`encode_record`] refuses to write a payload the
+//! decoder would later refuse to read (which also keeps the `u32` length
+//! field from silently wrapping).
+//!
 //! # Torn vs. tampered
 //!
 //! The decoder distinguishes *crash evidence* from *damage*. A torn tail —
@@ -94,6 +103,10 @@ pub enum JournalError {
     },
     /// The header checksum does not match the header bytes.
     HeaderCrc,
+    /// The header claims `first_epoch = 0`. Epoch 0 is the genesis snapshot
+    /// anchor — no journal record ever carries it, so a segment claiming to
+    /// start there was never written by this crate.
+    FirstEpochZero,
     /// The segment ends inside a record (strict decode only — the lenient
     /// decoder reports this as a torn tail instead).
     TruncatedRecord {
@@ -111,6 +124,13 @@ pub enum JournalError {
         /// Byte offset of the frame.
         offset: usize,
         /// The promised payload length.
+        len: u64,
+    },
+    /// A batch whose wire encoding exceeds [`MAX_RECORD_PAYLOAD`] was handed
+    /// to the *encoder* — journaling it would produce a record the decoder is
+    /// required to refuse, so the write is refused instead.
+    OversizedPayload {
+        /// The encoded payload length.
         len: u64,
     },
     /// A record payload whose checksum does not match — flipped payload
@@ -158,6 +178,10 @@ impl fmt::Display for JournalError {
                 )
             }
             JournalError::HeaderCrc => write!(f, "segment header checksum mismatch"),
+            JournalError::FirstEpochZero => write!(
+                f,
+                "segment claims first_epoch 0 (epoch 0 is the genesis anchor, never a record)"
+            ),
             JournalError::TruncatedRecord { offset } => {
                 write!(f, "segment ends inside a record frame at byte {offset}")
             }
@@ -167,6 +191,10 @@ impl fmt::Display for JournalError {
             JournalError::OversizedRecord { offset, len } => write!(
                 f,
                 "record at byte {offset} promises {len}-byte payload (cap {MAX_RECORD_PAYLOAD})"
+            ),
+            JournalError::OversizedPayload { len } => write!(
+                f,
+                "batch encodes to {len} bytes, past the {MAX_RECORD_PAYLOAD}-byte record cap"
             ),
             JournalError::PayloadCrc { epoch } => {
                 write!(f, "payload checksum mismatch in the epoch-{epoch} record")
@@ -234,8 +262,16 @@ pub struct Segment {
 
 impl Segment {
     /// Epoch of the last record, or `first_epoch - 1` for an empty segment.
+    ///
+    /// Decoded segments always have `first_epoch ≥ 1` (the decoder rejects
+    /// [`JournalError::FirstEpochZero`]) and an epoch sequence the decoder
+    /// has checked for overflow; for degenerate hand-built segments this
+    /// saturates rather than wrapping.
     pub fn end_epoch(&self) -> u64 {
-        self.header.first_epoch + self.records.len() as u64 - 1
+        self.header
+            .first_epoch
+            .saturating_sub(1)
+            .saturating_add(self.records.len() as u64)
     }
 
     /// Running chain digest after the last record (the header's `prev_chain`
@@ -249,11 +285,17 @@ impl Segment {
 
     /// Canonical re-encoding; decoding accepted bytes and re-encoding them
     /// is byte-identical (the fuzz fixpoint oracle).
+    ///
+    /// # Panics
+    ///
+    /// If a hand-built record's batch encodes past [`MAX_RECORD_PAYLOAD`].
+    /// Decoded segments never do — the decoder enforces the same cap.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = self.header.to_bytes().to_vec();
         let mut chain = self.header.prev_chain;
         for record in &self.records {
-            let (frame, next) = encode_record(&chain, &record.batch);
+            let (frame, next) =
+                encode_record(&chain, &record.batch).expect("decoded payloads are within the cap");
             out.extend_from_slice(&frame);
             chain = next;
         }
@@ -263,8 +305,22 @@ impl Segment {
 
 /// Encodes one record frame: returns the frame bytes (header + payload) and
 /// the new running chain digest.
-pub fn encode_record(prev_chain: &Digest, batch: &EventBatch) -> (Vec<u8>, Digest) {
+///
+/// Refuses ([`JournalError::OversizedPayload`]) a batch whose wire encoding
+/// exceeds [`MAX_RECORD_PAYLOAD`]: the decoder is required to reject such a
+/// record, so writing it would journal bytes that can never be recovered —
+/// and past `u32::MAX` the length field would silently wrap besides. The
+/// check runs before any hashing, so refusal is cheap.
+pub fn encode_record(
+    prev_chain: &Digest,
+    batch: &EventBatch,
+) -> Result<(Vec<u8>, Digest), JournalError> {
     let payload = wire::to_bytes(batch);
+    if payload.len() as u64 > MAX_RECORD_PAYLOAD {
+        return Err(JournalError::OversizedPayload {
+            len: payload.len() as u64,
+        });
+    }
     let chain = chain_next(prev_chain, &payload);
     let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -273,7 +329,7 @@ pub fn encode_record(prev_chain: &Digest, batch: &EventBatch) -> (Vec<u8>, Diges
     let frame_crc = crc32(&frame[0..40]);
     frame.extend_from_slice(&frame_crc.to_le_bytes());
     frame.extend_from_slice(&payload);
-    (frame, chain)
+    Ok((frame, chain))
 }
 
 /// Result of a lenient (recovery-side) segment decode.
@@ -319,6 +375,12 @@ fn walk(bytes: &[u8], lenient: bool) -> Result<SegmentPrefix, JournalError> {
         return Err(JournalError::HeaderCrc);
     }
     let first_epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if first_epoch == 0 {
+        // Epoch 0 is the genesis anchor; no writer ever opens a segment
+        // there. Rejecting it here also keeps `end_epoch` well-defined for
+        // every decoded segment, including a crafted header-only one.
+        return Err(JournalError::FirstEpochZero);
+    }
     let prev_chain: Digest = bytes[16..48].try_into().expect("32 bytes");
 
     let header = SegmentHeader {
@@ -419,9 +481,11 @@ pub struct SegmentBuilder {
 }
 
 impl SegmentBuilder {
-    /// A new segment whose first record will carry `first_epoch`, chained
-    /// onto `prev_chain`.
+    /// A new segment whose first record will carry `first_epoch` (must be
+    /// ≥ 1 — epoch 0 is the genesis anchor, and the decoder rejects a
+    /// segment claiming to start there), chained onto `prev_chain`.
     pub fn new(first_epoch: u64, prev_chain: Digest) -> Self {
+        debug_assert!(first_epoch >= 1, "journal segments start at epoch >= 1");
         let header = SegmentHeader {
             first_epoch,
             prev_chain,
@@ -443,7 +507,7 @@ impl SegmentBuilder {
                 found: batch.epoch,
             });
         }
-        let (frame, chain) = encode_record(&self.chain, batch);
+        let (frame, chain) = encode_record(&self.chain, batch)?;
         self.bytes.extend_from_slice(&frame);
         self.chain = chain;
         self.next_epoch = self
@@ -571,7 +635,7 @@ mod tests {
         let clean = builder.bytes().to_vec();
         let seg = decode_segment(&clean).unwrap();
         let first_len = {
-            let (frame, _) = encode_record(&seg.header.prev_chain, &seg.records[0].batch);
+            let (frame, _) = encode_record(&seg.header.prev_chain, &seg.records[0].batch).unwrap();
             frame.len()
         };
         let header = &clean[..SEGMENT_HEADER_LEN];
@@ -584,6 +648,103 @@ mod tests {
             decode_segment(&spliced),
             Err(JournalError::ChainMismatch { epoch: 1 })
         ));
+    }
+
+    #[test]
+    fn zero_first_epoch_is_a_typed_error_not_a_panic() {
+        // The crafted input from the recovery-path audit: a header-only
+        // segment claiming first_epoch = 0 with a freshly stamped CRC. Before
+        // the decoder rejected it, `end_epoch` underflowed on it downstream.
+        let header_only = SegmentHeader {
+            first_epoch: 0,
+            prev_chain: sha256(b"forged"),
+        }
+        .to_bytes()
+        .to_vec();
+        assert_eq!(
+            decode_segment(&header_only),
+            Err(JournalError::FirstEpochZero)
+        );
+        assert_eq!(
+            decode_segment_prefix(&header_only),
+            Err(JournalError::FirstEpochZero)
+        );
+
+        // Same with a fully stamped epoch-0 record attached: still rejected
+        // at the header, before the record walk.
+        let mut with_record = header_only.clone();
+        let (frame, _) = encode_record(&sha256(b"forged"), &EventBatch::empty(0)).unwrap();
+        with_record.extend_from_slice(&frame);
+        assert_eq!(
+            decode_segment(&with_record),
+            Err(JournalError::FirstEpochZero)
+        );
+    }
+
+    #[test]
+    fn end_epoch_never_underflows_on_degenerate_segments() {
+        // Unreachable via decode (FirstEpochZero), but `Segment` is plain
+        // data: hand-built degenerate values must not wrap.
+        let degenerate = Segment {
+            header: SegmentHeader {
+                first_epoch: 0,
+                prev_chain: sha256(b"x"),
+            },
+            records: Vec::new(),
+        };
+        assert_eq!(degenerate.end_epoch(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_at_encode_time() {
+        use scout_fabric::FabricEvent;
+        use scout_policy::sample;
+
+        // A real rule from a deployed fabric, repeated until the batch's
+        // wire encoding lands just past the cap.
+        let mut fabric = scout_fabric::Fabric::new(sample::three_tier());
+        fabric.deploy();
+        let rule = fabric.tcam_rules(sample::S1)[0];
+        let sized = |n: usize| {
+            wire::to_bytes(&EventBatch::new(
+                1,
+                vec![FabricEvent::TcamSync {
+                    switch: sample::S1,
+                    rules: vec![rule; n],
+                }],
+            ))
+            .len()
+        };
+        let base = sized(0);
+        let per_rule = sized(1) - base;
+        let count = (MAX_RECORD_PAYLOAD as usize - base) / per_rule + 2;
+        let huge = EventBatch::new(
+            1,
+            vec![FabricEvent::TcamSync {
+                switch: sample::S1,
+                rules: vec![rule; count],
+            }],
+        );
+
+        let genesis = sha256(b"g");
+        match encode_record(&genesis, &huge) {
+            Err(JournalError::OversizedPayload { len }) => assert!(len > MAX_RECORD_PAYLOAD),
+            other => panic!("oversized encode must be refused, got {other:?}"),
+        }
+
+        // The builder refuses too, without consuming the epoch or appending
+        // any bytes — and then accepts a normal batch at the same epoch.
+        let mut builder = SegmentBuilder::new(1, genesis);
+        let len_before = builder.bytes().len();
+        assert!(matches!(
+            builder.append(&huge),
+            Err(JournalError::OversizedPayload { .. })
+        ));
+        assert_eq!(builder.next_epoch(), 1);
+        assert_eq!(builder.record_count(), 0);
+        assert_eq!(builder.bytes().len(), len_before);
+        builder.append(&EventBatch::empty(1)).unwrap();
+        decode_segment(builder.bytes()).unwrap();
     }
 
     #[test]
@@ -612,7 +773,7 @@ mod tests {
         }
         .to_bytes()
         .to_vec();
-        let (frame, _) = encode_record(&genesis, &EventBatch::empty(9));
+        let (frame, _) = encode_record(&genesis, &EventBatch::empty(9)).unwrap();
         bytes.extend_from_slice(&frame);
         assert_eq!(
             decode_segment(&bytes),
@@ -655,12 +816,14 @@ mod tests {
             JournalError::BadMagic,
             JournalError::UnsupportedVersion { version: 9 },
             JournalError::HeaderCrc,
+            JournalError::FirstEpochZero,
             JournalError::TruncatedRecord { offset: 52 },
             JournalError::FrameCrc { offset: 52 },
             JournalError::OversizedRecord {
                 offset: 52,
                 len: 1 << 40,
             },
+            JournalError::OversizedPayload { len: 1 << 40 },
             JournalError::PayloadCrc { epoch: 4 },
             JournalError::ChainMismatch { epoch: 4 },
             JournalError::Batch {

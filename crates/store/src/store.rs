@@ -37,13 +37,19 @@
 //!    a crashed segment creation is discarded the same way;
 //! 3. verify segment contiguity (`first_epoch`, `prev_chain`) and that every
 //!    anchor inside journal coverage records exactly the running chain
-//!    digest at its epoch;
+//!    digest at its epoch (the newest anchor is always inside coverage —
+//!    that is enforced, not assumed); a *superseded* anchor left outside
+//!    coverage by an interrupted compaction is CRC-checked but its chain
+//!    digest has nothing left to be verified against, so recovery finishes
+//!    the compaction's job and deletes it rather than trusting it;
 //! 4. restore the newest anchor's snapshot through the ordinary engine
 //!    restore path and replay the journal tail through ordinary `ingest`.
 //!
 //! Any complete-but-wrong byte anywhere — journal or snapshot — is a typed
 //! [`StoreError`], never a panic and never a silent acceptance; only
-//! incomplete trailing writes (crash evidence) are truncated.
+//! incomplete trailing writes (crash evidence) are truncated, and only
+//! stale superseded anchors (chain-unverifiable by construction, and never
+//! restored from) are discarded.
 //!
 //! # Crash injection
 //!
@@ -354,8 +360,15 @@ pub struct StoreSummary {
     pub anchor_epoch: u64,
     /// Number of valid segment files.
     pub segments: usize,
-    /// Number of valid anchor files.
+    /// Number of valid anchor files inside journal coverage (each
+    /// chain-checked against the journal's running digest at its epoch).
     pub anchors: usize,
+    /// Superseded anchors whose epoch falls outside journal coverage — the
+    /// leftovers of a compaction interrupted between removing the segments
+    /// that covered them and removing the anchors themselves. Their CRCs are
+    /// checked but their chain digests have nothing left to be verified
+    /// against, so recovery deletes them as crash evidence.
+    pub stale_anchors: usize,
     /// Journal records verified (including ones the anchor already covers).
     pub records: usize,
     /// Torn trailing bytes a recovery would truncate.
@@ -512,7 +525,11 @@ struct ScannedSegment {
 
 struct Scan {
     newest: Anchor,
+    /// Valid anchors retained (chain-checked against the journal).
     anchors: usize,
+    /// Superseded anchors outside journal coverage — leftovers of an
+    /// interrupted compaction, scheduled for removal.
+    stale_anchors: usize,
     segments: Vec<ScannedSegment>,
     /// Transient files (and a torn-header final segment) recovery removes.
     remove: Vec<PathBuf>,
@@ -550,7 +567,7 @@ fn scan_dir(dir: &Path) -> Result<Scan, StoreError> {
     let mut remove = Vec::new();
 
     // --- anchors -----------------------------------------------------------
-    let mut anchors: BTreeMap<u64, Anchor> = BTreeMap::new();
+    let mut anchors: BTreeMap<u64, (Anchor, PathBuf)> = BTreeMap::new();
     for (name, path) in sorted_entries(&snap_dir)? {
         if name.ends_with(".tmp") {
             remove.push(path);
@@ -575,10 +592,9 @@ fn scan_dir(dir: &Path) -> Result<Scan, StoreError> {
                 epoch: anchor.epoch,
             });
         }
-        anchors.insert(epoch, anchor);
+        anchors.insert(epoch, (anchor, path));
     }
-    let anchor_count = anchors.len();
-    let Some((_, newest)) = anchors.pop_last() else {
+    let Some((_, (newest, _))) = anchors.pop_last() else {
         return Err(StoreError::MissingAnchor);
     };
 
@@ -654,6 +670,7 @@ fn scan_dir(dir: &Path) -> Result<Scan, StoreError> {
         .map(|s| s.prefix.segment.records.len())
         .sum();
 
+    let mut stale_anchors = 0usize;
     let (chain, last_epoch) = if let (Some(first), Some(last)) = (segments.first(), segments.last())
     {
         let journal_first = first.prefix.segment.header.first_epoch;
@@ -680,27 +697,45 @@ fn scan_dir(dir: &Path) -> Result<Scan, StoreError> {
                 let seg = &scanned.prefix.segment;
                 if epoch >= seg.header.first_epoch && epoch <= seg.end_epoch() {
                     let idx = (epoch - seg.header.first_epoch) as usize;
-                    return Some(seg.records[idx].chain);
+                    return seg.records.get(idx).map(|r| r.chain);
                 }
             }
             None
         };
-        for anchor in anchors.values().chain(std::iter::once(&newest)) {
-            if anchor.epoch + 1 >= journal_first && anchor.epoch <= journal_end {
-                match chain_at(anchor.epoch) {
-                    Some(running) if running == anchor.chain => {}
-                    _ => {
-                        return Err(StoreError::AnchorChainMismatch {
-                            epoch: anchor.epoch,
-                        })
-                    }
-                }
+        let check = |anchor: &Anchor| -> Result<(), StoreError> {
+            match chain_at(anchor.epoch) {
+                Some(running) if running == anchor.chain => Ok(()),
+                _ => Err(StoreError::AnchorChainMismatch {
+                    epoch: anchor.epoch,
+                }),
             }
+        };
+        for (anchor, path) in anchors.values() {
+            if anchor.epoch + 1 < journal_first {
+                // A compaction interrupted between deleting the segments
+                // that covered this superseded anchor and deleting the
+                // anchor itself. Its chain digest has nothing left to be
+                // verified against, so finish the compaction's job: delete
+                // it rather than trust it.
+                stale_anchors += 1;
+                remove.push(path.clone());
+                continue;
+            }
+            // Non-newest anchors precede `newest`, which the guards above
+            // pin inside coverage — so this one is covered too.
+            check(anchor)?;
         }
+        check(&newest)?;
         (last.prefix.segment.end_chain(), journal_end)
     } else {
         // No (surviving) segments: the store crashed right after an anchor
-        // became durable. The anchor is the whole truth.
+        // became durable. The anchor is the whole truth; older anchors have
+        // no journal left to be checked against — compaction leftovers,
+        // removed with the rest of the crash evidence.
+        for (_, path) in anchors.values() {
+            stale_anchors += 1;
+            remove.push(path.clone());
+        }
         (newest.chain, newest.epoch)
     };
 
@@ -715,8 +750,10 @@ fn scan_dir(dir: &Path) -> Result<Scan, StoreError> {
     }
 
     Ok(Scan {
+        // +1 for `newest`, popped off the map above.
+        anchors: anchors.len() - stale_anchors + 1,
+        stale_anchors,
         newest,
-        anchors: anchor_count,
         segments,
         remove,
         truncate,
@@ -735,6 +772,13 @@ fn scan_dir(dir: &Path) -> Result<Scan, StoreError> {
 /// This is exactly the validation [`DurableEngine::recover`] performs before
 /// it touches the engine, so a store that verifies cleanly will recover (and
 /// vice versa: any flipped byte fails both, with the same typed error).
+///
+/// One caveat, reported rather than hidden: a superseded anchor stranded
+/// outside journal coverage by an interrupted compaction has a valid CRC but
+/// a chain digest with nothing left to cross-check it against. Such anchors
+/// are counted in [`StoreSummary::stale_anchors`] (never in
+/// [`StoreSummary::anchors`]), are never restored from, and recovery deletes
+/// them.
 pub fn verify_dir(dir: &Path) -> Result<StoreSummary, StoreError> {
     let scan = scan_dir(dir)?;
     Ok(StoreSummary {
@@ -742,6 +786,7 @@ pub fn verify_dir(dir: &Path) -> Result<StoreSummary, StoreError> {
         anchor_epoch: scan.newest.epoch,
         segments: scan.segments.len(),
         anchors: scan.anchors,
+        stale_anchors: scan.stale_anchors,
         records: scan.records,
         torn_bytes: scan.torn_bytes,
         chain: scan.chain,
@@ -956,12 +1001,19 @@ impl DurableSession {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
-        // Refuse before consuming journal bytes: the journal only ever
-        // holds batches the session accepted.
+        // Both refusals run before any byte reaches a file and neither
+        // poisons the store: an oversized batch would journal a record
+        // recovery is required to reject ([`JournalError::OversizedPayload`]
+        // mirrors the decode-side cap), and the journal only ever holds
+        // batches the session accepted.
+        let encoded = encode_record(&self.chain, &batch).map_err(|source| StoreError::Journal {
+            path: self.active_path.clone(),
+            source,
+        })?;
         self.session
             .validate_batch(&batch)
             .map_err(StoreError::Session)?;
-        match self.append_inner(batch) {
+        match self.append_inner(batch, encoded) {
             Ok(delta) => Ok(delta),
             Err(err) => {
                 self.poisoned = true;
@@ -970,11 +1022,17 @@ impl DurableSession {
         }
     }
 
-    fn append_inner(&mut self, batch: EventBatch) -> Result<ReportDelta, StoreError> {
+    fn append_inner(
+        &mut self,
+        batch: EventBatch,
+        encoded: (Vec<u8>, Digest),
+    ) -> Result<ReportDelta, StoreError> {
+        // Rolling does not disturb the chain, so the frame encoded before
+        // the roll decision is the frame either segment gets.
         if self.active_records >= self.config.segment_max_records.max(1) {
             self.roll()?;
         }
-        let (frame, chain) = encode_record(&self.chain, &batch);
+        let (frame, chain) = encoded;
         self.fs
             .append(&mut self.active, &self.active_path, &frame)?;
         self.chain = chain;
@@ -1285,6 +1343,160 @@ mod tests {
         assert_eq!(recovered.full_report(), &report_at_5);
         drop(recovered);
         verify_dir(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn forged_zero_epoch_segment_is_a_typed_error_not_a_panic() {
+        use crate::digest::sha256;
+        use crate::journal::JournalError;
+
+        let dir = TestDir::new("store-zero-epoch");
+        let fabric = fabric();
+        let engine = ScoutEngine::new();
+        let mut ds = engine.open_durable(&fabric, dir.path(), config()).unwrap();
+        drive(&mut ds, 5);
+        drop(ds);
+
+        // A header-only segment claiming first_epoch = 0 with a valid CRC —
+        // the crafted input that used to underflow `end_epoch` during scan.
+        let forged = SegmentHeader {
+            first_epoch: 0,
+            prev_chain: sha256(b"forged"),
+        }
+        .to_bytes();
+        let journal_dir = dir.path().join(JOURNAL_SUBDIR);
+        fs::write(journal_dir.join(segment_name(0)), forged).unwrap();
+
+        let expect_typed = |verdict: Result<(), StoreError>| match verdict {
+            Err(StoreError::Journal {
+                source: JournalError::FirstEpochZero,
+                ..
+            }) => {}
+            other => panic!("forged segment must be a typed error, got {other:?}"),
+        };
+        expect_typed(verify_dir(dir.path()).map(|_| ()));
+        expect_typed(
+            engine
+                .recover(dir.path(), StoreConfig::default())
+                .map(|_| ()),
+        );
+
+        // Same when the forged segment is the *last* one (the lenient
+        // prefix decoder recovery uses on the active segment).
+        for entry in fs::read_dir(&journal_dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.file_name().unwrap().to_string_lossy() != segment_name(0) {
+                fs::remove_file(path).unwrap();
+            }
+        }
+        expect_typed(verify_dir(dir.path()).map(|_| ()));
+    }
+
+    #[test]
+    fn stale_anchors_outside_coverage_are_reported_and_removed() {
+        let dir = TestDir::new("store-stale-anchors");
+        let fabric = fabric();
+        let engine = ScoutEngine::new();
+        let mut cfg = config(); // snapshot_every: 4, segment_max_records: 3
+        cfg.compact = false;
+        let mut ds = engine.open_durable(&fabric, dir.path(), cfg).unwrap();
+        drive(&mut ds, 20);
+        let report = ds.full_report().clone();
+        drop(ds);
+
+        // Simulate a compaction interrupted between deleting covered
+        // segments and deleting the anchors they covered: drop every
+        // segment below epoch 10 by hand. Anchors 0, 4 and 8 are now
+        // stranded outside journal coverage.
+        let journal_dir = dir.path().join(JOURNAL_SUBDIR);
+        for entry in fs::read_dir(&journal_dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let first = parse_fixed(&name, "seg-", ".scjl").unwrap();
+            if first < 10 {
+                fs::remove_file(&path).unwrap();
+            }
+        }
+
+        let summary = verify_dir(dir.path()).unwrap();
+        assert_eq!(summary.last_epoch, 20);
+        assert_eq!(summary.stale_anchors, 3, "anchors 0, 4, 8 are stranded");
+        assert_eq!(summary.anchors, 3, "anchors 12, 16, 20 stay chain-checked");
+
+        let recovered = engine.recover(dir.path(), StoreConfig::default()).unwrap();
+        assert_eq!(recovered.epoch(), 20);
+        assert_eq!(recovered.full_report(), &report);
+        drop(recovered);
+
+        // Recovery finished the interrupted compaction's job.
+        let summary = verify_dir(dir.path()).unwrap();
+        assert_eq!(summary.stale_anchors, 0);
+        assert_eq!(summary.anchors, 3);
+        assert_eq!(summary.last_epoch, 20);
+    }
+
+    #[test]
+    fn oversized_batch_is_refused_before_any_write_and_does_not_poison() {
+        use crate::journal::{JournalError, MAX_RECORD_PAYLOAD};
+        use scout_fabric::{wire, FabricEvent};
+
+        let dir = TestDir::new("store-oversized");
+        let fabric = fabric();
+        let engine = ScoutEngine::new();
+        let mut ds = engine.open_durable(&fabric, dir.path(), config()).unwrap();
+        drive(&mut ds, 2);
+
+        // A real rule from the deployed fabric, repeated until the batch's
+        // wire encoding lands just past the record cap.
+        let rules = fabric.tcam_rules(sample::S2);
+        let rule = *rules.first().expect("deployed switch has rules");
+        let epoch = ds.next_epoch();
+        let sized = |n: usize| {
+            wire::to_bytes(&EventBatch::new(
+                epoch,
+                vec![FabricEvent::TcamSync {
+                    switch: sample::S2,
+                    rules: vec![rule; n],
+                }],
+            ))
+            .len()
+        };
+        let base = sized(0);
+        let per_rule = sized(1) - base;
+        let count = (MAX_RECORD_PAYLOAD as usize - base) / per_rule + 2;
+        let huge = EventBatch::new(
+            epoch,
+            vec![FabricEvent::TcamSync {
+                switch: sample::S2,
+                rules: vec![rule; count],
+            }],
+        );
+
+        let stats_before = *ds.store_stats();
+        match ds.append(huge) {
+            Err(StoreError::Journal {
+                source: JournalError::OversizedPayload { len },
+                ..
+            }) => assert!(len > MAX_RECORD_PAYLOAD),
+            other => panic!("oversized batch must be refused, got {other:?}"),
+        }
+        assert!(!ds.is_poisoned(), "a refused batch must not poison");
+        assert_eq!(ds.store_stats().appends, stats_before.appends);
+        assert_eq!(
+            ds.store_stats().bytes_appended,
+            stats_before.bytes_appended,
+            "no bytes may reach the journal"
+        );
+
+        // The session carries on at the same epoch, and the store it leaves
+        // behind recovers cleanly.
+        drive(&mut ds, 1);
+        let report = ds.full_report().clone();
+        let end = ds.epoch();
+        drop(ds);
+        let recovered = engine.recover(dir.path(), StoreConfig::default()).unwrap();
+        assert_eq!(recovered.epoch(), end);
+        assert_eq!(recovered.full_report(), &report);
     }
 
     #[test]

@@ -440,6 +440,58 @@ fn torn_tails_truncate_but_damaged_suffixes_are_errors() {
     verify_dir(dir.path()).expect("restored store verifies");
 }
 
+/// A crafted header-only segment claiming `first_epoch = 0` (valid CRC,
+/// zero records) must surface as a typed error, never a panic: epoch 0 is
+/// the genesis anchor, so no legitimate segment ever starts there — and an
+/// unguarded `end_epoch` underflows on exactly this file.
+#[test]
+fn forged_zero_epoch_segment_is_a_typed_error() {
+    use scout::store::{sha256, JournalError, SegmentHeader};
+
+    let mut rng = StdRng::seed_from_u64(0x2E80);
+    let mut fabric = testbed_fabric(4);
+    let engine = ScoutEngine::new();
+    let dir = TestDir::new("zero-epoch");
+
+    let mut durable = engine
+        .open_durable(&fabric, dir.path(), small_config())
+        .expect("store opens");
+    let mut probe = FabricProbe::new(&fabric);
+    for epoch in 1..=5 {
+        disturb(&mut fabric, &mut rng);
+        durable
+            .ingest(EventBatch::new(epoch, probe.observe(&fabric)))
+            .expect("epochs ingest");
+    }
+    drop(durable);
+
+    let forged = SegmentHeader {
+        first_epoch: 0,
+        prev_chain: sha256(b"forged"),
+    }
+    .to_bytes();
+    std::fs::write(
+        dir.path()
+            .join("journal")
+            .join("seg-00000000000000000000.scjl"),
+        forged,
+    )
+    .expect("forged segment written");
+
+    for verdict in [
+        verify_dir(dir.path()).map(|_| ()),
+        engine.recover(dir.path(), small_config()).map(|_| ()),
+    ] {
+        match verdict {
+            Err(StoreError::Journal {
+                source: JournalError::FirstEpochZero,
+                ..
+            }) => {}
+            other => panic!("forged segment must be a typed error, got {other:?}"),
+        }
+    }
+}
+
 /// The seeded crash-injection soak: repeated kills at random abort points
 /// across segment rolls, anchors and compactions, every recovery
 /// cross-checked bit-for-bit inside the soak — and the whole report
