@@ -34,6 +34,7 @@ use scout_fabric::{ChangeLog, Fabric, FaultLog};
 use scout_policy::{LogicalRule, ObjectId, PolicyUniverse, SwitchEpgPair, SwitchId, TcamRule};
 
 use crate::correlation::{CorrelationEngine, CorrelationReport};
+use crate::gauges::ServiceGauges;
 use crate::localization::{scout_localize, Hypothesis, ScoutConfig};
 use crate::risk::{
     augment_controller_model, augment_switch_model, controller_risk_model_sharded,
@@ -307,6 +308,7 @@ impl ScoutEngineBuilder {
                 checker,
                 shards: shards.into_boxed_slice(),
                 next_session: AtomicU64::new(1),
+                gauges: ServiceGauges::new(),
             }),
         })
     }
@@ -349,6 +351,9 @@ pub(crate) struct EngineShared {
     /// locks.
     shards: Box<[RegistryShard]>,
     next_session: AtomicU64,
+    /// Admission counters shared by every serving thread fronting this
+    /// engine (see [`ServiceGauges`]).
+    gauges: ServiceGauges,
 }
 
 impl EngineShared {
@@ -544,6 +549,15 @@ impl ScoutEngine {
     /// Number of lock stripes in the session registry.
     pub fn shard_count(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// The admission counters shared by every handle cloned from this
+    /// engine. The engine never updates them itself — a serving layer above
+    /// it records admitted / queued / shed decisions here so operators get
+    /// one coherent picture per engine regardless of how many server threads
+    /// front it.
+    pub fn gauges(&self) -> &ServiceGauges {
+        &self.shared.gauges
     }
 
     /// One-shot, from-scratch analysis of a fabric — the reference pipeline

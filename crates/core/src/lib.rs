@@ -60,6 +60,7 @@
 
 pub mod correlation;
 pub mod engine;
+pub mod gauges;
 pub mod localization;
 pub mod risk;
 pub mod session;
@@ -73,6 +74,7 @@ pub use engine::{
     EngineBuildError, EngineConfig, OracleCadence, ScoutEngine, ScoutEngineBuilder, ScoutReport,
     SessionId, SessionInfo, DEFAULT_REGISTRY_SHARDS,
 };
+pub use gauges::{ServiceGauges, ServiceStats};
 pub use localization::{score_localize, scout_localize, Evidence, Hypothesis, ScoutConfig};
 pub use risk::{
     augment_controller_model, augment_controller_model_tracked, augment_switch_model,

@@ -19,7 +19,7 @@
 //!   [`AnalysisSession::ingest`] path.
 //!
 //! The restored session is **bit-identical** to one that never stopped: its
-//! report, every subsequent [`ReportDelta`](crate::ReportDelta), and every
+//! report, every subsequent [`ReportDelta`], and every
 //! future `full_report()` match an uninterrupted session exactly (enforced by
 //! the root test `tests/checkpoint.rs` over a 200-epoch soak timeline).
 //!
@@ -74,7 +74,7 @@ use scout_policy::SwitchId;
 use crate::correlation::{CorrelationReport, ObjectDiagnosis, RootCause};
 use crate::engine::ScoutReport;
 use crate::localization::{Evidence, Hypothesis};
-use crate::session::{AnalysisSession, SessionError};
+use crate::session::{AnalysisSession, ReportDelta, ResyncRequest, SessionError};
 
 /// The current snapshot schema version. Bump on any change to the encoded
 /// layout; [`Snapshot::from_bytes`] refuses other versions.
@@ -547,6 +547,111 @@ fn get_report(r: &mut WireReader<'_>) -> Result<ScoutReport, WireError> {
     })
 }
 
+// The serving layer (`scout-server`) ships reports, deltas and session errors
+// back to remote tenants, so the session-facing result types are first-class
+// wire citizens too. The impls live here — next to the snapshot codec they
+// share `put_report`/`get_report` with — because `Wire` is a `scout-fabric`
+// trait and the orphan rule keeps downstream crates from implementing it for
+// core's types.
+
+impl Wire for ScoutReport {
+    fn encode(&self, w: &mut WireWriter) {
+        put_report(w, self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        get_report(r)
+    }
+}
+
+impl Wire for ReportDelta {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.epoch);
+        self.rechecked.encode(w);
+        self.newly_missing.encode(w);
+        self.restored.encode(w);
+        self.hypothesis_added.encode(w);
+        self.hypothesis_removed.encode(w);
+        self.diagnosis_changed.encode(w);
+        w.put_bool(self.consistent);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ReportDelta {
+            epoch: r.get_u64()?,
+            rechecked: Wire::decode(r)?,
+            newly_missing: Wire::decode(r)?,
+            restored: Wire::decode(r)?,
+            hypothesis_added: Wire::decode(r)?,
+            hypothesis_removed: Wire::decode(r)?,
+            diagnosis_changed: Wire::decode(r)?,
+            consistent: r.get_bool()?,
+        })
+    }
+}
+
+impl Wire for ResyncRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.from_epoch);
+        w.put_u64(self.observed_epoch);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ResyncRequest {
+            from_epoch: r.get_u64()?,
+            observed_epoch: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for SessionError {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            SessionError::EpochOutOfOrder { expected, got } => {
+                w.put_u8(0);
+                w.put_u64(*expected);
+                w.put_u64(*got);
+            }
+            SessionError::EpochGap { resync } => {
+                w.put_u8(1);
+                resync.encode(w);
+            }
+            SessionError::UnknownSwitch { epoch, switch } => {
+                w.put_u8(2);
+                w.put_u64(*epoch);
+                switch.encode(w);
+            }
+            SessionError::FaultIndexOutOfRange { epoch, index, len } => {
+                w.put_u8(3);
+                w.put_u64(*epoch);
+                w.put_usize(*index);
+                w.put_usize(*len);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(SessionError::EpochOutOfOrder {
+                expected: r.get_u64()?,
+                got: r.get_u64()?,
+            }),
+            1 => Ok(SessionError::EpochGap {
+                resync: ResyncRequest::decode(r)?,
+            }),
+            2 => Ok(SessionError::UnknownSwitch {
+                epoch: r.get_u64()?,
+                switch: Wire::decode(r)?,
+            }),
+            3 => Ok(SessionError::FaultIndexOutOfRange {
+                epoch: r.get_u64()?,
+                index: r.get_usize()?,
+                len: r.get_usize()?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                what: "SessionError",
+                tag,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +679,58 @@ mod tests {
         assert_eq!(decoded, snapshot);
         // Deterministic: equal snapshots encode to identical bytes.
         assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    fn wire_roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = scout_fabric::wire::to_bytes(value);
+        let decoded: T = scout_fabric::wire::from_bytes(&bytes).expect("decodes");
+        assert_eq!(&decoded, value);
+        assert_eq!(scout_fabric::wire::to_bytes(&decoded), bytes);
+    }
+
+    #[test]
+    fn session_result_types_roundtrip_on_the_wire() {
+        let (_engine, mut fabric, mut session) = faulty_session();
+        let mut probe = FabricProbe::new(&fabric);
+
+        wire_roundtrip(session.full_report());
+
+        fabric.evict_tcam(sample::S3, 1, false);
+        let delta = session.ingest_observation(&mut probe, &fabric).unwrap();
+        assert!(!delta.rechecked.is_empty());
+        wire_roundtrip(&delta);
+
+        for error in [
+            SessionError::EpochOutOfOrder {
+                expected: 3,
+                got: 1,
+            },
+            SessionError::EpochGap {
+                resync: crate::session::ResyncRequest {
+                    from_epoch: 3,
+                    observed_epoch: 7,
+                },
+            },
+            SessionError::UnknownSwitch {
+                epoch: 4,
+                switch: SwitchId::new(42),
+            },
+            SessionError::FaultIndexOutOfRange {
+                epoch: 5,
+                index: 9,
+                len: 2,
+            },
+        ] {
+            wire_roundtrip(&error);
+        }
+
+        assert_eq!(
+            scout_fabric::wire::from_bytes::<SessionError>(&[9]),
+            Err(WireError::InvalidTag {
+                what: "SessionError",
+                tag: 9
+            })
+        );
     }
 
     #[test]

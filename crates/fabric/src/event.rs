@@ -446,6 +446,14 @@ impl FullSync {
         }
     }
 
+    /// Wraps an already-built view as a full synchronization — the decode
+    /// path of the wire codec, and the constructor a serving layer uses when
+    /// the fresh read arrives from a remote probe rather than a local
+    /// [`Fabric`].
+    pub fn from_view(view: FabricView) -> Self {
+        Self { view }
+    }
+
     /// The snapshotted artifacts.
     pub fn view(&self) -> &FabricView {
         &self.view

@@ -75,7 +75,7 @@ use scout_policy::{
 };
 
 use crate::clock::Timestamp;
-use crate::event::{EventBatch, FabricEvent, FabricView};
+use crate::event::{EventBatch, FabricEvent, FabricView, FullSync};
 use crate::logs::{
     ChangeAction, ChangeLog, ChangeLogEntry, FaultKind, FaultLog, FaultLogEntry, Severity,
 };
@@ -960,6 +960,21 @@ impl Wire for FabricView {
     }
 }
 
+/// A [`FullSync`] is "a fresh [`FabricView`] shipped over the wire": its
+/// encoding *is* the view's encoding (no extra framing), and every validation
+/// the view decoder performs — stray TCAM tables, non-canonical collections —
+/// applies unchanged. The wrapper type still matters at the API layer: a
+/// consumer that receives one installs it wholesale via
+/// [`FullSync::into_view`] instead of applying it as a delta.
+impl Wire for FullSync {
+    fn encode(&self, w: &mut WireWriter) {
+        self.view().encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(FullSync::from_view(FabricView::decode(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1062,6 +1077,44 @@ mod tests {
         // Recompiled derived state agrees with the original.
         assert_eq!(decoded.logical_rules(), view.logical_rules());
         assert_eq!(decoded.switch_set(), view.switch_set());
+    }
+
+    #[test]
+    fn full_sync_roundtrips_and_matches_view_encoding() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        fabric.remove_tcam_rules_where(sample::S2, |r| r.matcher.ports.start == 700);
+        fabric.disconnect_switch(sample::S1);
+        let sync = FullSync::of(&fabric);
+        roundtrip(&sync);
+        // A FullSync is exactly its view on the wire: no extra framing.
+        assert_eq!(to_bytes(&sync), to_bytes(sync.view()));
+    }
+
+    #[test]
+    fn full_sync_rejects_truncation_and_stray_tcam() {
+        let mut fabric = Fabric::new(sample::three_tier());
+        fabric.deploy();
+        let bytes = to_bytes(&FullSync::of(&fabric));
+        assert!(matches!(
+            from_bytes::<FullSync>(&bytes[..bytes.len() - 1]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // Every FabricView validation applies: a view with a TCAM table for a
+        // switch outside the topology is rejected through the wrapper too.
+        let view = FabricView::of(&fabric);
+        let mut w = WireWriter::new();
+        w.put_u64(view.universe_version());
+        view.universe().encode(&mut w);
+        let mut tcam = view.tcam().clone();
+        tcam.insert(SwitchId::new(9999), Vec::new());
+        tcam.encode(&mut w);
+        view.change_log().encode(&mut w);
+        view.fault_log().encode(&mut w);
+        assert_eq!(
+            from_bytes::<FullSync>(&w.into_bytes()),
+            Err(WireError::Invalid { what: "FabricView" })
+        );
     }
 
     #[test]

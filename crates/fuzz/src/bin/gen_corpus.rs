@@ -31,6 +31,7 @@ use scout_fuzz::{corpus, seeds};
 use scout_policy::{
     sample, ContractBinding, Epg, EpgId, LogicalRule, ObjectId, PolicyUniverse, SwitchId, TcamRule,
 };
+use scout_server::ServerRequest;
 use scout_store::journal::{
     crc32 as journal_crc32, decode_segment, encode_record, JournalError, SegmentHeader,
     MAX_RECORD_PAYLOAD, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN,
@@ -555,6 +556,74 @@ fn journal_cases(dir: &Path) {
     freeze(dir, surface, "oversized_record", &oversized, false);
 }
 
+fn server_cases(dir: &Path) {
+    let surface = Surface::Server;
+    let seed = seeds::for_surface(surface)[0].clone(); // OpenSession
+    freeze(dir, surface, "open_session__valid", &seed, true);
+    freeze(dir, surface, "truncated", &seed[..seed.len() - 1], false);
+
+    let mut trailing = seed.clone();
+    trailing.extend([0x5A; 2]);
+    assert_eq!(
+        from_bytes::<ServerRequest>(&trailing),
+        Err(WireError::TrailingBytes { remaining: 2 })
+    );
+    freeze(dir, surface, "trailing_garbage", &trailing, false);
+
+    // Tag 6: one past the last request variant.
+    let mut w = WireWriter::new();
+    w.put_u8(6);
+    w.put_u64(7);
+    let bad_tag = w.into_bytes();
+    assert_eq!(
+        from_bytes::<ServerRequest>(&bad_tag),
+        Err(WireError::InvalidTag {
+            what: "ServerRequest",
+            tag: 6,
+        })
+    );
+    freeze(dir, surface, "bad_tag", &bad_tag, false);
+
+    // An Ingest whose batch claims u64::MAX events: the serving twin of
+    // `eventbatch__huge_len_prefix` — a front door that trusted the prefix
+    // would pre-allocate ~2^64 entries for a 25-byte request.
+    let mut w = WireWriter::new();
+    w.put_u8(1); // Ingest
+    w.put_u64(7); // tenant
+    w.put_u64(1); // batch epoch
+    w.put_u64(u64::MAX); // event count
+    let huge = w.into_bytes();
+    assert!(matches!(
+        from_bytes::<ServerRequest>(&huge),
+        Err(WireError::UnexpectedEof { .. })
+    ));
+    freeze(dir, surface, "huge_len_prefix", &huge, false);
+
+    // A Resync carrying a fabric view with a mirrored TCAM table for a
+    // switch the universe has never heard of — every frame is well-formed,
+    // the cross-field invariant is not.
+    let mut fabric = Fabric::new(sample::three_tier());
+    fabric.deploy();
+    let view = FabricView::of(&fabric);
+    let mut w = WireWriter::new();
+    w.put_u8(2); // Resync
+    w.put_u64(7); // tenant
+    w.put_u64(4); // epoch
+    w.put_u64(view.universe_version());
+    view.universe().encode(&mut w);
+    let mut tcam = view.tcam().clone();
+    tcam.insert(SwitchId::new(9999), Vec::new());
+    tcam.encode(&mut w);
+    view.change_log().encode(&mut w);
+    view.fault_log().encode(&mut w);
+    let stray = w.into_bytes();
+    assert_eq!(
+        from_bytes::<ServerRequest>(&stray),
+        Err(WireError::Invalid { what: "FabricView" })
+    );
+    freeze(dir, surface, "resync_stray_tcam", &stray, false);
+}
+
 fn main() -> ExitCode {
     let dir = std::env::args()
         .nth(1)
@@ -568,6 +637,7 @@ fn main() -> ExitCode {
     log_cases(&dir);
     snapshot_cases(&dir);
     journal_cases(&dir);
+    server_cases(&dir);
 
     // Final gate: the directory as a whole replays clean.
     let results = corpus::replay_dir(&dir).expect("corpus replay");

@@ -32,6 +32,7 @@ use scout_core::{ScoutEngine, Snapshot};
 use scout_fabric::wire::{from_bytes, to_bytes, Wire};
 use scout_fabric::{ChangeLog, EventBatch, FabricView, FaultLog};
 use scout_policy::{PolicyUniverse, SwitchId, TcamRule};
+use scout_server::ServerRequest;
 use scout_store::{decode_segment, Segment};
 
 use crate::alloc;
@@ -78,11 +79,14 @@ pub enum Surface {
     /// A `scout-store` journal segment — the strict hash-chained decode
     /// recovery runs on every sealed segment file.
     Journal,
+    /// `ServerRequest` — the serving layer's front-door message, the first
+    /// decode a million untrusted tenants can reach.
+    Server,
 }
 
 impl Surface {
     /// Every decode surface, in the order the harness runs them.
-    pub const ALL: [Surface; 8] = [
+    pub const ALL: [Surface; 9] = [
         Surface::EventBatch,
         Surface::FabricView,
         Surface::PolicyUniverse,
@@ -91,6 +95,7 @@ impl Surface {
         Surface::FaultLog,
         Surface::Snapshot,
         Surface::Journal,
+        Surface::Server,
     ];
 
     /// The surface's stable name, used in corpus file names and CLI flags.
@@ -104,6 +109,7 @@ impl Surface {
             Surface::FaultLog => "faultlog",
             Surface::Snapshot => "snapshot",
             Surface::Journal => "journal",
+            Surface::Server => "server",
         }
     }
 
@@ -172,6 +178,7 @@ pub fn check(surface: Surface, bytes: &[u8]) -> Verdict {
         Surface::FaultLog => check_wire::<FaultLog>(bytes),
         Surface::Snapshot => check_snapshot(bytes),
         Surface::Journal => check_journal(bytes),
+        Surface::Server => check_wire::<ServerRequest>(bytes),
     }
 }
 

@@ -18,8 +18,9 @@ use std::sync::OnceLock;
 
 use scout_core::ScoutEngine;
 use scout_fabric::wire::to_bytes;
-use scout_fabric::{EventBatch, Fabric, FabricProbe, FabricView};
+use scout_fabric::{EventBatch, Fabric, FabricProbe, FabricView, FullSync};
 use scout_policy::sample;
+use scout_server::ServerRequest;
 use scout_store::{sha256, SegmentBuilder};
 use scout_workload::ClusterSpec;
 
@@ -92,6 +93,29 @@ fn build(surface: Surface) -> Vec<Vec<u8>> {
             }
             let empty = SegmentBuilder::new(7, sha256(b"scout-fuzz/empty-seed"));
             vec![builder.bytes().to_vec(), empty.bytes().to_vec()]
+        }
+        Surface::Server => {
+            // One request of every shape the front door accepts, so mutations
+            // reach each arm's payload decoder (universe revalidation, batch
+            // events, the full fabric view inside a resync).
+            vec![
+                to_bytes(&ServerRequest::OpenSession {
+                    tenant: 7,
+                    universe: sample::three_tier(),
+                }),
+                to_bytes(&ServerRequest::Ingest {
+                    tenant: 7,
+                    batch: batches[0].clone(),
+                }),
+                to_bytes(&ServerRequest::Resync {
+                    tenant: 7,
+                    epoch: 4,
+                    sync: FullSync::of(&fabric),
+                }),
+                to_bytes(&ServerRequest::Checkpoint { tenant: 7 }),
+                to_bytes(&ServerRequest::Query { tenant: 7 }),
+                to_bytes(&ServerRequest::CloseSession { tenant: 7 }),
+            ]
         }
     }
 }

@@ -1,0 +1,98 @@
+//! Deterministic leader election and failover planning.
+//!
+//! Because [`Membership`](crate::membership::Membership) is a pure function
+//! of the heartbeat history, every node that observes the same history can
+//! run the same election locally: **the lowest alive node id leads**. No
+//! ballots, no terms — the simulation's clock is synchronous, so the alive
+//! set *is* the consensus. What the leader decides (which survivor adopts
+//! which orphaned tenant) is likewise a pure function of the alive set and
+//! the orphan list, so a re-run of the same failure schedule produces the
+//! same plan — the property that makes the cluster's node-count determinism
+//! testable at all.
+
+use std::collections::BTreeSet;
+
+use crate::membership::NodeId;
+use crate::messages::TenantId;
+
+/// The lowest alive node leads; an empty cluster has no leader.
+pub fn elect(alive: &BTreeSet<NodeId>) -> Option<NodeId> {
+    alive.iter().next().copied()
+}
+
+/// One session move in a failover plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reassignment {
+    /// The orphaned tenant.
+    pub tenant: TenantId,
+    /// The node that owned it (now dead).
+    pub from: NodeId,
+    /// The survivor that must adopt it.
+    pub to: NodeId,
+}
+
+/// Plans the adoption of `orphans` (tenant, dead-owner pairs) across the
+/// `alive` survivors: tenants in ascending order, spread round-robin over
+/// the ascending survivor list. Pure and deterministic — same inputs, same
+/// plan, on every node that runs it. Returns an empty plan when no one is
+/// alive to adopt.
+pub fn plan_reassignment(
+    orphans: &[(TenantId, NodeId)],
+    alive: &BTreeSet<NodeId>,
+) -> Vec<Reassignment> {
+    let survivors: Vec<NodeId> = alive.iter().copied().collect();
+    if survivors.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(TenantId, NodeId)> = orphans.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, (tenant, from))| Reassignment {
+            tenant,
+            from,
+            to: survivors[i % survivors.len()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_alive_node_leads() {
+        assert_eq!(elect(&BTreeSet::new()), None);
+        assert_eq!(elect(&BTreeSet::from([4, 2, 9])), Some(2));
+    }
+
+    #[test]
+    fn reassignment_is_deterministic_and_covers_every_orphan() {
+        let alive = BTreeSet::from([2, 5]);
+        let orphans = vec![(30, 1), (10, 1), (20, 3)];
+        let plan = plan_reassignment(&orphans, &alive);
+        assert_eq!(plan, plan_reassignment(&orphans, &alive));
+        assert_eq!(
+            plan,
+            vec![
+                Reassignment {
+                    tenant: 10,
+                    from: 1,
+                    to: 2
+                },
+                Reassignment {
+                    tenant: 20,
+                    from: 3,
+                    to: 5
+                },
+                Reassignment {
+                    tenant: 30,
+                    from: 1,
+                    to: 2
+                },
+            ]
+        );
+        assert!(plan_reassignment(&orphans, &BTreeSet::new()).is_empty());
+    }
+}

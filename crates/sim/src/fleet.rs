@@ -1,0 +1,554 @@
+//! Fleet soak: many tenants through the **serving layer**, not the library.
+//!
+//! [`MultiTenantSoak`](crate::multi::MultiTenantSoak) proves the engine's
+//! concurrency contract by driving [`AnalysisSession`]s directly.
+//! [`FleetSoak`] raises the bar one layer: every batch now crosses the
+//! `scout-server` front door — wire-encoded [`ServerRequest`]s through
+//! [`ScoutServer::handle_bytes`], past admission control (token quotas,
+//! bounded FIFO queues, shed-and-retry), into per-tenant sessions on **one**
+//! shared [`ScoutEngine`]. The soak records per-request latencies, queue and
+//! shed counts, and the full per-tenant delta stream, so the enforced root
+//! suite `tests/server.rs` can pin the serving layer's headline contract:
+//!
+//! * front-door results are **bit-identical** to a direct single-threaded
+//!   engine replay of the same recorded batches ([`FleetSoak::direct_replay`]);
+//! * the thread count changes wall-clock time and nothing else;
+//! * back-pressure (queue, shed, retry) never loses or reorders an accepted
+//!   batch.
+//!
+//! Each worker thread owns its own [`ScoutServer`] node (sessions are
+//! single-owner, exactly like a sharded deployment) while all nodes share the
+//! engine — the same worker-strided layout as the multi-tenant soak.
+//!
+//! [`AnalysisSession`]: scout_core::AnalysisSession
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use scout_core::{EngineConfig, ReportDelta, ScoutEngine, ScoutReport};
+use scout_fabric::wire::{from_bytes, to_bytes};
+use scout_fabric::{EventBatch, Fabric, FabricProbe};
+use scout_metrics::{fmt3, Table};
+use scout_server::{
+    AdmissionConfig, ScoutServer, ServerConfig, ServerRequest, ServerResponse, TenantId,
+};
+use scout_workload::random_policy_edit;
+
+use crate::scenario::WorkloadKind;
+
+/// A fleet soak configuration: M tenants through wire-encoded server requests
+/// on T serving threads, one shared engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSoak {
+    /// The per-tenant policy generator (tenant `i` generates from
+    /// `base_seed + i`).
+    pub workload: WorkloadKind,
+    /// Number of tenants (each gets its own fabric, batch stream and server
+    /// session).
+    pub tenants: usize,
+    /// Number of epochs in each tenant's recorded batch stream.
+    pub epochs: usize,
+    /// The base seed for both policy generation and fabric churn.
+    pub base_seed: u64,
+    /// Number of serving threads (clamped to the tenant count; at least 1).
+    /// Each thread runs its own [`ScoutServer`] node.
+    pub threads: usize,
+    /// When `true` (the default) tenant `i` seeds from `base_seed + i`, so
+    /// every tenant is a distinct workload. When `false` every tenant runs
+    /// the **same** universe and batch stream — the uniform-load shape the
+    /// fairness bench uses, so max/min tenant throughput measures the
+    /// scheduler and not workload variance.
+    pub distinct_seeds: bool,
+    /// The admission policy every node applies in front of its tenants.
+    pub admission: AdmissionConfig,
+    /// The shared engine's configuration.
+    pub engine: EngineConfig,
+}
+
+impl FleetSoak {
+    /// A fleet soak with the default admission policy and engine
+    /// configuration.
+    pub fn new(workload: WorkloadKind, tenants: usize, epochs: usize, base_seed: u64) -> Self {
+        Self {
+            workload,
+            tenants,
+            epochs,
+            base_seed,
+            threads: tenants.max(1),
+            distinct_seeds: true,
+            admission: AdmissionConfig::default(),
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// The seed offset tenant `index` derives its universe and churn from.
+    fn seed_index(&self, index: usize) -> u64 {
+        if self.distinct_seeds {
+            index as u64
+        } else {
+            0
+        }
+    }
+
+    /// Tenant `index`'s policy universe.
+    pub fn tenant_universe(&self, index: usize) -> scout_policy::PolicyUniverse {
+        self.workload
+            .generate(self.base_seed + self.seed_index(index))
+    }
+
+    /// Tenant `index`'s pristine deployed fabric — the one its server session
+    /// is opened on, and the one [`FleetSoak::direct_replay`] starts from.
+    pub fn tenant_fabric(&self, index: usize) -> Fabric {
+        let mut fabric = Fabric::new(self.tenant_universe(index));
+        fabric.deploy();
+        fabric
+    }
+
+    /// Pre-records tenant `index`'s event-batch stream by churning its fabric
+    /// once (evictions, rule drops, repairs, policy edits), so the server
+    /// path and the direct replay consume byte-identical inputs.
+    pub fn tenant_batches(&self, index: usize) -> Vec<EventBatch> {
+        let mut fabric = self.tenant_fabric(index);
+        let mut probe = FabricProbe::new(&fabric);
+        let mut rng =
+            StdRng::seed_from_u64(self.base_seed ^ 0xF1EE_7500 ^ (self.seed_index(index) << 17));
+        (1..=self.epochs as u64)
+            .map(|epoch| {
+                let switch_ids = fabric.universe().switch_ids();
+                let &switch = switch_ids.choose(&mut rng).unwrap();
+                match rng.gen_range(0u32..5) {
+                    0 => {
+                        let port = rng.gen_range(0u16..7);
+                        fabric
+                            .remove_tcam_rules_where(switch, |r| r.matcher.ports.start % 7 == port);
+                    }
+                    1 => {
+                        fabric.evict_tcam(switch, rng.gen_range(1usize..3), true);
+                    }
+                    2 => {
+                        fabric.repair_switch(switch);
+                    }
+                    3 => {
+                        let universe = fabric.universe().clone();
+                        if let Some(edit) = random_policy_edit(&universe, &mut rng) {
+                            fabric.update_policy(edit.universe);
+                        }
+                    }
+                    _ => {}
+                }
+                EventBatch::new(epoch, probe.observe(&fabric))
+            })
+            .collect()
+    }
+
+    /// Replays tenant `index`'s recorded batches on a **private** engine,
+    /// single-threaded, no server in sight — the oracle the fleet run must
+    /// match bit for bit.
+    pub fn direct_replay(&self, index: usize) -> (Vec<ReportDelta>, ScoutReport) {
+        let engine = ScoutEngine::from_config(self.engine)
+            .expect("fleet engine config is degenerate (see EngineConfig::validate)");
+        let fabric = self.tenant_fabric(index);
+        let mut session = engine.open_session(&fabric);
+        let deltas = self
+            .tenant_batches(index)
+            .into_iter()
+            .map(|batch| {
+                session
+                    .ingest(batch)
+                    .expect("recorded batches ingest cleanly")
+            })
+            .collect();
+        (deltas, session.full_report().clone())
+    }
+
+    /// Runs the fleet: every tenant's batches through the wire API of a
+    /// per-worker server node, one shared engine underneath.
+    pub fn run(&self) -> FleetRun {
+        let start = Instant::now();
+        let engine = ScoutEngine::from_config(self.engine)
+            .expect("fleet engine config is degenerate (see EngineConfig::validate)");
+        let threads = self.threads.clamp(1, self.tenants.max(1));
+
+        let mut outcomes: Vec<Option<TenantOutcome>> = (0..self.tenants).map(|_| None).collect();
+        if threads <= 1 {
+            let mut server =
+                ScoutServer::new(engine.clone(), ServerConfig::in_memory(self.admission));
+            for (tenant, slot) in outcomes.iter_mut().enumerate() {
+                *slot = Some(self.serve_tenant(&mut server, tenant));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let engine = &engine;
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        scope.spawn(move || {
+                            let mut server = ScoutServer::new(
+                                engine.clone(),
+                                ServerConfig::in_memory(self.admission),
+                            );
+                            (worker..self.tenants)
+                                .step_by(threads)
+                                .map(|tenant| (tenant, self.serve_tenant(&mut server, tenant)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (tenant, outcome) in handle.join().expect("serving thread panicked") {
+                        outcomes[tenant] = Some(outcome);
+                    }
+                }
+            });
+        }
+
+        FleetRun {
+            outcomes: outcomes
+                .into_iter()
+                .map(|slot| slot.expect("every tenant index is covered"))
+                .collect(),
+            threads,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Drives one tenant's full lifecycle — open, ingest every recorded batch
+    /// (riding out queue/shed back-pressure), drain, query, close — through
+    /// the **byte**-level API of `server`.
+    fn serve_tenant(&self, server: &mut ScoutServer, tenant: usize) -> TenantOutcome {
+        let id = tenant as TenantId;
+        let mut outcome = TenantOutcome::default();
+
+        let universe = self.tenant_universe(tenant);
+        match self.request(
+            server,
+            &mut outcome,
+            ServerRequest::OpenSession {
+                tenant: id,
+                universe,
+            },
+        ) {
+            ServerResponse::Opened { .. } => {}
+            other => panic!("tenant {tenant}: open failed: {other:?}"),
+        }
+
+        for batch in self.tenant_batches(tenant) {
+            let mut attempts = 0usize;
+            loop {
+                let request = ServerRequest::Ingest {
+                    tenant: id,
+                    batch: batch.clone(),
+                };
+                match self.request(server, &mut outcome, request) {
+                    ServerResponse::Ingested { delta, .. } => {
+                        outcome.deltas.push(delta);
+                        break;
+                    }
+                    ServerResponse::Queued { .. } => {
+                        // The controller owns the batch now; its delta arrives
+                        // from a later tick, in FIFO order.
+                        outcome.queued += 1;
+                        break;
+                    }
+                    ServerResponse::Error(scout_server::ServerError::Shed { .. }) => {
+                        // Refused outright: tick to refill tokens and drain the
+                        // backlog, then resend the same batch.
+                        outcome.shed += 1;
+                        attempts += 1;
+                        assert!(
+                            attempts < 10_000,
+                            "tenant {tenant}: admission config cannot make progress \
+                             (refill_per_tick too small?)"
+                        );
+                        self.drain_tick(server, &mut outcome, id);
+                    }
+                    other => panic!("tenant {tenant}: unexpected ingest response: {other:?}"),
+                }
+            }
+        }
+
+        // Drain whatever is still parked before reading the final report.
+        while server.queue_depth(id) > 0 {
+            self.drain_tick(server, &mut outcome, id);
+        }
+
+        match self.request(server, &mut outcome, ServerRequest::Query { tenant: id }) {
+            ServerResponse::Report { report, .. } => outcome.report = Some(report),
+            other => panic!("tenant {tenant}: query failed: {other:?}"),
+        }
+        match self.request(
+            server,
+            &mut outcome,
+            ServerRequest::CloseSession { tenant: id },
+        ) {
+            ServerResponse::Closed { .. } => {}
+            other => panic!("tenant {tenant}: close failed: {other:?}"),
+        }
+        outcome
+    }
+
+    /// One timed round-trip through the wire funnel: encode, handle, decode.
+    fn request(
+        &self,
+        server: &mut ScoutServer,
+        outcome: &mut TenantOutcome,
+        request: ServerRequest,
+    ) -> ServerResponse {
+        let bytes = to_bytes(&request);
+        let clock = Instant::now();
+        let reply = server.handle_bytes(&bytes);
+        outcome.latencies_ns.push(clock.elapsed().as_nanos() as u64);
+        from_bytes::<ServerResponse>(&reply).expect("server responses always decode")
+    }
+
+    /// One scheduling tick, folding any drained `Ingested` deltas for
+    /// `tenant` into `outcome` in drain order.
+    fn drain_tick(&self, server: &mut ScoutServer, outcome: &mut TenantOutcome, tenant: TenantId) {
+        for response in server.tick() {
+            match response {
+                ServerResponse::Ingested { tenant: t, delta } if t == tenant => {
+                    outcome.deltas.push(delta);
+                }
+                other => panic!("tick surfaced an unexpected response: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Everything one tenant's trip through the fleet produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantOutcome {
+    /// One delta per recorded epoch, in epoch order — whether it came back
+    /// inline (`Ingested`) or from a later drain tick.
+    pub deltas: Vec<ReportDelta>,
+    /// The final full report answered by `Query`.
+    pub report: Option<ScoutReport>,
+    /// Wall-clock nanoseconds of every wire round-trip this tenant issued.
+    pub latencies_ns: Vec<u64>,
+    /// Batches the admission controller parked (answered `Queued`).
+    pub queued: usize,
+    /// Ingest attempts refused with a typed `Shed` error (each was retried).
+    pub shed: usize,
+}
+
+impl TenantOutcome {
+    /// The deterministic analysis result: deltas plus final report. This —
+    /// and only this — must be bit-identical to
+    /// [`FleetSoak::direct_replay`]; latencies and back-pressure counts are
+    /// scheduling artifacts.
+    pub fn analysis(&self) -> (&[ReportDelta], Option<&ScoutReport>) {
+        (&self.deltas, self.report.as_ref())
+    }
+
+    /// Latency percentile in nanoseconds (`p` in 0..=100) over this tenant's
+    /// round-trips.
+    pub fn latency_p(&self, p: f64) -> u64 {
+        percentile(&self.latencies_ns, p)
+    }
+
+    /// Time this tenant spent being served, in seconds (sum of round-trips).
+    pub fn busy_secs(&self) -> f64 {
+        self.latencies_ns.iter().sum::<u64>() as f64 / 1e9
+    }
+
+    /// Accepted-batch throughput against this tenant's own serving time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        self.deltas.len() as f64 / self.busy_secs().max(1e-12)
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample (0 for an empty one).
+fn percentile(sample: &[u64], p: f64) -> u64 {
+    if sample.is_empty() {
+        return 0;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The result of one fleet soak: per-tenant outcomes plus the aggregate
+/// wall-clock cost of serving them with the configured thread count.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// One [`TenantOutcome`] per tenant, in tenant order.
+    pub outcomes: Vec<TenantOutcome>,
+    /// The number of serving threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the whole fleet (engine build included).
+    pub elapsed: Duration,
+}
+
+impl FleetRun {
+    /// Total accepted ingests across the fleet.
+    pub fn total_ingests(&self) -> usize {
+        self.outcomes.iter().map(|o| o.deltas.len()).sum()
+    }
+
+    /// Total batches parked by admission across the fleet.
+    pub fn total_queued(&self) -> usize {
+        self.outcomes.iter().map(|o| o.queued).sum()
+    }
+
+    /// Total typed sheds across the fleet.
+    pub fn total_shed(&self) -> usize {
+        self.outcomes.iter().map(|o| o.shed).sum()
+    }
+
+    /// Aggregate accepted-ingest throughput against wall-clock time.
+    pub fn ingests_per_sec(&self) -> f64 {
+        self.total_ingests() as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Latency percentile in nanoseconds over **every** round-trip in the
+    /// fleet.
+    pub fn latency_p(&self, p: f64) -> u64 {
+        let all: Vec<u64> = self
+            .outcomes
+            .iter()
+            .flat_map(|o| o.latencies_ns.iter().copied())
+            .collect();
+        percentile(&all, p)
+    }
+
+    /// Max-over-min per-tenant throughput — the fleet's fairness number. A
+    /// perfectly fair scheduler serves every tenant at the same rate
+    /// (ratio 1.0); the serving-layer bench asserts this stays ≤ 2.0.
+    pub fn fairness_ratio(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(TenantOutcome::throughput_per_sec)
+            .collect();
+        let max = rates.iter().copied().fold(f64::MIN, f64::max);
+        let min = rates.iter().copied().fold(f64::MAX, f64::min);
+        if rates.is_empty() || min <= 0.0 {
+            return f64::INFINITY;
+        }
+        max / min
+    }
+
+    /// Renders the fleet summary as an aligned table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new("Fleet soak — serving layer", &["metric", "value"]);
+        table.row(["tenants".into(), self.outcomes.len().to_string()]);
+        table.row(["threads".into(), self.threads.to_string()]);
+        table.row(["ingests".into(), self.total_ingests().to_string()]);
+        table.row(["queued".into(), self.total_queued().to_string()]);
+        table.row(["shed".into(), self.total_shed().to_string()]);
+        table.row(["p50 latency".into(), format!("{} ns", self.latency_p(50.0))]);
+        table.row(["p99 latency".into(), format!("{} ns", self.latency_p(99.0))]);
+        table.row(["fairness max/min".into(), fmt3(self.fairness_ratio())]);
+        table.row([
+            "throughput".into(),
+            format!("{} ingests/s", fmt3(self.ingests_per_sec())),
+        ]);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_server::OverloadPolicy;
+    use scout_workload::TestbedSpec;
+
+    fn small_fleet(tenants: usize, threads: usize) -> FleetSoak {
+        let spec = TestbedSpec {
+            epgs: 10,
+            contracts: 6,
+            filters: 4,
+            target_pairs: 14,
+            switches: 3,
+            tcam_capacity: 1024,
+        };
+        FleetSoak {
+            threads,
+            ..FleetSoak::new(WorkloadKind::Testbed(spec), tenants, 12, 29)
+        }
+    }
+
+    #[test]
+    fn fleet_results_match_direct_replay_at_any_thread_count() {
+        let fleet = small_fleet(3, 3);
+        let concurrent = fleet.run();
+        let sequential = small_fleet(3, 1).run();
+        assert_eq!(concurrent.threads, 3);
+        assert_eq!(sequential.threads, 1);
+        for tenant in 0..3 {
+            let (deltas, report) = fleet.direct_replay(tenant);
+            assert_eq!(
+                concurrent.outcomes[tenant].analysis(),
+                (&deltas[..], Some(&report)),
+                "tenant {tenant}: the front door changed an analysis result"
+            );
+            assert_eq!(
+                concurrent.outcomes[tenant].analysis(),
+                sequential.outcomes[tenant].analysis(),
+                "tenant {tenant}: thread count changed an analysis result"
+            );
+        }
+        assert_eq!(concurrent.total_ingests(), 3 * 12);
+        assert!(concurrent.ingests_per_sec() > 0.0);
+        let table = concurrent.table().to_string();
+        assert!(table.contains("fairness max/min"));
+    }
+
+    #[test]
+    fn back_pressure_delays_but_never_loses_or_reorders_batches() {
+        let mut fleet = small_fleet(2, 2);
+        fleet.admission = AdmissionConfig {
+            quota_tokens: 2,
+            refill_per_tick: 1,
+            queue_capacity: 2,
+            policy: OverloadPolicy::Queue,
+        };
+        let run = fleet.run();
+        assert!(
+            run.total_queued() + run.total_shed() > 0,
+            "the tight quota must actually trigger back-pressure"
+        );
+        for tenant in 0..2 {
+            let (deltas, report) = fleet.direct_replay(tenant);
+            assert_eq!(run.outcomes[tenant].deltas, deltas);
+            assert_eq!(run.outcomes[tenant].report.as_ref(), Some(&report));
+            let epochs: Vec<u64> = run.outcomes[tenant]
+                .deltas
+                .iter()
+                .map(|d| d.epoch)
+                .collect();
+            assert_eq!(epochs, (1..=12).collect::<Vec<u64>>(), "FIFO order held");
+        }
+    }
+
+    #[test]
+    fn uniform_fleet_serves_identical_tenants() {
+        let mut fleet = small_fleet(2, 1);
+        fleet.distinct_seeds = false;
+        let run = fleet.run();
+        assert_eq!(
+            run.outcomes[0].analysis(),
+            run.outcomes[1].analysis(),
+            "uniform seeding must erase tenant-to-tenant workload variance"
+        );
+    }
+
+    #[test]
+    fn shed_policy_refuses_instead_of_parking() {
+        let mut fleet = small_fleet(1, 1);
+        fleet.admission = AdmissionConfig {
+            quota_tokens: 1,
+            refill_per_tick: 1,
+            queue_capacity: 4,
+            policy: OverloadPolicy::Shed,
+        };
+        let run = fleet.run();
+        assert_eq!(run.total_queued(), 0, "Shed policy never queues");
+        assert!(run.total_shed() > 0);
+        let (deltas, _) = fleet.direct_replay(0);
+        assert_eq!(run.outcomes[0].deltas, deltas, "retries landed every batch");
+    }
+}

@@ -61,6 +61,7 @@
 
 pub mod campaign;
 pub mod crash;
+pub mod fleet;
 pub mod hostile;
 pub mod multi;
 pub mod scenario;
@@ -70,6 +71,7 @@ pub use campaign::{
     scenario_seed, AnalysisMode, Campaign, CampaignReport, CampaignRun, Concurrency, KindStats,
 };
 pub use crash::{CrashSoak, CrashSoakReport};
+pub use fleet::{FleetRun, FleetSoak, TenantOutcome};
 pub use hostile::{
     hostile_seed, HostileCampaign, HostileClassStats, HostileKind, HostileOutcome, HostileReport,
     HostileRun,

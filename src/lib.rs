@@ -24,7 +24,8 @@
 //! | [`core`] | `scout-core` | risk models, SCOUT & SCORE localization, correlation engine, sharded `Send + Sync` service engine with delta-driven sessions and checkpoint/restore snapshots |
 //! | [`metrics`] | `scout-metrics` | precision/recall/γ, CDFs, run statistics |
 //! | [`store`] | `scout-store` | durable hash-chained event journal + snapshot anchor store with tamper-evident crash recovery |
-//! | [`sim`] | `scout-sim` | randomized fault campaigns, soak timelines, multi-tenant soaks, and crash-injection soaks against one shared engine |
+//! | [`server`] | `scout-server` | the serving layer: typed wire API, per-tenant admission control, and a simulated multi-node cluster with leader-driven failover |
+//! | [`sim`] | `scout-sim` | randomized fault campaigns, soak timelines, multi-tenant and fleet soaks, and crash-injection soaks against one shared engine |
 //!
 //! `ARCHITECTURE.md` at the repo root walks the whole pipeline crate by
 //! crate, including the session/delta data flow and where sharding and
@@ -66,6 +67,7 @@ pub use scout_fabric as fabric;
 pub use scout_faults as faults;
 pub use scout_metrics as metrics;
 pub use scout_policy as policy;
+pub use scout_server as server;
 pub use scout_sim as sim;
 pub use scout_store as store;
 pub use scout_workload as workload;
@@ -84,9 +86,13 @@ pub mod prelude {
     pub use scout_policy::{
         sample, EpgPair, ObjectClass, ObjectId, PolicyUniverse, SwitchEpgPair, TcamRule,
     };
+    pub use scout_server::{
+        AdmissionConfig, Cluster, ClusterConfig, OverloadPolicy, ScoutServer, ServerConfig,
+        ServerError, ServerRequest, ServerResponse,
+    };
     pub use scout_sim::{
-        Campaign, CampaignReport, CrashSoak, CrashSoakReport, MultiTenantSoak, ScenarioKind,
-        ScenarioMix, SoakReport, Timeline, WorkloadKind,
+        Campaign, CampaignReport, CrashSoak, CrashSoakReport, FleetSoak, MultiTenantSoak,
+        ScenarioKind, ScenarioMix, SoakReport, Timeline, WorkloadKind,
     };
     pub use scout_store::{
         verify_dir, CrashPlan, DurableEngine, DurableSession, StoreConfig, StoreError, StoreSummary,

@@ -9,6 +9,9 @@ use rand::{Rng, SeedableRng};
 
 use scout::core::{ReportDelta, ScoutEngine, ScoutReport};
 use scout::fabric::{EventBatch, Fabric, FabricProbe};
+use scout::server::{
+    AdmissionConfig, OverloadPolicy, ScoutServer, ServerConfig, ServerRequest, ServerResponse,
+};
 use scout::sim::{MultiTenantSoak, WorkloadKind};
 use scout::workload::{random_policy_edit, TestbedSpec};
 
@@ -130,6 +133,108 @@ fn concurrent_sessions_on_a_shared_engine_match_sequential_replay() {
         assert_eq!(&replayed_report, seq_report);
     }
     assert_eq!(shared.session_count(), 0);
+}
+
+/// Drives one tenant's batches through a `scout-server` front door mounted
+/// on `engine`, returning the same shape as [`drive`] so results can be
+/// compared bit for bit. The quota is sized to admit the whole stream: this
+/// test is about concurrency, not backpressure (`tests/server.rs` owns that).
+fn drive_via_front_door(
+    engine: &ScoutEngine,
+    tenant: usize,
+    batches: &[EventBatch],
+) -> (Vec<ReportDelta>, ScoutReport) {
+    let admission = AdmissionConfig {
+        quota_tokens: EPOCHS as u64 + 1,
+        refill_per_tick: 1,
+        queue_capacity: 4,
+        policy: OverloadPolicy::Queue,
+    };
+    let mut server = ScoutServer::new(engine.clone(), ServerConfig::in_memory(admission));
+    let id = tenant as u64;
+    match server.handle(ServerRequest::OpenSession {
+        tenant: id,
+        universe: tenant_fabric(tenant).universe().clone(),
+    }) {
+        ServerResponse::Opened { .. } => {}
+        other => panic!("tenant {tenant}: open failed: {other:?}"),
+    }
+    let deltas = batches
+        .iter()
+        .map(|batch| {
+            match server.handle(ServerRequest::Ingest {
+                tenant: id,
+                batch: batch.clone(),
+            }) {
+                ServerResponse::Ingested { delta, .. } => delta,
+                other => panic!("tenant {tenant}: ingest failed: {other:?}"),
+            }
+        })
+        .collect();
+    let report = match server.handle(ServerRequest::Query { tenant: id }) {
+        ServerResponse::Report { report, .. } => report,
+        other => panic!("tenant {tenant}: query failed: {other:?}"),
+    };
+    match server.handle(ServerRequest::CloseSession { tenant: id }) {
+        ServerResponse::Closed { .. } => {}
+        other => panic!("tenant {tenant}: close failed: {other:?}"),
+    }
+    (deltas, report)
+}
+
+/// The session-level contract above, ported to the serving layer: M threads
+/// each running their own [`ScoutServer`] front door over **one shared
+/// engine** produce deltas and reports bit-identical to the direct
+/// sequential session replay — the wire-facing layer adds admission and
+/// routing, never results.
+#[test]
+fn concurrent_front_doors_on_a_shared_engine_match_sequential_replay() {
+    let batches: Vec<Vec<EventBatch>> = (0..TENANTS).map(tenant_batches).collect();
+
+    let sequential_engine = ScoutEngine::new();
+    let sequential: Vec<_> = (0..TENANTS)
+        .map(|tenant| drive(&sequential_engine, tenant, &batches[tenant]))
+        .collect();
+
+    let shared = ScoutEngine::new();
+    let mut served: Vec<Option<(Vec<ReportDelta>, ScoutReport)>> =
+        (0..TENANTS).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let batches = &batches;
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|tenant| {
+                scope.spawn(move || {
+                    (
+                        tenant,
+                        drive_via_front_door(shared, tenant, &batches[tenant]),
+                    )
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (tenant, result) = handle.join().expect("tenant thread panicked");
+            served[tenant] = Some(result);
+        }
+    });
+    assert_eq!(
+        shared.session_count(),
+        0,
+        "every CloseSession deregistered its session from the shared engine"
+    );
+
+    for tenant in 0..TENANTS {
+        let (seq_deltas, seq_report) = &sequential[tenant];
+        let (srv_deltas, srv_report) = served[tenant].as_ref().unwrap();
+        assert_eq!(
+            seq_deltas, srv_deltas,
+            "tenant {tenant}: the front door changed a ReportDelta"
+        );
+        assert_eq!(
+            seq_report, srv_report,
+            "tenant {tenant}: the front door changed the final report"
+        );
+    }
 }
 
 #[test]
