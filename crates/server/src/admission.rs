@@ -160,6 +160,30 @@ impl AdmissionController {
         self.lanes.get(&tenant).map_or(0, |lane| lane.queue.len())
     }
 
+    /// The batch at the head of `tenant`'s queue, if any.
+    pub fn peek_queued(&self, tenant: TenantId) -> Option<&EventBatch> {
+        self.lanes.get(&tenant).and_then(|lane| lane.queue.front())
+    }
+
+    /// Pops the head of `tenant`'s queue without a token charge — the close
+    /// path's drain, where quota no longer matters but the pop must happen
+    /// only after the batch was durably applied.
+    pub fn pop_queued(&mut self, tenant: TenantId) -> Option<EventBatch> {
+        self.lanes
+            .get_mut(&tenant)
+            .and_then(|lane| lane.queue.pop_front())
+    }
+
+    /// Returns one token to `tenant`'s lane (capped at the burst capacity).
+    /// The server refunds an admitted batch its backend failed to apply:
+    /// the batch was not consumed, the client must resend the same epoch,
+    /// and a storage-stressed tenant must not be double-billed for it.
+    pub fn refund(&mut self, tenant: TenantId) {
+        if let Some(lane) = self.lanes.get_mut(&tenant) {
+            lane.tokens = lane.tokens.saturating_add(1).min(self.config.quota_tokens);
+        }
+    }
+
     /// Batches parked across all lanes.
     pub fn total_queued(&self) -> usize {
         self.lanes.values().map(|lane| lane.queue.len()).sum()

@@ -151,8 +151,11 @@ impl Cluster {
     /// Routes one typed request to the owning node.
     ///
     /// `OpenSession` picks the owner deterministically: the least-loaded
-    /// alive node, lowest id winning ties. Requests for tenants whose owner
-    /// is dead but not yet failed over are shed with `retry_hint: 1`.
+    /// alive node, lowest id winning ties. Requests — opens included — for
+    /// tenants whose owner is dead but not yet failed over are shed with
+    /// `retry_hint: 1`: re-placing a tenant while failover is pending would
+    /// strand its durable session (the replacement open collides with the
+    /// on-disk journal, and the orphan scan keys off dead owners).
     pub fn handle(&mut self, request: ServerRequest) -> ServerResponse {
         let tenant = request.tenant();
         let node = match &request {
@@ -161,6 +164,12 @@ impl Cluster {
                     if self.nodes.contains_key(&owner) {
                         return ServerResponse::Error(ServerError::TenantExists { tenant });
                     }
+                    // Dead owner, failover pending: shed the retry and let
+                    // the leader fail the session over intact.
+                    return ServerResponse::Error(ServerError::Shed {
+                        tenant,
+                        retry_hint: 1,
+                    });
                 }
                 let Some(node) = self.least_loaded_node() else {
                     return ServerResponse::Error(ServerError::Shed {
@@ -168,7 +177,6 @@ impl Cluster {
                         retry_hint: 1,
                     });
                 };
-                self.assignment.insert(tenant, node);
                 node
             }
             _ => match self.assignment.get(&tenant) {
@@ -190,8 +198,17 @@ impl Cluster {
             .get_mut(&node)
             .expect("routed to a live node")
             .handle(request);
-        if matches!(response, ServerResponse::Closed { .. }) {
-            self.assignment.remove(&tenant);
+        // Routing state mutates only on success, in both directions: a
+        // failed open must not leave the tenant pointing at a node with no
+        // session, and only a confirmed close releases the tenant.
+        match &response {
+            ServerResponse::Opened { .. } => {
+                self.assignment.insert(tenant, node);
+            }
+            ServerResponse::Closed { .. } => {
+                self.assignment.remove(&tenant);
+            }
+            _ => {}
         }
         response
     }
@@ -379,6 +396,98 @@ mod tests {
         // And if the leader was the casualty, a new one was elected.
         assert!(cluster.leader().is_some());
         assert_ne!(cluster.leader(), Some(owner));
+    }
+
+    #[test]
+    fn reopen_during_failover_window_is_shed_not_replaced() {
+        let dir = TestDir::new("cluster-reopen-window");
+        let config = ClusterConfig {
+            nodes: 3,
+            heartbeat_timeout: 1,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(dir.path(), config);
+        let (universe, batches) = timeline(6);
+        cluster.handle(ServerRequest::OpenSession {
+            tenant: 42,
+            universe: universe.clone(),
+        });
+        let owner = cluster.owner(42).unwrap();
+        for batch in &batches[..3] {
+            assert!(matches!(
+                cluster.handle(ServerRequest::Ingest {
+                    tenant: 42,
+                    batch: batch.clone(),
+                }),
+                ServerResponse::Ingested { .. }
+            ));
+        }
+        cluster.kill_node(owner);
+
+        // A client retrying OpenSession inside the shed-and-retry window
+        // must be shed, not re-placed: re-placing would clobber the
+        // dead-owner assignment the orphan scan keys off.
+        assert_eq!(
+            cluster.handle(ServerRequest::OpenSession {
+                tenant: 42,
+                universe
+            }),
+            ServerResponse::Error(ServerError::Shed {
+                tenant: 42,
+                retry_hint: 1
+            })
+        );
+        assert_eq!(cluster.owner(42), Some(owner));
+
+        // Failover still happens, and the survivor serves the tail.
+        let mut moved = Vec::new();
+        for _ in 0..6 {
+            moved.extend(cluster.tick().failed_over);
+        }
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].tenant, 42);
+        assert_ne!(moved[0].to, owner);
+        for batch in &batches[3..] {
+            assert!(matches!(
+                cluster.handle(ServerRequest::Ingest {
+                    tenant: 42,
+                    batch: batch.clone(),
+                }),
+                ServerResponse::Ingested { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn failed_open_leaves_no_routing_state() {
+        let dir = TestDir::new("cluster-open-fail");
+        let mut cluster = Cluster::new(dir.path(), ClusterConfig::default());
+        cluster.handle(ServerRequest::OpenSession {
+            tenant: 7,
+            universe: sample::three_tier(),
+        });
+        assert!(matches!(
+            cluster.handle(ServerRequest::CloseSession { tenant: 7 }),
+            ServerResponse::Closed { .. }
+        ));
+        assert_eq!(cluster.owner(7), None);
+
+        // The closed tenant's journal is still under the store root, so a
+        // second open fails in storage (open refuses to clobber a store) …
+        match cluster.handle(ServerRequest::OpenSession {
+            tenant: 7,
+            universe: sample::three_tier(),
+        }) {
+            ServerResponse::Error(ServerError::Storage { .. }) => {}
+            other => panic!("expected a storage failure, got {other:?}"),
+        }
+        // … and must not leave the tenant assigned to a node that has no
+        // session for it: no assignment, no phantom owner, no wedge.
+        assert_eq!(cluster.owner(7), None);
+        assert_eq!(
+            cluster.handle(ServerRequest::Query { tenant: 7 }),
+            ServerResponse::Error(ServerError::UnknownTenant { tenant: 7 })
+        );
     }
 
     #[test]

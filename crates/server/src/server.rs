@@ -176,6 +176,11 @@ impl ScoutServer {
         self.admission.queue_depth(tenant)
     }
 
+    /// `tenant`'s current admission token balance.
+    pub fn quota_tokens(&self, tenant: TenantId) -> u64 {
+        self.admission.tokens(tenant)
+    }
+
     /// `tenant`'s current full report, if open.
     pub fn full_report(&self, tenant: TenantId) -> Option<&scout_core::ScoutReport> {
         self.tenants.get(&tenant).map(|backend| match backend {
@@ -276,7 +281,13 @@ impl ScoutServer {
                         self.engine.gauges().record_admitted();
                         ServerResponse::Ingested { tenant, delta }
                     }
-                    Err(error) => ServerResponse::Error(error),
+                    Err(error) => {
+                        // Not applied: the client must resend this epoch, so
+                        // hand the token back — a backend failure must not
+                        // double-bill the tenant for the retry.
+                        self.admission.refund(tenant);
+                        ServerResponse::Error(error)
+                    }
                 }
             }
             Admission::Queued { depth } => {
@@ -372,19 +383,22 @@ impl ScoutServer {
     }
 
     fn close_session(&mut self, tenant: TenantId) -> ServerResponse {
-        // Drain anything still parked into the session first: accepted
-        // means owned, even at close.
-        let parked = self.admission.deregister(tenant);
-        let Some(mut backend) = self.tenants.remove(&tenant) else {
+        let Some(backend) = self.tenants.get_mut(&tenant) else {
             return ServerResponse::Error(ServerError::UnknownTenant { tenant });
         };
-        for batch in parked {
-            self.engine.gauges().record_dequeued();
+        // Drain anything still parked, then commit, and only then drop the
+        // session: accepted means owned, even at close. Each parked batch
+        // leaves the queue only once it is applied, so a failed close keeps
+        // the session and every remaining batch owned and retryable — and
+        // the `Closed`-only routing cleanup in the Cluster stays truthful.
+        while let Some(batch) = self.admission.peek_queued(tenant).cloned() {
             if let Err(error) = backend.ingest(tenant, batch) {
                 return ServerResponse::Error(error);
             }
+            self.admission.pop_queued(tenant);
+            self.engine.gauges().record_dequeued();
         }
-        if let TenantBackend::Durable(session) = &mut backend {
+        if let TenantBackend::Durable(session) = backend {
             if let Err(error) = session.commit() {
                 return ServerResponse::Error(ServerError::Storage {
                     tenant,
@@ -392,10 +406,10 @@ impl ScoutServer {
                 });
             }
         }
-        ServerResponse::Closed {
-            tenant,
-            epoch: backend.epoch(),
-        }
+        let epoch = backend.epoch();
+        self.tenants.remove(&tenant);
+        self.admission.deregister(tenant);
+        ServerResponse::Closed { tenant, epoch }
     }
 
     /// One scheduling round: refill every tenant's tokens and apply queued
@@ -709,6 +723,153 @@ mod tests {
                 epoch: 0
             }
         );
+    }
+
+    #[test]
+    fn failed_admit_ingest_refunds_the_quota_token() {
+        use scout_store::store::CrashPlan;
+        let admission = AdmissionConfig {
+            quota_tokens: 2,
+            refill_per_tick: 0,
+            queue_capacity: 4,
+            policy: OverloadPolicy::Queue,
+        };
+        // Scan crash abort points for one where the open and the first
+        // ingest succeed but the second ingest dies in the journal.
+        let mut hit = false;
+        for abort_after_ops in 0..64 {
+            let dir = TestDir::new(&format!("server-refund-{abort_after_ops}"));
+            let store = StoreConfig {
+                crash_plan: Some(CrashPlan {
+                    abort_after_ops,
+                    partial_seed: 7,
+                }),
+                ..StoreConfig::default()
+            };
+            let config = ServerConfig::durable(admission, dir.path().to_path_buf(), store);
+            let mut srv = ScoutServer::new(ScoutEngine::new(), config);
+            if !matches!(
+                srv.handle(ServerRequest::OpenSession {
+                    tenant: 1,
+                    universe: sample::three_tier(),
+                }),
+                ServerResponse::Opened { .. }
+            ) {
+                continue;
+            }
+            if !matches!(
+                srv.handle(ServerRequest::Ingest {
+                    tenant: 1,
+                    batch: EventBatch::empty(1),
+                }),
+                ServerResponse::Ingested { .. }
+            ) {
+                continue;
+            }
+            assert_eq!(srv.quota_tokens(1), 1);
+            match srv.handle(ServerRequest::Ingest {
+                tenant: 1,
+                batch: EventBatch::empty(2),
+            }) {
+                ServerResponse::Error(ServerError::Storage { .. }) => {}
+                other => panic!("expected a storage failure, got {other:?}"),
+            }
+            hit = true;
+            // The failed batch was not applied, so its token came back —
+            // the retry is billed once, not twice …
+            assert_eq!(srv.quota_tokens(1), 1);
+            // … and keeps reaching the backend (poisoned store → Storage
+            // error), instead of being starved into the queue.
+            for _ in 0..3 {
+                match srv.handle(ServerRequest::Ingest {
+                    tenant: 1,
+                    batch: EventBatch::empty(2),
+                }) {
+                    ServerResponse::Error(ServerError::Storage { .. }) => {}
+                    other => panic!("expected a storage failure, got {other:?}"),
+                }
+                assert_eq!(srv.quota_tokens(1), 1);
+                assert_eq!(srv.queue_depth(1), 0);
+            }
+            break;
+        }
+        assert!(hit, "no abort point landed on the second ingest");
+    }
+
+    #[test]
+    fn failed_close_keeps_the_session_and_parked_batches_owned() {
+        use scout_store::store::CrashPlan;
+        let admission = AdmissionConfig {
+            quota_tokens: 1,
+            refill_per_tick: 0,
+            queue_capacity: 4,
+            policy: OverloadPolicy::Queue,
+        };
+        // Scan crash abort points for one where open + the admitted ingest
+        // succeed and the crash fires inside close_session's drain/commit.
+        let mut hit = false;
+        for abort_after_ops in 0..64 {
+            let dir = TestDir::new(&format!("server-close-crash-{abort_after_ops}"));
+            let store = StoreConfig {
+                crash_plan: Some(CrashPlan {
+                    abort_after_ops,
+                    partial_seed: 3,
+                }),
+                ..StoreConfig::default()
+            };
+            let config = ServerConfig::durable(admission, dir.path().to_path_buf(), store);
+            let mut srv = ScoutServer::new(ScoutEngine::new(), config);
+            if !matches!(
+                srv.handle(ServerRequest::OpenSession {
+                    tenant: 1,
+                    universe: sample::three_tier(),
+                }),
+                ServerResponse::Opened { .. }
+            ) {
+                continue;
+            }
+            if !matches!(
+                srv.handle(ServerRequest::Ingest {
+                    tenant: 1,
+                    batch: EventBatch::empty(1),
+                }),
+                ServerResponse::Ingested { .. }
+            ) {
+                continue;
+            }
+            // Park two more batches (no durable ops while parked).
+            for epoch in 2..=3 {
+                assert!(matches!(
+                    srv.handle(ServerRequest::Ingest {
+                        tenant: 1,
+                        batch: EventBatch::empty(epoch),
+                    }),
+                    ServerResponse::Queued { .. }
+                ));
+            }
+            match srv.handle(ServerRequest::CloseSession { tenant: 1 }) {
+                ServerResponse::Closed { .. } => continue, // crash fired earlier/never
+                ServerResponse::Error(_) => {}
+                other => panic!("unexpected close response: {other:?}"),
+            }
+            hit = true;
+            // The session survives the failed close, still routable …
+            assert!(srv.is_open(1));
+            let epoch = match srv.handle(ServerRequest::Query { tenant: 1 }) {
+                ServerResponse::Report { epoch, .. } => epoch,
+                other => panic!("expected Report, got {other:?}"),
+            };
+            // … and no accepted batch was silently dropped: every epoch in
+            // 1..=3 is either applied or still parked.
+            assert_eq!(epoch + srv.queue_depth(1) as u64, 3);
+            // The shared queue gauge tracks reality instead of leaking.
+            assert_eq!(
+                srv.engine().gauges().snapshot().queued,
+                srv.queue_depth(1) as u64
+            );
+            break;
+        }
+        assert!(hit, "no abort point landed inside close_session");
     }
 
     #[test]
